@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced ("quick") scale; the corresponding ``paper_scale()`` configuration
+documents the full-size setup.  A session-scoped decomposer is shared so
+fidelity profiles are reused across benchmarks, mirroring how the paper's
+toolflow caches decompositions across instruction sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decomposer import NuOpDecomposer
+
+
+@pytest.fixture(scope="session")
+def bench_decomposer() -> NuOpDecomposer:
+    """Session-wide decomposer with a warm profile cache."""
+    return NuOpDecomposer(seed=21)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,99 @@
+"""Ablation benchmarks for NuOp's own design choices (DESIGN.md ablation list).
+
+Measures the decomposer's per-call cost and the impact of restart count and
+layer budget on solution quality -- the knobs Section V of the paper leaves
+implicit (it reports that fewer than four layers almost always suffice and
+that compile time is ~0.2 s per gate per target type).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.gate_types import google_gate_type
+from repro.gates.parametric import rzz
+from repro.gates.unitary import random_su4
+
+CZ_GATE = google_gate_type("S3").gate
+SYC_GATE = google_gate_type("S1").gate
+
+
+def test_bench_decompose_su4_into_cz(benchmark):
+    """Micro-benchmark: one exact SU(4) -> CZ decomposition (cold cache)."""
+    target = random_su4(np.random.default_rng(0))
+
+    def decompose():
+        return NuOpDecomposer(seed=1).decompose_exact(target, gate=CZ_GATE)
+
+    result = benchmark(decompose)
+    assert result.num_layers == 3
+    assert result.decomposition_fidelity > 0.999999
+
+
+def test_bench_decompose_zz_into_syc(benchmark):
+    """Micro-benchmark: one exact ZZ -> SYC decomposition (cold cache)."""
+    target = rzz(0.37)
+
+    def decompose():
+        return NuOpDecomposer(seed=1).decompose_exact(target, gate=SYC_GATE)
+
+    result = benchmark(decompose)
+    assert result.num_layers == 2
+
+
+def test_bench_cached_profile_lookup(benchmark, bench_decomposer):
+    """Micro-benchmark: repeated decomposition of the same target is a cache hit."""
+    target = random_su4(np.random.default_rng(3))
+    bench_decomposer.decompose_exact(target, gate=CZ_GATE)
+
+    result = benchmark(bench_decomposer.decompose_exact, target, gate=CZ_GATE)
+    assert result.num_layers == 3
+
+
+def test_bench_ablation_restarts(run_once):
+    """More restarts must never find worse decompositions (and rarely find better)."""
+    rng = np.random.default_rng(5)
+    targets = [random_su4(rng) for _ in range(3)]
+
+    def sweep():
+        results = {}
+        for restarts in (0, 1, 3):
+            decomposer = NuOpDecomposer(seed=2, restarts=restarts)
+            layers = [
+                decomposer.decompose_exact(target, gate=CZ_GATE).num_layers
+                for target in targets
+            ]
+            results[restarts] = layers
+        return results
+
+    results = run_once(sweep)
+    print()
+    for restarts, layers in results.items():
+        print(f"  restarts={restarts}: layers={layers}")
+    assert all(np.mean(layers) <= 3.0 for layers in results.values())
+    assert np.mean(results[3]) <= np.mean(results[0]) + 1e-9
+
+
+def test_bench_ablation_layer_budget(run_once):
+    """A one-layer budget cannot express SU(4); three layers always can (with CZ)."""
+    rng = np.random.default_rng(6)
+    targets = [random_su4(rng) for _ in range(3)]
+
+    def sweep():
+        fidelities = {}
+        decomposer = NuOpDecomposer(seed=3)
+        for budget in (1, 2, 3):
+            values = [
+                decomposer.decompose_exact(
+                    target, gate=CZ_GATE, max_layers=budget
+                ).decomposition_fidelity
+                for target in targets
+            ]
+            fidelities[budget] = float(np.mean(values))
+        return fidelities
+
+    fidelities = run_once(sweep)
+    print()
+    print(f"  mean F_d by layer budget: {fidelities}")
+    assert fidelities[1] < fidelities[2] < fidelities[3]
+    assert fidelities[3] == pytest.approx(1.0, abs=1e-6)

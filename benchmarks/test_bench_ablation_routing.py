@@ -1,0 +1,53 @@
+"""Ablation benchmark for the device-mapping stage (router lookahead and layout).
+
+The paper attributes much of the continuous-set advantage on
+connectivity-limited devices to routing SWAPs (Section VIII.B); this
+benchmark quantifies how many SWAPs the router inserts for an
+all-to-all-interacting QAOA workload on the Sycamore grid and how the
+lookahead window affects it.
+"""
+
+import numpy as np
+
+from repro.applications import qaoa_maxcut_circuit
+from repro.compiler.layout import choose_layout
+from repro.compiler.routing import route_circuit
+from repro.devices.sycamore import sycamore_device
+
+
+def all_to_all_qaoa(num_qubits: int):
+    edges = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    return qaoa_maxcut_circuit(num_qubits, edges=edges, gamma=0.4, beta=0.3)
+
+
+def test_bench_routing_lookahead_ablation(run_once):
+    device = sycamore_device()
+    device.register_gate_type("syc")
+    circuit = all_to_all_qaoa(6)
+    layout = choose_layout(circuit, device, ["syc"])
+
+    def sweep():
+        swaps = {}
+        for lookahead in (0, 5, 20):
+            routed = route_circuit(circuit, device, layout, lookahead=lookahead)
+            swaps[lookahead] = routed.num_swaps
+        return swaps
+
+    swaps = run_once(sweep)
+    print()
+    print(f"  swaps by lookahead window: {swaps}")
+    # A 6-qubit all-to-all workload on a grid needs some routing.
+    assert all(count >= 1 for count in swaps.values())
+    # Lookahead should not catastrophically increase SWAP counts.
+    assert swaps[20] <= swaps[0] + 4
+
+
+def test_bench_layout_quality(benchmark):
+    """Placement pass cost plus a sanity check that chosen subsets are connected."""
+    device = sycamore_device()
+    device.register_gate_type("syc")
+    circuit = all_to_all_qaoa(5)
+
+    layout = benchmark(choose_layout, circuit, device, ["syc"])
+    assert device.topology.is_connected_subset(layout.physical_qubits)
+    assert len(set(layout.program_to_slot.values())) == 5

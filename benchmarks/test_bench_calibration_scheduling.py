@@ -1,0 +1,58 @@
+"""Benchmark: drift + recalibration scheduling (extension of Figure 11).
+
+The paper's Figure 11 quantifies the one-shot calibration cost of exposing
+many gate types; this benchmark quantifies the steady-state cost by
+simulating a week of parameter drift under three recalibration policies and
+for increasing instruction-set sizes.  The headline shape to look for: the
+calibration duty cycle grows linearly with the number of gate types
+(periodic policy), while the threshold policy buys most of the error-rate
+benefit at a fraction of the duty cycle.
+"""
+
+from repro.calibration.drift import drift_model_for_instruction_set
+from repro.calibration.model import CalibrationModel
+from repro.calibration.scheduler import (
+    NeverPolicy,
+    PeriodicPolicy,
+    ThresholdPolicy,
+    compare_policies,
+    sustainable_gate_type_count,
+)
+from repro.visualization.text import render_table
+
+
+def _run_policy_comparison():
+    rows = []
+    duty_cycles = {}
+    for num_types in (1, 4, 8):
+        type_keys = [f"type_{index}" for index in range(num_types)]
+        results = compare_policies(
+            lambda keys=type_keys: drift_model_for_instruction_set(12, keys, seed=23),
+            [PeriodicPolicy(period_hours=24.0), ThresholdPolicy(2.0), NeverPolicy()],
+            horizon_hours=7 * 24.0,
+        )
+        duty_cycles[num_types] = results["periodic"].calibration_duty_cycle
+        for result in results.values():
+            rows.append({"#types": num_types, **result.as_row()})
+    return rows, duty_cycles
+
+
+def test_bench_calibration_scheduling(benchmark):
+    rows, duty_cycles = benchmark.pedantic(_run_policy_comparison, rounds=1, iterations=1)
+    print()
+    print("Recalibration scheduling over a one-week horizon")
+    print(render_table(rows))
+    print(f"sustainable gate types in a 4-hour daily budget: "
+          f"{sustainable_gate_type_count(CalibrationModel(), 4.0)}")
+
+    # Shape checks: duty cycle grows with the number of exposed gate types,
+    # and never-calibrating always yields the worst mean error.
+    assert duty_cycles[8] > duty_cycles[4] > duty_cycles[1]
+    by_key = {}
+    for row in rows:
+        by_key[(row["#types"], row["policy"])] = row
+    for num_types in (1, 4, 8):
+        never = by_key[(num_types, "never")]
+        periodic = by_key[(num_types, "periodic")]
+        assert periodic["mean_error"] <= never["mean_error"] + 1e-12
+        assert never["duty_cycle"] == 0.0

@@ -1,0 +1,38 @@
+"""Figure 10 (a-e) benchmark: instruction-set study on the Google Sycamore model.
+
+Paper result: multi-type sets (G1-G7) reduce instruction counts (G7 by
+1.3-1.9x) and improve HOP/XED/success/fidelity versus single-type sets;
+G7 (with native SWAP) approaches the continuous FullfSim family, whose
+advantage disappears once its average error rate is 1.5-2.5x worse.
+"""
+
+from repro.experiments.fig10 import Figure10Config, run_figure10
+
+
+def test_bench_figure10(run_once, bench_decomposer):
+    config = Figure10Config.quick()
+    result = run_once(run_figure10, config, bench_decomposer)
+    print()
+    print(result.format_table())
+
+    expected_sets = set(config.selected_sets())
+    for study in result.studies():
+        assert set(study.per_set) == expected_sets
+
+    for study in result.studies():
+        g7 = study.per_set["G7"].mean_two_qubit_count
+        singles = [
+            study.per_set[name].mean_two_qubit_count
+            for name in study.per_set
+            if name.startswith("S")
+        ]
+        # G7 (with native SWAP) never needs more hardware gates than the
+        # single-type sets (the paper's 1.3-1.9x reduction).
+        assert g7 <= min(singles) + 1e-9
+
+    # The scaled FullfSim variant must not beat the unscaled one.
+    if "FullfSim-2x" in result.qv.per_set:
+        assert (
+            result.qv.per_set["FullfSim-2x"].mean_metric
+            <= result.qv.per_set["FullfSim"].mean_metric + 0.05
+        )

@@ -1,0 +1,23 @@
+"""Figure 10f benchmark: Fermi-Hubbard fidelity vs mean two-qubit error rate.
+
+Paper result: across circuit sizes and noise levels, the multi-type G7 set
+matches or beats the single-type S2 set, with the largest advantage at
+today's error rates and a shrinking gap as hardware improves.
+"""
+
+from repro.experiments.fig10 import Figure10fConfig, run_figure10f
+
+
+def test_bench_figure10f(run_once, bench_decomposer):
+    config = Figure10fConfig.quick()
+    result = run_once(run_figure10f, config, bench_decomposer)
+    print()
+    print(result.format_table())
+
+    assert len(result.points) == len(config.fh_sizes) * len(config.error_rates)
+    # G7 should not lose to S2 by more than simulation noise at any point.
+    for point in result.points:
+        assert point.fidelity_g7 >= point.fidelity_s2 - 0.1
+    # Lower error rates give higher fidelity for both sets.
+    by_rate = sorted(result.points, key=lambda p: p.error_rate)
+    assert by_rate[0].fidelity_g7 >= by_rate[-1].fidelity_g7 - 0.05

@@ -1,0 +1,42 @@
+"""Figure 11 benchmark: calibration overhead vs application reliability.
+
+Paper result: calibration circuits scale linearly with gate types and device
+size (~1e7 circuits for 10 types on 54 qubits, ~1e9 for a 1000-qubit device);
+reliability improves with diminishing returns beyond ~5 gate types, and the
+proposed 4-8-type sets save about two orders of magnitude of calibration
+relative to a continuous family.
+"""
+
+from repro.calibration.model import CalibrationModel, calibration_savings_factor
+from repro.experiments.fig11 import (
+    Figure11aConfig,
+    Figure11bConfig,
+    run_figure11a,
+    run_figure11b,
+)
+
+
+def test_bench_figure11a(benchmark):
+    result = benchmark(run_figure11a, Figure11aConfig())
+    print()
+    print(result.format_table())
+
+    # Linear scaling in gate types, monotone in device size.
+    assert result.circuits[54][8] == 8 * result.circuits[54][1]
+    assert result.circuits[1000][4] > result.circuits[54][4] > result.circuits[2][4]
+    # Paper's quoted magnitudes.
+    assert 3e6 < result.circuits[54][8] < 3e7 or 3e6 < result.circuits[54][16] < 3e7
+    assert result.circuits[1000][300] > 1e8
+
+
+def test_bench_figure11b(run_once, bench_decomposer):
+    result = run_once(run_figure11b, Figure11bConfig.quick(), bench_decomposer)
+    print()
+    print(result.format_table())
+
+    assert result.points
+    hours = [point.calibration_hours for point in result.points]
+    assert hours == sorted(hours)
+    # Two orders of magnitude calibration savings for the proposed 4-8 type sets.
+    assert 40 <= calibration_savings_factor(CalibrationModel(), 8) <= 400
+    assert result.savings_factor >= 40

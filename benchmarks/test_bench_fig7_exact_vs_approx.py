@@ -1,0 +1,22 @@
+"""Figure 7 benchmark: exact vs approximate decomposition across error rates.
+
+Paper result: at low error rates the two modes coincide; approximation
+matches or outperforms exact decomposition once the mean two-qubit error
+reaches the Sycamore regime (~0.62%) and beyond.
+"""
+
+from repro.experiments.fig7 import Figure7Config, run_figure7
+
+
+def test_bench_figure7(run_once, bench_decomposer):
+    config = Figure7Config.quick()
+    result = run_once(run_figure7, config, bench_decomposer)
+    print()
+    print(result.format_table())
+
+    assert len(result.points) == len(config.error_multipliers) * 2
+    # At the highest error rate approximation should not lose to exact by much.
+    worst = max(config.error_multipliers)
+    for point in result.points:
+        if point.error_multiplier == worst:
+            assert point.approximate_metric >= point.exact_metric - 0.05

@@ -1,0 +1,31 @@
+"""Figure 8 benchmark: expressivity heatmaps over the fSim parameter space.
+
+Paper result: instruction counts per application operation range from 1 to
+6 across the (theta, phi) grid; CZ-like points are best for QAOA, iSWAP-like
+points for Fermi-Hubbard, fSim(pi/2, pi) implements SWAP with one gate, and
+gates near fSim(pi/6, pi) (S7) are expressive for QV.
+"""
+
+import numpy as np
+
+from repro.experiments.fig8 import Figure8Config, run_figure8
+
+
+def test_bench_figure8(run_once, bench_decomposer):
+    config = Figure8Config.quick()
+    result = run_once(run_figure8, config, bench_decomposer)
+    print()
+    for application in config.applications:
+        print(result.format_table(application))
+        print()
+
+    for application in config.applications:
+        grid = result.heatmaps[application]
+        assert grid.shape == (config.phi_points, config.theta_points)
+        assert np.all(grid >= 1.0) or application == "swap"
+
+    # SWAP is a single instruction at fSim(pi/2, pi) and QAOA is ~2 near CZ.
+    assert result.count_at("swap", np.pi / 2, np.pi) == 1.0
+    assert result.count_at("qaoa", 0.0, np.pi) <= 2.5
+    # The identity corner is maximally inexpressive for entangling workloads.
+    assert result.heatmaps["qv"][0, 0] > 3 if "qv" in result.heatmaps else True

@@ -1,0 +1,35 @@
+"""Figure 9 benchmark: instruction-set study on the Rigetti Aspen-8 model.
+
+Paper result: multi-type sets (R1-R5) beat every single-type set on HOP,
+XED and QFT success rate; adding the native SWAP (R5) brings reliability
+close to the continuous FullXY family while using far fewer gate types.
+"""
+
+from repro.experiments.fig9 import Figure9Config, run_figure9
+
+
+def test_bench_figure9(run_once, bench_decomposer):
+    config = Figure9Config.quick()
+    result = run_once(run_figure9, config, bench_decomposer)
+    print()
+    print(result.format_table())
+
+    for study in result.studies():
+        assert set(study.per_set) == set(config.instruction_sets)
+        for per_set in study.per_set.values():
+            assert per_set.metric_values
+            assert per_set.mean_two_qubit_count > 0
+
+    # Instruction-count shape: the richest discrete set (R5) needs no more
+    # hardware gates than a typical single-type set.  (It can exceed the
+    # *best* single-type count on a given circuit because noise adaptivity
+    # may trade an extra gate for a higher-fidelity gate type.)
+    for study in result.studies():
+        single_counts = [
+            study.per_set[name].mean_two_qubit_count
+            for name in study.per_set
+            if name.startswith("S")
+        ]
+        if single_counts:
+            average_single = sum(single_counts) / len(single_counts)
+            assert study.per_set["R5"].mean_two_qubit_count <= average_single + 1e-9

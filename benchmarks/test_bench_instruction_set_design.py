@@ -1,0 +1,55 @@
+"""Benchmark: greedy instruction-set design (the Section VIII.A selection).
+
+Regenerates, algorithmically, the selection step the paper performs by
+inspecting the Figure 8 heatmaps: measure the expressivity of a grid of
+candidate fSim gate types, then grow an instruction set greedily and watch
+the workload-weighted instruction count saturate around a handful of types
+while calibration time keeps growing linearly.
+"""
+
+from repro.applications import unitary_ensembles
+from repro.core.expressivity import (
+    candidate_gate_grid,
+    design_tradeoff_curve,
+    expressivity_table,
+    knee_of_curve,
+)
+from repro.visualization.text import render_table
+
+
+def _run_design(bench_decomposer):
+    unitaries = unitary_ensembles(3, seed=12)
+    selected = {name: unitaries[name] for name in ("qv", "qaoa", "swap")}
+    candidates = candidate_gate_grid(4, 4, include_swap=True)
+    table = expressivity_table(selected, candidates, decomposer=bench_decomposer, max_layers=4)
+    designs = design_tradeoff_curve(table, max_gate_types=6)
+    return designs
+
+
+def test_bench_instruction_set_design(benchmark, bench_decomposer):
+    designs = benchmark.pedantic(_run_design, args=(bench_decomposer,), rounds=1, iterations=1)
+    rows = [
+        {
+            "#types": design.num_gate_types,
+            "mean 2Q count": round(design.mean_instruction_count, 3),
+            "calibration h": design.calibration_hours,
+            "selection": "; ".join(design.selection),
+        }
+        for design in designs
+    ]
+    print()
+    print("Greedy instruction-set design over a 4x4 fSim candidate grid")
+    print(render_table(rows))
+    knee = knee_of_curve(designs, tolerance=0.05)
+    print(f"knee of the curve: {knee} gate types (paper recommends 4-8)")
+
+    # Shape checks mirroring the paper's conclusions.
+    costs = [design.mean_instruction_count for design in designs]
+    assert all(later <= earlier + 1e-9 for earlier, later in zip(costs, costs[1:]))
+    assert designs[-1].calibration_hours > designs[0].calibration_hours
+    assert 1 <= knee <= 6
+    # Once a few types are available, the design covers the SWAP workload
+    # with a (near-)native gate -- either the hardware SWAP candidate or its
+    # fSim(pi/2, pi) equivalent on the grid (the G7/R5 observation).
+    largest = designs[-1]
+    assert largest.per_application_counts["swap"] <= 2.0

@@ -1,0 +1,18 @@
+"""Table I benchmark: regenerate the vendor gate-type table and verify its identities."""
+
+from repro.experiments.tables import table1_identities, table1_rows, verify_s_type_equivalences
+
+
+def test_bench_table1_gate_table(benchmark):
+    """Regenerates Table I rows plus the gate-family identities used throughout the paper."""
+
+    def build():
+        rows = table1_rows()
+        identities = table1_identities()
+        equivalences = verify_s_type_equivalences()
+        return rows, identities, equivalences
+
+    rows, identities, equivalences = benchmark(build)
+    assert len(rows) == 7
+    assert all(identities.values())
+    assert all(equivalences.values())

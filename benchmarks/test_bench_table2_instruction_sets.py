@@ -1,0 +1,15 @@
+"""Table II benchmark: regenerate the instruction-set catalogue."""
+
+from repro.experiments.tables import table2_rows
+
+
+def test_bench_table2_catalogue(benchmark):
+    """Regenerates every instruction set of Table II and checks its composition."""
+    rows = benchmark(table2_rows)
+    by_name = {row.name: row for row in rows}
+    # Single-type sets S1-S7, Google sets G1-G7, Rigetti sets R1-R5, 2 continuous.
+    assert len(by_name) == 21
+    assert by_name["G7"].members[-1] == "SWAP"
+    assert by_name["R5"].members[-1] == "SWAP"
+    assert by_name["G3"].num_gate_types == 4
+    assert by_name["FullXY"].kind == "continuous"

@@ -1,0 +1,84 @@
+"""Calibration-overhead analysis: the paper's Figure 11 and Section IX model.
+
+Shows, without any circuit simulation, how the calibration cost of an
+instruction set scales with the number of exposed two-qubit gate types and
+with device size, and why a 4-8 type set is two orders of magnitude cheaper
+to keep calibrated than a continuous gate family.
+
+Run with ``python examples/calibration_tradeoff.py``.
+"""
+
+from repro.calibration.model import (
+    CalibrationModel,
+    calibration_savings_factor,
+    continuous_family_equivalent_types,
+)
+from repro.calibration.tradeoff import diminishing_returns_size, tradeoff_curve
+from repro.experiments.fig11 import Figure11aConfig, run_figure11a
+
+
+def circuit_scaling() -> None:
+    """Figure 11a: calibration circuits vs number of gate types and device size."""
+    print("=" * 72)
+    print("Figure 11a: calibration circuit counts")
+    print("=" * 72)
+    result = run_figure11a(Figure11aConfig())
+    print(result.format_table())
+    print()
+
+
+def time_and_savings() -> None:
+    """Wall-clock calibration time and the savings of a discrete set."""
+    print("=" * 72)
+    print("Calibration time model (Section IX)")
+    print("=" * 72)
+    model = CalibrationModel()
+    for num_types in (1, 2, 4, 8):
+        hours = model.calibration_time_hours(num_types)
+        print(f"{num_types} gate types: {hours:5.1f} hours of daily calibration")
+
+    continuous = continuous_family_equivalent_types()
+    print(f"\ncontinuous fSim family ~ {continuous} discrete types "
+          f"(19 x 19 parameter grid; Google calibrated 525 in practice)")
+    for proposed in (4, 8):
+        factor = calibration_savings_factor(model, proposed)
+        print(f"proposed {proposed}-type set is {factor:.0f}x cheaper to calibrate")
+    print()
+
+
+def reliability_tradeoff() -> None:
+    """Figure 11b style tradeoff built from externally supplied reliabilities.
+
+    Here the reliabilities are the paper's own Figure 10 numbers; running
+    ``examples/instruction_set_study.py`` produces measured equivalents.
+    """
+    print("=" * 72)
+    print("Figure 11b: calibration time vs reliability improvement")
+    print("=" * 72)
+
+    # Approximate Figure 10 reliabilities (HOP for QV on Sycamore).
+    reliability_by_size = {
+        2: {"Google-QV": 0.66},
+        4: {"Google-QV": 0.67},
+        6: {"Google-QV": 0.67},
+        8: {"Google-QV": 0.71},
+    }
+    baseline = {"Google-QV": 0.65}
+
+    points = tradeoff_curve(reliability_by_size, baseline)
+    print(f"{'#types':>7} | {'hours':>7} | {'circuits':>12} | QV improvement")
+    print("-" * 54)
+    for point in points:
+        improvement = point.reliability_improvement["Google-QV"]
+        print(f"{point.num_gate_types:>7} | {point.calibration_hours:7.1f} | "
+              f"{point.calibration_circuits:12.3g} | {improvement:+.1%}")
+
+    sweet_spot = diminishing_returns_size(points, "Google-QV", tolerance=0.02)
+    print(f"\ndiminishing returns beyond ~{sweet_spot} gate types; the paper")
+    print("recommends 4-8 expressive types plus a hardware SWAP.")
+
+
+if __name__ == "__main__":
+    circuit_scaling()
+    time_and_savings()
+    reliability_tradeoff()

@@ -1,0 +1,97 @@
+"""Decomposition gallery: the paper's Figure 2 and Figure 5 walk-through.
+
+Reproduces, with the library's own NuOp implementation:
+
+* Figure 2 -- exact decomposition of a Quantum-Volume SU(4) unitary and a
+  QAOA ``exp(-i beta ZZ)`` unitary into CZ gates (Rigetti) and into
+  sqrt(iSWAP) gates (Google), showing that the most expressive gate type
+  depends on the application;
+* Figure 5 -- noise-adaptive approximate decomposition: on a pair of
+  Aspen-8 edges with different calibrated fidelities, NuOp picks CZ on one
+  edge and XY(pi) on the other, and accepts a slightly inexact
+  decomposition when that increases the overall fidelity F_u = F_d * F_h.
+
+Run with ``python examples/decomposition_gallery.py``.
+"""
+
+import numpy as np
+
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import rigetti_instruction_set
+from repro.core.noise_adaptive import best_gate_type_per_edge, decompose_with_instruction_set
+from repro.circuits.gate import named_gate
+from repro.gates.parametric import rzz
+from repro.gates.unitary import random_su4
+
+
+def figure2_exact_decompositions() -> None:
+    """Exact decompositions of QV and QAOA unitaries into CZ and sqrt(iSWAP)."""
+    print("=" * 72)
+    print("Figure 2: exact decompositions (decomposition error ~ 1e-7)")
+    print("=" * 72)
+
+    decomposer = NuOpDecomposer()
+    qv_unitary = random_su4(np.random.default_rng(32))
+    qaoa_unitary = rzz(0.0606 / 2.0)  # the e^{-0.0303 i ZZ} unitary of Figure 2b
+
+    targets = {"CZ": named_gate("cz"), "sqrt(iSWAP)": named_gate("sqrt_iswap")}
+    for name, unitary in (("QV SU(4)", qv_unitary), ("QAOA exp(-i b ZZ)", qaoa_unitary)):
+        for gate_name, gate in targets.items():
+            decomposition = decomposer.decompose_exact(unitary, gate=gate)
+            print(f"{name:>18} -> {gate_name:<12}: {decomposition.num_layers} gates, "
+                  f"F_d = {decomposition.decomposition_fidelity:.7f}")
+        print()
+
+    print("A generic QV unitary needs 3 hardware gates in either basis")
+    print("(Figure 2c/2e).  For the small-angle ZZ interaction NuOp finds")
+    print("2-gate implementations in both bases; the paper's Figure 2f shows")
+    print("a 3-gate sqrt(iSWAP) circuit, which numerical optimisation beats.")
+    print()
+
+
+def figure5_noise_adaptive_choice() -> None:
+    """Noise-adaptive gate-type selection on two Aspen-8 style edges."""
+    print("=" * 72)
+    print("Figure 5: noise-adaptive approximate decomposition")
+    print("=" * 72)
+
+    decomposer = NuOpDecomposer()
+    instruction_set = rigetti_instruction_set("R1")  # {CZ, XY(pi)}
+    cz_key, xy_key = instruction_set.type_keys()
+    target = random_su4(np.random.default_rng(5))
+
+    # Measured Figure 3 fidelities: on edge (2, 3) CZ is the better gate,
+    # on edge (3, 4) XY(pi) is the better gate.
+    per_edge = {
+        (2, 3): {cz_key: 0.94, xy_key: 0.70},
+        (3, 4): {cz_key: 0.94, xy_key: 0.97},
+    }
+    choices = best_gate_type_per_edge(decomposer, target, instruction_set, per_edge)
+    for edge, label in choices.items():
+        fidelities = per_edge[edge]
+        print(f"edge {edge}: calibrated fidelities CZ={fidelities[cz_key]:.2f}, "
+              f"XY(pi)={fidelities[xy_key]:.2f}  ->  NuOp chooses {label}")
+    print()
+
+    # Approximation: on the low-fidelity edge an inexact two-gate
+    # decomposition beats the exact three-gate one.
+    exact = decompose_with_instruction_set(
+        decomposer, target, instruction_set,
+        edge_fidelities=per_edge[(2, 3)], approximate=False,
+    )
+    approx = decompose_with_instruction_set(
+        decomposer, target, instruction_set,
+        edge_fidelities=per_edge[(2, 3)], approximate=True,
+    )
+    print(f"exact decomposition:       {exact.num_layers} gates, "
+          f"F_d = {exact.decomposition_fidelity:.4f}, F_u = {exact.overall_fidelity:.4f}")
+    print(f"approximate decomposition: {approx.num_layers} gates, "
+          f"F_d = {approx.decomposition_fidelity:.4f}, F_u = {approx.overall_fidelity:.4f}")
+    print()
+    print("Approximation wins whenever the hardware error saved by dropping a")
+    print("gate exceeds the decomposition error introduced (Section V.B).")
+
+
+if __name__ == "__main__":
+    figure2_exact_decompositions()
+    figure5_noise_adaptive_choice()

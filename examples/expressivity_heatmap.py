@@ -1,0 +1,57 @@
+"""Expressivity heatmaps over the fSim parameter space (the paper's Figure 8).
+
+For each application workload (QV, QAOA, SWAP by default) this sweeps a
+grid of fSim(theta, phi) gate types, decomposes an ensemble of application
+two-qubit unitaries into each candidate type with NuOp's exact mode, and
+prints the average hardware gate count as an ASCII heatmap.  The minima of
+these heatmaps are precisely the S1-S7 gate types the paper selects for its
+proposed instruction sets (Table II).
+
+The default grid is coarse (5 x 5) so the example finishes in a couple of
+minutes; ``--theta-points/--phi-points/--unitaries`` scale it up to the
+paper's 19 x 19 x 1000 configuration.
+
+Run with ``python examples/expressivity_heatmap.py [--grid N]``.
+"""
+
+import argparse
+
+from repro.core.decomposer import NuOpDecomposer
+from repro.experiments.fig8 import Figure8Config, run_figure8
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--theta-points", type=int, default=5)
+    parser.add_argument("--phi-points", type=int, default=5)
+    parser.add_argument("--unitaries", type=int, default=4,
+                        help="unitaries per application (paper uses 1000 for QV/QAOA)")
+    parser.add_argument("--applications", nargs="+",
+                        default=["qv", "qaoa", "swap"],
+                        choices=["qv", "qaoa", "qft", "fh", "swap"])
+    args = parser.parse_args()
+
+    config = Figure8Config(
+        theta_points=args.theta_points,
+        phi_points=args.phi_points,
+        unitaries_per_application=args.unitaries,
+        applications=args.applications,
+    )
+    result = run_figure8(config, decomposer=NuOpDecomposer())
+
+    for application in args.applications:
+        print(result.format_table(application))
+        theta, phi, count = result.best_gate(application)
+        print(f"most expressive gate for {application}: "
+              f"fSim({theta:.2f}, {phi:.2f}) with {count:.2f} gates per operation")
+        print()
+
+    print("Gate counts at the paper's S1-S7 gate types (Table II candidates):")
+    for application in args.applications:
+        counts = result.s_type_counts(application)
+        rendered = ", ".join(f"{label}={value:.2f}" for label, value in counts.items())
+        print(f"  {application:>5}: {rendered}")
+
+
+if __name__ == "__main__":
+    main()

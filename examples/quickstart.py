@@ -1,0 +1,87 @@
+"""Quickstart: decompose an application operation and compile a circuit.
+
+This walks through the two levels of the public API:
+
+1. gate level -- use :class:`NuOpDecomposer` to decompose a single
+   application two-qubit unitary into a hardware gate type (the paper's
+   Figure 2 examples), and
+2. circuit level -- use :func:`compile_circuit` to map, route and
+   decompose a full QAOA circuit onto the Google Sycamore device model for
+   two candidate instruction sets, then simulate both with realistic noise
+   and compare their reliability.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import numpy as np
+
+from repro.applications.qaoa import qaoa_maxcut_circuit
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import google_instruction_set, single_gate_set
+from repro.core.pipeline import compile_circuit
+from repro.devices.sycamore import sycamore_device
+from repro.experiments.runner import SimulationOptions, simulate_compiled
+from repro.gates.standard import SYC
+from repro.gates.unitary import random_su4
+from repro.circuits.gate import named_gate
+from repro.metrics.xeb import cross_entropy_difference
+from repro.simulators.statevector import ideal_probabilities
+
+
+def decompose_one_unitary() -> None:
+    """Decompose a random SU(4) unitary into Sycamore's SYC gate."""
+    print("=" * 72)
+    print("1. Gate-level decomposition with NuOp")
+    print("=" * 72)
+
+    rng = np.random.default_rng(2021)
+    target = random_su4(rng)
+    decomposer = NuOpDecomposer()
+
+    exact = decomposer.decompose_exact(target, gate=named_gate("syc"))
+    print(f"target: random SU(4) unitary (a Quantum-Volume two-qubit block)")
+    print(f"hardware gate: SYC = fSim(pi/2, pi/6), matrix shape {SYC.shape}")
+    print(f"exact decomposition: {exact.num_layers} SYC gates, "
+          f"F_d = {exact.decomposition_fidelity:.6f}")
+
+    # The approximate (Eq. 2) mode trades decomposition accuracy against
+    # hardware error: with a 95%-fidelity SYC gate it often prefers fewer
+    # layers even though the unitary is no longer matched exactly.
+    approx = decomposer.decompose_approximate(target, gate=named_gate("syc"), gate_fidelity=0.95)
+    print(f"approximate decomposition at 95% gate fidelity: {approx.num_layers} SYC gates, "
+          f"F_d = {approx.decomposition_fidelity:.4f}, "
+          f"F_u = F_d * F_h = {approx.overall_fidelity:.4f}")
+    print()
+
+
+def compile_and_simulate() -> None:
+    """Compile a QAOA circuit for two instruction sets and compare reliability."""
+    print("=" * 72)
+    print("2. Circuit-level compilation on the Sycamore device model")
+    print("=" * 72)
+
+    circuit = qaoa_maxcut_circuit(5, rng=np.random.default_rng(7))
+    device = sycamore_device(seed=54)
+    decomposer = NuOpDecomposer()
+    ideal = ideal_probabilities(circuit)
+
+    options = SimulationOptions(shots=4000, seed=11)
+    for instruction_set in (single_gate_set("S1"), google_instruction_set("G7")):
+        compiled = compile_circuit(circuit, device, instruction_set, decomposer=decomposer)
+        measured = simulate_compiled(compiled, device, options)
+        xed = cross_entropy_difference(measured, ideal)
+        print(f"instruction set {instruction_set.name:>4}: "
+              f"{compiled.two_qubit_gate_count:3d} two-qubit gates, "
+              f"{compiled.num_swaps} routing SWAPs, "
+              f"gate types used: {compiled.gate_type_usage}, "
+              f"XED = {xed:.3f}")
+
+    print()
+    print("The multi-type set (G7) expresses the same circuit with fewer")
+    print("hardware gates and picks the best-calibrated gate type on every")
+    print("edge, which is exactly the effect Figures 9 and 10 quantify.")
+
+
+if __name__ == "__main__":
+    decompose_one_unitary()
+    compile_and_simulate()

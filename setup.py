@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517 --no-build-isolation`` works in
+offline environments that lack ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

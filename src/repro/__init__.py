@@ -1,0 +1,46 @@
+"""repro: reproduction of "Designing Calibration and Expressivity-Efficient
+Instruction Sets for Quantum Computing" (Murali, Lao, Martonosi, Browne,
+ISCA 2021).
+
+Subpackages
+-----------
+``repro.gates``
+    Gate matrices, parametric families, unitary utilities and KAK/Weyl
+    local-equivalence analysis.
+``repro.circuits``
+    Circuit IR (gates, operations, circuits, moments, serialisation).
+``repro.simulators``
+    Statevector, density-matrix and trajectory simulators; noise channels
+    and calibration-driven noise models.
+``repro.devices``
+    Topologies plus the Rigetti Aspen-8 and Google Sycamore device models.
+``repro.compiler``
+    Layout, routing, scheduling and single-qubit optimisation passes.
+``repro.core``
+    NuOp -- the paper's contribution: template-based numerical gate
+    decomposition, noise-adaptive gate-type selection, instruction-set
+    catalogue and the end-to-end compilation pipeline.
+``repro.applications``
+    QV, QAOA, Fermi-Hubbard and QFT benchmark circuit generators.
+``repro.metrics``
+    HOP, cross-entropy difference, linear XEB and success-rate metrics.
+``repro.calibration``
+    Calibration-overhead model and expressivity/calibration tradeoffs.
+``repro.experiments``
+    One driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "gates",
+    "circuits",
+    "simulators",
+    "devices",
+    "compiler",
+    "core",
+    "applications",
+    "metrics",
+    "calibration",
+    "experiments",
+]

@@ -1,0 +1,98 @@
+"""Application benchmark circuits.
+
+QV, QAOA, Fermi-Hubbard and QFT are the four workloads of the paper's
+evaluation (Section VI); each generator keeps application-level two-qubit
+operations as single circuit operations so NuOp can decompose them for the
+instruction set under study.  Additional workloads (GHZ, cluster states,
+Bernstein-Vazirani, VQE ansatze, TFIM, ripple-carry adders) extend the
+studies beyond the paper; see :mod:`repro.applications.registry`.
+"""
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.applications.adder import adder_suite, ripple_carry_adder_circuit
+from repro.applications.bernstein_vazirani import bernstein_vazirani_circuit, bv_suite
+from repro.applications.ghz import ghz_circuit, ghz_suite, linear_cluster_circuit
+from repro.applications.registry import application_registry, build_suite, paper_applications
+from repro.applications.vqe import (
+    excitation_preserving_ansatz,
+    hardware_efficient_ansatz,
+    tfim_trotter_circuit,
+    vqe_suite,
+)
+from repro.applications.qv import qv_circuit, qv_suite, random_su4_unitaries
+from repro.applications.qaoa import (
+    qaoa_maxcut_circuit,
+    qaoa_suite,
+    random_maxcut_edges,
+    random_zz_unitaries,
+)
+from repro.applications.fermi_hubbard import (
+    fermi_hubbard_circuit,
+    fh_suite,
+    fh_unitaries,
+)
+from repro.applications.qft import (
+    qft_circuit,
+    qft_benchmark_circuit,
+    qft_target_value,
+    fourier_state_preparation,
+    qft_unitaries,
+)
+
+
+def unitary_ensembles(
+    num_per_application: int = 20, seed: int = 0
+) -> Dict[str, List[np.ndarray]]:
+    """Two-qubit application unitary ensembles keyed by application name.
+
+    Used by the Figure 6 and Figure 8 experiments, which characterise
+    decompositions of raw application unitaries (rather than full
+    circuits).  The SWAP unitary is included because routing makes it a
+    first-class workload (Figure 8e).
+    """
+    from repro.gates.standard import SWAP
+
+    return {
+        "qv": random_su4_unitaries(num_per_application, seed=seed),
+        "qaoa": random_zz_unitaries(num_per_application, seed=seed + 1),
+        "qft": qft_unitaries(num_qubits=min(num_per_application + 1, 10)),
+        "fh": fh_unitaries(num_per_application, seed=seed + 2),
+        "swap": [SWAP.copy()],
+    }
+
+
+__all__ = [
+    "qv_circuit",
+    "qv_suite",
+    "random_su4_unitaries",
+    "qaoa_maxcut_circuit",
+    "qaoa_suite",
+    "random_maxcut_edges",
+    "random_zz_unitaries",
+    "fermi_hubbard_circuit",
+    "fh_suite",
+    "fh_unitaries",
+    "qft_circuit",
+    "qft_benchmark_circuit",
+    "qft_target_value",
+    "fourier_state_preparation",
+    "qft_unitaries",
+    "unitary_ensembles",
+    "ghz_circuit",
+    "ghz_suite",
+    "linear_cluster_circuit",
+    "bernstein_vazirani_circuit",
+    "bv_suite",
+    "hardware_efficient_ansatz",
+    "excitation_preserving_ansatz",
+    "tfim_trotter_circuit",
+    "vqe_suite",
+    "ripple_carry_adder_circuit",
+    "adder_suite",
+    "application_registry",
+    "build_suite",
+    "paper_applications",
+]

@@ -1,0 +1,135 @@
+"""Ripple-carry adder circuits (Cuccaro construction).
+
+Arithmetic circuits are the canonical "classic QC / longer-term" workload
+class alongside QFT; they are CNOT/Toffoli dominated, which stresses
+CZ-like gate types.  Toffoli gates are expanded into the standard
+six-CNOT + T-gate network so the whole circuit stays within the one- and
+two-qubit gate set that NuOp and the device models understand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def _toffoli(circuit: QuantumCircuit, a: int, b: int, target: int) -> None:
+    """Append a Toffoli (CCX) on ``(a, b, target)`` using 6 CNOTs and T gates."""
+    from repro.circuits.gate import named_gate
+
+    t = named_gate("t")
+    tdg = named_gate("tdg")
+    h = named_gate("h")
+    circuit.append(h, [target])
+    circuit.cx(b, target)
+    circuit.append(tdg, [target])
+    circuit.cx(a, target)
+    circuit.append(t, [target])
+    circuit.cx(b, target)
+    circuit.append(tdg, [target])
+    circuit.cx(a, target)
+    circuit.append(t, [b])
+    circuit.append(t, [target])
+    circuit.append(h, [target])
+    circuit.cx(a, b)
+    circuit.append(t, [a])
+    circuit.append(tdg, [b])
+    circuit.cx(a, b)
+
+
+def ripple_carry_adder_circuit(
+    num_bits: int,
+    a_value: int,
+    b_value: int,
+) -> QuantumCircuit:
+    """In-place ripple-carry adder computing ``b <- a + b``.
+
+    Register layout (``2 * num_bits + 2`` qubits)::
+
+        [carry_in, a_0, b_0, a_1, b_1, ..., a_{n-1}, b_{n-1}, carry_out]
+
+    with bit 0 the least significant bit.  The inputs are classical values
+    loaded with X gates, so the ideal output is a single computational
+    basis state containing ``a + b`` in the ``b`` register (plus the final
+    carry), which makes success rate easy to score under noise.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit")
+    limit = 2**num_bits
+    if not (0 <= a_value < limit and 0 <= b_value < limit):
+        raise ValueError(f"input values must fit in {num_bits} bits")
+
+    num_qubits = 2 * num_bits + 2
+    circuit = QuantumCircuit(num_qubits, name=f"adder_{num_bits}")
+    carry_in = 0
+    carry_out = num_qubits - 1
+
+    def a_qubit(i: int) -> int:
+        return 1 + 2 * i
+
+    def b_qubit(i: int) -> int:
+        return 2 + 2 * i
+
+    # Load the classical inputs.
+    for i in range(num_bits):
+        if (a_value >> i) & 1:
+            circuit.x(a_qubit(i))
+        if (b_value >> i) & 1:
+            circuit.x(b_qubit(i))
+
+    # MAJ blocks (majority): ripple the carry up.
+    previous_carry = carry_in
+    for i in range(num_bits):
+        circuit.cx(a_qubit(i), b_qubit(i))
+        circuit.cx(a_qubit(i), previous_carry)
+        _toffoli(circuit, previous_carry, b_qubit(i), a_qubit(i))
+        previous_carry = a_qubit(i)
+
+    circuit.cx(a_qubit(num_bits - 1), carry_out)
+
+    # UMA blocks (unmajority-and-add): ripple back down, writing the sum.
+    for i in reversed(range(num_bits)):
+        previous_carry = carry_in if i == 0 else a_qubit(i - 1)
+        _toffoli(circuit, previous_carry, b_qubit(i), a_qubit(i))
+        circuit.cx(a_qubit(i), previous_carry)
+        circuit.cx(previous_carry, b_qubit(i))
+    return circuit
+
+
+def adder_expected_index(num_bits: int, a_value: int, b_value: int) -> int:
+    """Basis-state index of the ideal adder output (qubit 0 = most significant bit).
+
+    The ``a`` register is restored to its input value, the ``b`` register
+    holds ``(a + b) mod 2^n`` and the carry-out qubit holds the overflow
+    bit, matching :func:`ripple_carry_adder_circuit`'s register layout.
+    """
+    total = a_value + b_value
+    sum_bits = total % (2**num_bits)
+    carry = total >> num_bits
+    num_qubits = 2 * num_bits + 2
+    bits = [0] * num_qubits
+    for i in range(num_bits):
+        bits[1 + 2 * i] = (a_value >> i) & 1
+        bits[2 + 2 * i] = (sum_bits >> i) & 1
+    bits[num_qubits - 1] = carry
+    index = 0
+    for qubit, bit in enumerate(bits):
+        index += bit << (num_qubits - 1 - qubit)
+    return index
+
+
+def adder_suite(num_bits: int, num_circuits: int = 1, seed: int = 0) -> List[QuantumCircuit]:
+    """Ensemble of adder circuits over random input pairs."""
+    rng = np.random.default_rng(seed)
+    limit = 2**num_bits
+    circuits = []
+    for _ in range(num_circuits):
+        circuits.append(
+            ripple_carry_adder_circuit(
+                num_bits, int(rng.integers(0, limit)), int(rng.integers(0, limit))
+            )
+        )
+    return circuits

@@ -1,0 +1,87 @@
+"""GHZ and linear-cluster state-preparation circuits.
+
+Entanglement-distribution workloads beyond the paper's four benchmarks.
+GHZ preparation is CNOT-chain dominated (a best case for CZ-like gate
+types), while the linear cluster state is CZ-native; both are useful for
+probing how instruction-set choice affects shallow, structured circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def ghz_circuit(num_qubits: int, ladder: bool = False) -> QuantumCircuit:
+    """Prepare the ``(|0...0> + |1...1>)/sqrt(2)`` GHZ state.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (at least 2).
+    ladder:
+        When False (default) a linear CNOT chain from qubit 0 is used
+        (depth ``n - 1``); when True a balanced fan-out ladder is used
+        (depth ``ceil(log2 n)``), which stresses routing more on devices
+        with linear connectivity.
+    """
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    if not ladder:
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+        return circuit
+
+    # Fan-out ladder: qubits holding the superposition double every round.
+    sources = [0]
+    prepared = 1
+    while prepared < num_qubits:
+        next_sources: List[int] = []
+        for source in sources:
+            if prepared >= num_qubits:
+                break
+            target = prepared
+            circuit.cx(source, target)
+            next_sources.append(target)
+            prepared += 1
+        sources = sources + next_sources
+    return circuit
+
+
+def ghz_ideal_probabilities(num_qubits: int) -> np.ndarray:
+    """Ideal output distribution of a GHZ state: half ``0...0``, half ``1...1``."""
+    probabilities = np.zeros(2**num_qubits)
+    probabilities[0] = 0.5
+    probabilities[-1] = 0.5
+    return probabilities
+
+
+def linear_cluster_circuit(num_qubits: int) -> QuantumCircuit:
+    """Prepare a 1-D cluster state: Hadamards followed by CZ on every bond.
+
+    Cluster-state preparation is the canonical CZ-native workload; every
+    two-qubit operation is exactly one CZ, so instruction sets containing
+    CZ (S3) express it with one hardware gate per bond.
+    """
+    if num_qubits < 2:
+        raise ValueError("a cluster state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"cluster_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits - 1):
+        circuit.cz(qubit, qubit + 1)
+    return circuit
+
+
+def ghz_suite(num_qubits: int, num_circuits: int = 1, seed: int = 0) -> List[QuantumCircuit]:
+    """Ensemble of GHZ circuits alternating chain and ladder layouts."""
+    rng = np.random.default_rng(seed)
+    circuits = []
+    for _ in range(num_circuits):
+        circuits.append(ghz_circuit(num_qubits, ladder=bool(rng.integers(0, 2))))
+    return circuits

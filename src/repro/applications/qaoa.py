@@ -1,0 +1,77 @@
+"""QAOA MaxCut benchmark circuits.
+
+The paper uses single-layer (p = 1) MaxCut QAOA circuits on random graphs
+with roughly ``3n/4 * n / n = 3n/4`` two-qubit ZZ interactions per qubit
+count ``n`` (Section VI describes "~n*3/4 random two-qubit ZZ
+interactions, interleaved with single-qubit X rotations").  Each ZZ
+interaction ``exp(-i gamma Z Z)`` is one two-qubit operation for NuOp to
+decompose (Figure 2b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def random_maxcut_edges(
+    num_qubits: int, rng: np.random.Generator, edge_fraction: float = 0.75
+) -> List[Tuple[int, int]]:
+    """Sample a random graph with ``~edge_fraction * num_qubits`` edges (at least a spanning path)."""
+    all_pairs = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    target_edges = max(int(round(edge_fraction * num_qubits)), num_qubits - 1)
+    target_edges = min(target_edges, len(all_pairs))
+    indices = rng.choice(len(all_pairs), size=target_edges, replace=False)
+    return [all_pairs[i] for i in sorted(indices)]
+
+
+def qaoa_maxcut_circuit(
+    num_qubits: int,
+    edges: Optional[Sequence[Tuple[int, int]]] = None,
+    gamma: Optional[float] = None,
+    beta: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> QuantumCircuit:
+    """Single-layer QAOA MaxCut circuit.
+
+    Structure: Hadamards on every qubit, ``exp(-i gamma Z Z)`` on every
+    graph edge, then ``Rx(2 beta)`` mixers on every qubit.  Angles default
+    to random values, matching the paper's use of 100 random circuits per
+    size.
+    """
+    rng = np.random.default_rng(rng)
+    if edges is None:
+        edges = random_maxcut_edges(num_qubits, rng)
+    # Random angles avoid the degenerate corners gamma ~ 0 / pi (where the
+    # ZZ layer is the identity up to global phase and the circuit carries
+    # no entanglement), matching how QAOA angles are drawn in practice.
+    gamma = float(rng.uniform(0.1 * np.pi, 0.9 * np.pi)) if gamma is None else float(gamma)
+    beta = float(rng.uniform(0.1 * np.pi, 0.9 * np.pi)) if beta is None else float(beta)
+
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for a, b in edges:
+        circuit.rzz(gamma, a, b)
+    for qubit in range(num_qubits):
+        circuit.rx(2.0 * beta, qubit)
+    return circuit
+
+
+def qaoa_suite(
+    num_qubits: int, num_circuits: int, seed: int = 0
+) -> List[QuantumCircuit]:
+    """Ensemble of random single-layer QAOA circuits (random graphs and angles)."""
+    rng = np.random.default_rng(seed)
+    return [qaoa_maxcut_circuit(num_qubits, rng=rng) for _ in range(num_circuits)]
+
+
+def random_zz_unitaries(count: int, seed: int = 0) -> List[np.ndarray]:
+    """Raw ``exp(-i beta ZZ)`` matrices with random angles (Figures 6 and 8)."""
+    from repro.gates.parametric import rzz
+
+    rng = np.random.default_rng(seed)
+    return [rzz(float(rng.uniform(0, np.pi))) for _ in range(count)]

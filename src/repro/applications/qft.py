@@ -1,0 +1,92 @@
+"""Quantum Fourier Transform benchmark circuits.
+
+An ``n``-qubit QFT consists of ``n`` Hadamards and ``n(n-1)/2`` controlled
+phase rotations ``CZ(pi/2^t)`` (Section VI).  For the success-rate metric
+the paper needs an execution with a known correct outcome; following the
+standard architecture-evaluation recipe, :func:`qft_benchmark_circuit`
+prepares the Fourier state of a target integer and applies the QFT so the
+ideal output is a single computational basis state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qft_circuit(num_qubits: int, include_final_swaps: bool = False) -> QuantumCircuit:
+    """Plain QFT circuit (without the optional bit-reversal SWAP network)."""
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=1):
+            circuit.cphase(np.pi / (2**offset), control, target)
+    if include_final_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def fourier_state_preparation(num_qubits: int, value: int) -> QuantumCircuit:
+    """Prepare the state whose image under :func:`qft_circuit` is ``|value>``.
+
+    The required state is ``QFT^dagger |value>``, which is always a product
+    state of the form ``(|0> + exp(i phi_q) |1>)/sqrt(2)`` on each qubit.
+    The per-qubit phases are extracted from a (cheap) statevector
+    simulation of the inverse QFT on the basis state, which keeps the
+    construction independent of bit-ordering conventions; the preparation
+    itself uses only Hadamards and RZ rotations, so the benchmark's
+    two-qubit cost comes entirely from the QFT.
+    """
+    if not 0 <= value < 2**num_qubits:
+        raise ValueError("value outside the register range")
+    if num_qubits > 20:
+        raise ValueError("fourier_state_preparation supports up to 20 qubits")
+    from repro.simulators.statevector import simulate_statevector, zero_state
+
+    basis_state = zero_state(num_qubits)
+    basis_state[0] = 0.0
+    basis_state[value] = 1.0
+    target_state = simulate_statevector(qft_circuit(num_qubits).inverse(), basis_state)
+    tensor = target_state.reshape((2,) * num_qubits)
+    reference = tensor[(0,) * num_qubits]
+    circuit = QuantumCircuit(num_qubits, name=f"fourier_state_{value}")
+    for qubit in range(num_qubits):
+        index = [0] * num_qubits
+        index[qubit] = 1
+        amplitude = tensor[tuple(index)]
+        phase = float(np.angle(amplitude / reference))
+        circuit.h(qubit)
+        circuit.rz(phase, qubit)
+    return circuit
+
+
+def qft_benchmark_circuit(num_qubits: int, value: Optional[int] = None) -> QuantumCircuit:
+    """QFT benchmark whose ideal output is the single basis state ``|value>``.
+
+    The circuit prepares the Fourier state of ``value`` (Hadamards and RZ
+    rotations only) and applies the QFT; ideally the measurement returns
+    ``value`` with probability one, so the success rate is simply
+    ``P(value)``.
+    """
+    if value is None:
+        value = (2**num_qubits) // 3 or 1
+    preparation = fourier_state_preparation(num_qubits, value)
+    circuit = preparation.compose(qft_circuit(num_qubits))
+    circuit.name = f"qft_benchmark_{num_qubits}_{value}"
+    return circuit
+
+
+def qft_target_value(num_qubits: int) -> int:
+    """Default target integer used by :func:`qft_benchmark_circuit`."""
+    return (2**num_qubits) // 3 or 1
+
+
+def qft_unitaries(num_qubits: int = 6) -> List[np.ndarray]:
+    """The distinct controlled-phase unitaries appearing in an ``n``-qubit QFT (Figures 6/8)."""
+    from repro.gates.parametric import cphase
+
+    return [cphase(np.pi / (2**t)) for t in range(1, num_qubits)]

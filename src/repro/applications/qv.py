@@ -1,0 +1,68 @@
+"""Quantum Volume (QV) benchmark circuits.
+
+QV circuits (Cross et al. 2019) are the paper's random-circuit workload:
+an ``n``-qubit QV circuit has ``n`` layers, each applying Haar-random
+SU(4) unitaries to a random pairing of the qubits.  Every SU(4) block is
+kept as a single two-qubit operation so NuOp can decompose it directly
+(Figure 2a of the paper shows one such block).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import unitary_gate
+from repro.gates.unitary import random_su4
+
+
+def qv_circuit(
+    num_qubits: int,
+    depth: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> QuantumCircuit:
+    """Generate one random Quantum Volume circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit (the paper evaluates 3-6 qubits).
+    depth:
+        Number of layers; defaults to ``num_qubits`` (square circuits, the
+        standard QV definition).
+    rng:
+        Random generator or seed.
+    """
+    rng = np.random.default_rng(rng)
+    depth = num_qubits if depth is None else int(depth)
+    circuit = QuantumCircuit(num_qubits, name=f"qv_{num_qubits}")
+    for _ in range(depth):
+        permutation = rng.permutation(num_qubits)
+        for index in range(0, num_qubits - 1, 2):
+            a = int(permutation[index])
+            b = int(permutation[index + 1])
+            circuit.append(unitary_gate(random_su4(rng), name="su4"), [a, b])
+    return circuit
+
+
+def qv_suite(
+    num_qubits: int,
+    num_circuits: int,
+    seed: int = 0,
+    depth: Optional[int] = None,
+) -> List[QuantumCircuit]:
+    """Generate the ensemble of random QV circuits used for HOP estimation.
+
+    The paper uses 100 random circuits per width; tests and the benchmark
+    harness use smaller ensembles by default and expose the count.
+    """
+    rng = np.random.default_rng(seed)
+    return [qv_circuit(num_qubits, depth=depth, rng=rng) for _ in range(num_circuits)]
+
+
+def random_su4_unitaries(count: int, seed: int = 0) -> List[np.ndarray]:
+    """Raw SU(4) matrices, used by the decomposition-only experiments (Figures 6 and 8)."""
+    rng = np.random.default_rng(seed)
+    return [random_su4(rng) for _ in range(count)]

@@ -1,0 +1,139 @@
+"""Application registry: a single entry point for every workload generator.
+
+The paper's evaluation uses four applications (QV, QAOA, FH, QFT); the
+library ships several more (GHZ, cluster, Bernstein-Vazirani, VQE ansatze,
+TFIM, ripple-carry adder) so instruction-set studies can be extended to new
+workload classes without touching the experiment drivers.  The registry
+maps an application name to a uniform ``(num_qubits, num_circuits, seed)``
+suite builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.applications.adder import adder_suite
+from repro.applications.bernstein_vazirani import bv_suite
+from repro.applications.fermi_hubbard import fh_suite
+from repro.applications.ghz import ghz_suite, linear_cluster_circuit
+from repro.applications.qaoa import qaoa_suite
+from repro.applications.qft import qft_benchmark_circuit
+from repro.applications.qv import qv_suite
+from repro.applications.vqe import tfim_trotter_circuit, vqe_suite
+from repro.circuits.circuit import QuantumCircuit
+
+SuiteBuilder = Callable[[int, int, int], List[QuantumCircuit]]
+"""Signature: ``builder(num_qubits, num_circuits, seed) -> circuits``."""
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Metadata describing one registered workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    build_suite:
+        Suite builder with the uniform signature.
+    recommended_metric:
+        Name of the reliability metric the paper (or common practice) uses
+        for this workload: ``"HOP"``, ``"XED"``, ``"XEB"`` or
+        ``"success_rate"``.
+    paper_workload:
+        True for the four workloads evaluated in the paper.
+    description:
+        One-line human-readable summary.
+    """
+
+    name: str
+    build_suite: SuiteBuilder
+    recommended_metric: str
+    paper_workload: bool
+    description: str
+
+
+def _qft_suite(num_qubits: int, num_circuits: int, seed: int) -> List[QuantumCircuit]:
+    return [qft_benchmark_circuit(num_qubits) for _ in range(max(num_circuits, 1))]
+
+
+def _cluster_suite(num_qubits: int, num_circuits: int, seed: int) -> List[QuantumCircuit]:
+    return [linear_cluster_circuit(num_qubits) for _ in range(max(num_circuits, 1))]
+
+
+def _tfim_suite(num_qubits: int, num_circuits: int, seed: int) -> List[QuantumCircuit]:
+    return [tfim_trotter_circuit(num_qubits) for _ in range(max(num_circuits, 1))]
+
+
+def _adder_suite(num_qubits: int, num_circuits: int, seed: int) -> List[QuantumCircuit]:
+    num_bits = max((num_qubits - 2) // 2, 1)
+    return adder_suite(num_bits, num_circuits, seed)
+
+
+def _bv_suite(num_qubits: int, num_circuits: int, seed: int) -> List[QuantumCircuit]:
+    return bv_suite(max(num_qubits - 1, 1), num_circuits, seed)
+
+
+def _vqe_he_suite(num_qubits: int, num_circuits: int, seed: int) -> List[QuantumCircuit]:
+    return vqe_suite(num_qubits, num_circuits, seed, ansatz="hardware_efficient")
+
+
+def _vqe_ep_suite(num_qubits: int, num_circuits: int, seed: int) -> List[QuantumCircuit]:
+    return vqe_suite(num_qubits, num_circuits, seed, ansatz="excitation_preserving")
+
+
+def application_registry() -> Dict[str, ApplicationSpec]:
+    """All registered workloads, keyed by name."""
+    specs = [
+        ApplicationSpec(
+            "qv", lambda n, c, s: qv_suite(n, c, seed=s), "HOP", True,
+            "Quantum Volume: square random-SU(4) circuits (Figure 9a/10a)."),
+        ApplicationSpec(
+            "qaoa", lambda n, c, s: qaoa_suite(n, c, seed=s), "XED", True,
+            "Single-layer QAOA MaxCut with random graphs (Figure 9b/10b)."),
+        ApplicationSpec(
+            "fh", lambda n, c, s: fh_suite(n, c, seed=s), "XEB", True,
+            "1D Fermi-Hubbard Trotter step (Figure 10d/10f)."),
+        ApplicationSpec(
+            "qft", _qft_suite, "success_rate", True,
+            "Quantum Fourier Transform benchmark (Figure 9c/10c)."),
+        ApplicationSpec(
+            "ghz", lambda n, c, s: ghz_suite(n, c, seed=s), "success_rate", False,
+            "GHZ state preparation (CNOT chain / fan-out ladder)."),
+        ApplicationSpec(
+            "cluster", _cluster_suite, "XEB", False,
+            "1D cluster-state preparation (CZ-native workload)."),
+        ApplicationSpec(
+            "bv", _bv_suite, "success_rate", False,
+            "Bernstein-Vazirani with random secrets."),
+        ApplicationSpec(
+            "vqe_he", _vqe_he_suite, "XEB", False,
+            "Hardware-efficient VQE ansatz (Ry/Rz + CZ entanglers)."),
+        ApplicationSpec(
+            "vqe_ep", _vqe_ep_suite, "XEB", False,
+            "Excitation-preserving VQE ansatz ((XX+YY)/2 blocks)."),
+        ApplicationSpec(
+            "tfim", _tfim_suite, "XEB", False,
+            "Trotterised transverse-field Ising evolution."),
+        ApplicationSpec(
+            "adder", _adder_suite, "success_rate", False,
+            "Cuccaro ripple-carry adder on random inputs."),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def paper_applications() -> List[str]:
+    """Names of the four workloads evaluated in the paper."""
+    return [name for name, spec in application_registry().items() if spec.paper_workload]
+
+
+def build_suite(
+    application: str, num_qubits: int, num_circuits: int = 1, seed: int = 0
+) -> List[QuantumCircuit]:
+    """Build a circuit ensemble for any registered application."""
+    registry = application_registry()
+    if application not in registry:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown application {application!r}; known: {known}")
+    return registry[application].build_suite(num_qubits, num_circuits, seed)

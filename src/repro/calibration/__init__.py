@@ -1,0 +1,60 @@
+"""Calibration-overhead modelling (Section IX / Figure 11 of the paper).
+
+Besides the paper's one-shot circuit-count and wall-clock models
+(:mod:`repro.calibration.model`, :mod:`repro.calibration.tradeoff`), the
+package models parameter drift (:mod:`repro.calibration.drift`) and
+recalibration scheduling policies (:mod:`repro.calibration.scheduler`) so
+the *recurring* cost of exposing many gate types can be quantified.
+"""
+
+from repro.calibration.drift import (
+    DriftModel,
+    DriftParameters,
+    drift_model_for_instruction_set,
+)
+from repro.calibration.scheduler import (
+    NeverPolicy,
+    PeriodicPolicy,
+    ScheduleResult,
+    ThresholdPolicy,
+    compare_policies,
+    simulate_schedule,
+    sustainable_gate_type_count,
+)
+from repro.calibration.model import (
+    CalibrationModel,
+    DEFAULT_STAGE_CIRCUITS,
+    DEFAULT_HOURS_PER_GATE_TYPE,
+    DEFAULT_BASE_HOURS,
+    continuous_family_equivalent_types,
+    calibration_savings_factor,
+)
+from repro.calibration.tradeoff import (
+    TradeoffPoint,
+    reliability_improvement,
+    tradeoff_curve,
+    diminishing_returns_size,
+)
+
+__all__ = [
+    "CalibrationModel",
+    "DEFAULT_STAGE_CIRCUITS",
+    "DEFAULT_HOURS_PER_GATE_TYPE",
+    "DEFAULT_BASE_HOURS",
+    "continuous_family_equivalent_types",
+    "calibration_savings_factor",
+    "TradeoffPoint",
+    "reliability_improvement",
+    "tradeoff_curve",
+    "diminishing_returns_size",
+    "DriftModel",
+    "DriftParameters",
+    "drift_model_for_instruction_set",
+    "PeriodicPolicy",
+    "ThresholdPolicy",
+    "NeverPolicy",
+    "ScheduleResult",
+    "simulate_schedule",
+    "compare_policies",
+    "sustainable_gate_type_count",
+]

@@ -1,0 +1,189 @@
+"""Calibration-parameter drift model.
+
+Section IX of the paper notes that calibration is not a one-time cost:
+control parameters drift over time, producing gate-error fluctuations of up
+to 10x (Foxen et al.), which is why every exposed gate type must be
+re-calibrated periodically.  This module models that drift so the
+recalibration scheduler (:mod:`repro.calibration.scheduler`) can quantify
+the *recurring* cost of an instruction set, not just its one-shot cost.
+
+The error rate of each (edge, gate type) follows a mean-reverting
+log-normal random walk (an Ornstein-Uhlenbeck process on the log error
+rate): immediately after calibration the gate sits at its floor error rate,
+then drifts upwards/downwards with a configurable volatility and an upward
+bias, capped at a multiple of the floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+EdgeType = Tuple[Tuple[int, int], str]
+"""Key identifying one calibrated gate: ``((qubit_a, qubit_b), type_key)``."""
+
+
+@dataclass(frozen=True)
+class DriftParameters:
+    """Parameters of the log-space Ornstein-Uhlenbeck drift process.
+
+    Attributes
+    ----------
+    volatility_per_hour:
+        Standard deviation of the hourly log-error-rate increments.
+    reversion_rate_per_hour:
+        Pull towards the long-run drifted level (1/hours).
+    drift_bias_per_hour:
+        Upward bias of the log error rate (degradation per hour without
+        recalibration).
+    max_degradation_factor:
+        Cap on ``error_rate / floor_error_rate`` (the paper quotes
+        fluctuations of up to 10x).
+    """
+
+    volatility_per_hour: float = 0.08
+    reversion_rate_per_hour: float = 0.02
+    drift_bias_per_hour: float = 0.03
+    max_degradation_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.volatility_per_hour < 0 or self.reversion_rate_per_hour < 0:
+            raise ValueError("drift parameters must be non-negative")
+        if self.max_degradation_factor < 1.0:
+            raise ValueError("max_degradation_factor must be at least 1")
+
+
+@dataclass
+class DriftingGate:
+    """Drift state of one calibrated gate type on one edge."""
+
+    floor_error_rate: float
+    current_error_rate: float
+    hours_since_calibration: float = 0.0
+
+    @property
+    def degradation_factor(self) -> float:
+        """Current error rate relative to the freshly-calibrated floor."""
+        return self.current_error_rate / self.floor_error_rate
+
+
+class DriftModel:
+    """Evolves the error rates of a set of calibrated gates over time.
+
+    Parameters
+    ----------
+    floor_error_rates:
+        ``{((a, b), type_key): freshly_calibrated_error_rate}``.
+    parameters:
+        Drift process parameters.
+    seed:
+        Seed of the drift noise (deterministic evolution for a fixed seed).
+    """
+
+    def __init__(
+        self,
+        floor_error_rates: Dict[EdgeType, float],
+        parameters: Optional[DriftParameters] = None,
+        seed: int = 17,
+    ):
+        if not floor_error_rates:
+            raise ValueError("the drift model needs at least one calibrated gate")
+        self.parameters = parameters or DriftParameters()
+        self._rng = np.random.default_rng(seed)
+        self.gates: Dict[EdgeType, DriftingGate] = {}
+        for key, floor in floor_error_rates.items():
+            if not 0.0 < floor < 1.0:
+                raise ValueError(f"floor error rate for {key} must be in (0, 1)")
+            self.gates[key] = DriftingGate(floor_error_rate=float(floor), current_error_rate=float(floor))
+        self.elapsed_hours = 0.0
+
+    # -- evolution ------------------------------------------------------------
+
+    def advance(self, hours: float) -> None:
+        """Advance every gate's drift by ``hours`` (may be fractional)."""
+        if hours < 0:
+            raise ValueError("time must move forwards")
+        if hours == 0:
+            return
+        p = self.parameters
+        for gate in self.gates.values():
+            log_ratio = np.log(gate.current_error_rate / gate.floor_error_rate)
+            noise = self._rng.normal(0.0, p.volatility_per_hour * np.sqrt(hours))
+            log_ratio = (
+                log_ratio
+                + p.drift_bias_per_hour * hours
+                - p.reversion_rate_per_hour * log_ratio * hours
+                + noise
+            )
+            log_ratio = float(np.clip(log_ratio, 0.0, np.log(p.max_degradation_factor)))
+            gate.current_error_rate = gate.floor_error_rate * float(np.exp(log_ratio))
+            gate.hours_since_calibration += hours
+        self.elapsed_hours += hours
+
+    def calibrate(self, keys: Optional[Iterable[EdgeType]] = None) -> int:
+        """Reset the listed gates (default: all) to their floor error rates.
+
+        Returns the number of gates recalibrated.
+        """
+        selected = list(self.gates) if keys is None else [key for key in keys if key in self.gates]
+        for key in selected:
+            gate = self.gates[key]
+            gate.current_error_rate = gate.floor_error_rate
+            gate.hours_since_calibration = 0.0
+        return len(selected)
+
+    # -- observation ------------------------------------------------------------
+
+    def error_rate(self, edge: Tuple[int, int], type_key: str) -> float:
+        """Current error rate of one gate."""
+        return self.gates[(tuple(edge), type_key)].current_error_rate
+
+    def mean_error_rate(self) -> float:
+        """Average current error rate over every calibrated gate."""
+        return float(np.mean([gate.current_error_rate for gate in self.gates.values()]))
+
+    def mean_degradation(self) -> float:
+        """Average degradation factor over every calibrated gate."""
+        return float(np.mean([gate.degradation_factor for gate in self.gates.values()]))
+
+    def worst_degradation(self) -> float:
+        """Largest degradation factor across the device."""
+        return float(max(gate.degradation_factor for gate in self.gates.values()))
+
+    def stale_gates(self, degradation_threshold: float) -> List[EdgeType]:
+        """Gates whose degradation exceeds the threshold (recalibration candidates)."""
+        return [
+            key
+            for key, gate in self.gates.items()
+            if gate.degradation_factor > degradation_threshold
+        ]
+
+    def snapshot(self) -> Dict[EdgeType, float]:
+        """Current error rates keyed like the constructor input."""
+        return {key: gate.current_error_rate for key, gate in self.gates.items()}
+
+
+def drift_model_for_instruction_set(
+    num_edges: int,
+    type_keys: Sequence[str],
+    mean_error_rate: float = 0.0062,
+    std_error_rate: float = 0.0024,
+    parameters: Optional[DriftParameters] = None,
+    seed: int = 17,
+) -> DriftModel:
+    """Build a drift model for a synthetic device exposing the given gate types.
+
+    Edges are labelled ``(i, i + 1)``; per-gate floors are drawn from the
+    Sycamore-style normal distribution used throughout the paper.
+    """
+    if num_edges < 1:
+        raise ValueError("the device needs at least one edge")
+    rng = np.random.default_rng(seed)
+    floors: Dict[EdgeType, float] = {}
+    for edge_index in range(num_edges):
+        for type_key in type_keys:
+            floor = float(np.clip(rng.normal(mean_error_rate, std_error_rate), 1e-4, 0.2))
+            floors[((edge_index, edge_index + 1), type_key)] = floor
+    return DriftModel(floors, parameters=parameters, seed=seed + 1)

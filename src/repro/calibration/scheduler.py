@@ -1,0 +1,227 @@
+"""Recalibration scheduling: the recurring cost of an instruction set.
+
+Figure 11 of the paper quantifies the *one-shot* calibration cost of
+exposing many gate types; this module quantifies the *steady-state* cost.
+Given a drift model (:mod:`repro.calibration.drift`), a calibration model
+(how long one gate type takes to recalibrate) and a scheduling policy, it
+simulates a multi-day horizon and reports:
+
+* the average and worst-case gate error rate experienced by applications,
+* the fraction of wall-clock time the device spends calibrating
+  (calibration duty cycle), and
+* the number of recalibration passes performed.
+
+Three policies are provided: calibrate everything on a fixed period
+(``PeriodicPolicy``, what Google's four-hours-per-day schedule amounts to),
+calibrate only the gates whose drift exceeded a threshold
+(``ThresholdPolicy``), and never recalibrate (``NeverPolicy``, the
+degradation baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.calibration.drift import DriftModel, EdgeType
+from repro.calibration.model import CalibrationModel
+
+
+class RecalibrationPolicy:
+    """Interface: decide which gates to recalibrate at a decision point."""
+
+    name = "abstract"
+
+    def gates_to_calibrate(self, model: DriftModel, hours_since_last: float) -> List[EdgeType]:
+        """Gate keys to recalibrate now (empty list = skip this slot)."""
+        raise NotImplementedError
+
+
+@dataclass
+class PeriodicPolicy(RecalibrationPolicy):
+    """Recalibrate every gate once per ``period_hours``."""
+
+    period_hours: float = 24.0
+    name: str = "periodic"
+
+    def gates_to_calibrate(self, model: DriftModel, hours_since_last: float) -> List[EdgeType]:
+        if hours_since_last + 1e-9 >= self.period_hours:
+            return list(model.gates)
+        return []
+
+
+@dataclass
+class ThresholdPolicy(RecalibrationPolicy):
+    """Recalibrate only the gates whose error rate drifted past a threshold."""
+
+    degradation_threshold: float = 2.0
+    name: str = "threshold"
+
+    def gates_to_calibrate(self, model: DriftModel, hours_since_last: float) -> List[EdgeType]:
+        return model.stale_gates(self.degradation_threshold)
+
+
+@dataclass
+class NeverPolicy(RecalibrationPolicy):
+    """Never recalibrate (lower bound on overhead, upper bound on error)."""
+
+    name: str = "never"
+
+    def gates_to_calibrate(self, model: DriftModel, hours_since_last: float) -> List[EdgeType]:
+        return []
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduling simulation."""
+
+    policy: str
+    horizon_hours: float
+    mean_error_rate: float
+    worst_error_rate: float
+    mean_degradation: float
+    calibration_hours: float
+    num_recalibration_passes: int
+    gates_recalibrated: int
+    error_rate_timeline: List[float] = field(default_factory=list)
+
+    @property
+    def calibration_duty_cycle(self) -> float:
+        """Fraction of the horizon spent calibrating instead of computing."""
+        if self.horizon_hours <= 0:
+            return 0.0
+        return min(self.calibration_hours / self.horizon_hours, 1.0)
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for tabular reporting."""
+        return {
+            "policy": self.policy,
+            "mean_error": round(self.mean_error_rate, 5),
+            "worst_error": round(self.worst_error_rate, 5),
+            "mean_degradation": round(self.mean_degradation, 2),
+            "calibration_hours": round(self.calibration_hours, 1),
+            "duty_cycle": round(self.calibration_duty_cycle, 3),
+            "passes": self.num_recalibration_passes,
+        }
+
+
+def hours_to_recalibrate(
+    gates: Sequence[EdgeType], calibration_model: CalibrationModel
+) -> float:
+    """Wall-clock hours to recalibrate the listed gates.
+
+    Gate types are calibrated sequentially but all edges of one type in
+    parallel (matching :meth:`CalibrationModel.calibration_time_hours`), so
+    the cost is the base overhead plus hours-per-type times the number of
+    distinct types touched.
+    """
+    if not gates:
+        return 0.0
+    distinct_types = {type_key for _, type_key in gates}
+    return calibration_model.base_hours + calibration_model.hours_per_gate_type * len(distinct_types)
+
+
+def simulate_schedule(
+    drift_model: DriftModel,
+    policy: RecalibrationPolicy,
+    calibration_model: Optional[CalibrationModel] = None,
+    horizon_hours: float = 7 * 24.0,
+    decision_interval_hours: float = 4.0,
+) -> ScheduleResult:
+    """Simulate drift + recalibration over a time horizon.
+
+    The drift model is advanced in ``decision_interval_hours`` steps; at
+    every step the policy may trigger a recalibration pass, which resets
+    the selected gates and consumes calibration time (during which the
+    device is unavailable but drift still accumulates for the other gates).
+    """
+    if horizon_hours <= 0 or decision_interval_hours <= 0:
+        raise ValueError("horizon and decision interval must be positive")
+    calibration_model = calibration_model or CalibrationModel()
+
+    timeline: List[float] = []
+    calibration_hours = 0.0
+    passes = 0
+    gates_recalibrated = 0
+    hours_since_last = 0.0
+    worst_error = 0.0
+    degradations: List[float] = []
+
+    elapsed = 0.0
+    while elapsed < horizon_hours - 1e-9:
+        step = min(decision_interval_hours, horizon_hours - elapsed)
+        drift_model.advance(step)
+        elapsed += step
+        hours_since_last += step
+
+        timeline.append(drift_model.mean_error_rate())
+        degradations.append(drift_model.mean_degradation())
+        worst_error = max(worst_error, max(g.current_error_rate for g in drift_model.gates.values()))
+
+        to_calibrate = policy.gates_to_calibrate(drift_model, hours_since_last)
+        if to_calibrate:
+            cost = hours_to_recalibrate(to_calibrate, calibration_model)
+            calibration_hours += cost
+            passes += 1
+            gates_recalibrated += drift_model.calibrate(to_calibrate)
+            hours_since_last = 0.0
+
+    return ScheduleResult(
+        policy=policy.name,
+        horizon_hours=horizon_hours,
+        mean_error_rate=float(np.mean(timeline)) if timeline else drift_model.mean_error_rate(),
+        worst_error_rate=float(worst_error),
+        mean_degradation=float(np.mean(degradations)) if degradations else 1.0,
+        calibration_hours=calibration_hours,
+        num_recalibration_passes=passes,
+        gates_recalibrated=gates_recalibrated,
+        error_rate_timeline=timeline,
+    )
+
+
+def compare_policies(
+    drift_model_factory,
+    policies: Sequence[RecalibrationPolicy],
+    calibration_model: Optional[CalibrationModel] = None,
+    horizon_hours: float = 7 * 24.0,
+    decision_interval_hours: float = 4.0,
+) -> Dict[str, ScheduleResult]:
+    """Run the same horizon under several policies on identically-seeded drift.
+
+    ``drift_model_factory`` must return a *fresh* :class:`DriftModel` per
+    call so every policy sees the same drift realisation.
+    """
+    results: Dict[str, ScheduleResult] = {}
+    for policy in policies:
+        results[policy.name] = simulate_schedule(
+            drift_model_factory(),
+            policy,
+            calibration_model=calibration_model,
+            horizon_hours=horizon_hours,
+            decision_interval_hours=decision_interval_hours,
+        )
+    return results
+
+
+def sustainable_gate_type_count(
+    calibration_model: Optional[CalibrationModel] = None,
+    daily_calibration_budget_hours: float = 4.0,
+    recalibrations_per_day: float = 1.0,
+) -> int:
+    """Largest number of gate types that fits a daily calibration budget.
+
+    Google's 54-qubit device budgets roughly four hours of calibration per
+    day for a single gate type (Section I); this inverts the wall-clock
+    model to report how many types a given budget sustains, which is the
+    practical ceiling on instruction-set size.
+    """
+    calibration_model = calibration_model or CalibrationModel()
+    if daily_calibration_budget_hours <= 0 or recalibrations_per_day <= 0:
+        raise ValueError("budget and recalibration frequency must be positive")
+    budget_per_pass = daily_calibration_budget_hours / recalibrations_per_day
+    available = budget_per_pass - calibration_model.base_hours
+    if available < calibration_model.hours_per_gate_type:
+        return 0
+    return int(available // calibration_model.hours_per_gate_type)

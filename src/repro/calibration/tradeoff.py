@@ -1,0 +1,92 @@
+"""Calibration-vs-reliability tradeoff analysis (Figure 11b of the paper).
+
+Combines the calibration-time model with measured application reliability
+(from the Figure 9 / Figure 10 style studies) to produce the tradeoff
+series: calibration time grows linearly with the number of exposed gate
+types while reliability improves with diminishing returns after ~5 types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.calibration.model import CalibrationModel
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the Figure 11b tradeoff curve."""
+
+    num_gate_types: int
+    calibration_hours: float
+    calibration_circuits: int
+    reliability_improvement: Dict[str, float]
+
+
+def reliability_improvement(
+    baseline_value: float, candidate_value: float
+) -> float:
+    """Relative reliability improvement of a candidate set over the single-type baseline."""
+    if baseline_value <= 0:
+        return 0.0
+    return float((candidate_value - baseline_value) / baseline_value)
+
+
+def tradeoff_curve(
+    reliability_by_size: Mapping[int, Mapping[str, float]],
+    baseline: Mapping[str, float],
+    model: Optional[CalibrationModel] = None,
+    num_qubit_pairs: int = 93,
+) -> List[TradeoffPoint]:
+    """Build the calibration-time vs reliability-improvement curve.
+
+    Parameters
+    ----------
+    reliability_by_size:
+        ``{num_gate_types: {metric_name: value}}`` -- measured reliability
+        of the multi-type instruction set with that many types.
+    baseline:
+        ``{metric_name: value}`` for the best single-type set.
+    model:
+        Calibration model (defaults to the paper's constants).
+    num_qubit_pairs:
+        Couplers calibrated (93 for the Sycamore grid model).
+    """
+    model = model if model is not None else CalibrationModel()
+    points: List[TradeoffPoint] = []
+    for size in sorted(reliability_by_size):
+        metrics = reliability_by_size[size]
+        improvements = {
+            name: reliability_improvement(baseline.get(name, 0.0), value)
+            for name, value in metrics.items()
+        }
+        points.append(
+            TradeoffPoint(
+                num_gate_types=size,
+                calibration_hours=model.calibration_time_hours(size),
+                calibration_circuits=model.num_calibration_circuits(size, num_qubit_pairs),
+                reliability_improvement=improvements,
+            )
+        )
+    return points
+
+
+def diminishing_returns_size(points: Sequence[TradeoffPoint], metric: str, tolerance: float = 0.01) -> int:
+    """Smallest gate-type count beyond which the metric improves by less than ``tolerance``.
+
+    This is the "sweet spot" the paper identifies at 4-8 gate types.
+    """
+    if not points:
+        raise ValueError("need at least one tradeoff point")
+    ordered = sorted(points, key=lambda p: p.num_gate_types)
+    best_so_far = ordered[0].reliability_improvement.get(metric, 0.0)
+    chosen = ordered[0].num_gate_types
+    for point in ordered[1:]:
+        value = point.reliability_improvement.get(metric, 0.0)
+        if value > best_so_far + tolerance:
+            best_so_far = value
+            chosen = point.num_gate_types
+    return chosen

@@ -1,0 +1,56 @@
+"""Circuit intermediate representation.
+
+Public API:
+
+* :class:`repro.circuits.Gate` / gate constructor helpers,
+* :class:`repro.circuits.Operation` and :class:`repro.circuits.QuantumCircuit`,
+* moment/DAG analysis (:func:`as_moments`, :class:`CircuitDAG`),
+* text serialisation (:mod:`repro.circuits.qasm`).
+"""
+
+from repro.circuits.gate import (
+    Gate,
+    named_gate,
+    u3_gate,
+    rx_gate,
+    ry_gate,
+    rz_gate,
+    fsim_gate,
+    xy_gate,
+    cphase_gate,
+    rzz_gate,
+    xx_plus_yy_gate,
+    unitary_gate,
+    gate_from_spec,
+)
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.circuits.dag import (
+    CircuitDAG,
+    as_moments,
+    moments_to_circuit,
+    interaction_pairs,
+)
+from repro.circuits import qasm
+
+__all__ = [
+    "Gate",
+    "named_gate",
+    "u3_gate",
+    "rx_gate",
+    "ry_gate",
+    "rz_gate",
+    "fsim_gate",
+    "xy_gate",
+    "cphase_gate",
+    "rzz_gate",
+    "xx_plus_yy_gate",
+    "unitary_gate",
+    "gate_from_spec",
+    "Operation",
+    "QuantumCircuit",
+    "CircuitDAG",
+    "as_moments",
+    "moments_to_circuit",
+    "interaction_pairs",
+    "qasm",
+]

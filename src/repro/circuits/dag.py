@@ -1,0 +1,131 @@
+"""Dependency analysis of circuits: moments and a DAG view.
+
+The compiler's scheduling pass and the duration/decoherence model both need
+to know which operations can execute in parallel.  ``as_moments`` groups a
+circuit's operations into ASAP (as-soon-as-possible) layers; ``CircuitDAG``
+exposes explicit predecessor/successor relations built with networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import Operation, QuantumCircuit
+
+
+def as_moments(circuit: QuantumCircuit) -> List[List[Operation]]:
+    """Group operations into ASAP layers ("moments").
+
+    Each operation is placed in the earliest layer after all earlier
+    operations that share a qubit with it.  The concatenation of layers in
+    order reproduces a circuit equivalent to the input (qubit-wise order is
+    preserved).
+    """
+    frontier: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    moments: List[List[Operation]] = []
+    for operation in circuit:
+        layer = max(frontier[q] for q in operation.qubits)
+        while len(moments) <= layer:
+            moments.append([])
+        moments[layer].append(operation)
+        for q in operation.qubits:
+            frontier[q] = layer + 1
+    return moments
+
+
+def moments_to_circuit(
+    moments: List[List[Operation]], num_qubits: int, name: str = "circuit"
+) -> QuantumCircuit:
+    """Flatten a list of moments back into a circuit."""
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for moment in moments:
+        for operation in moment:
+            circuit.append_operation(operation)
+    return circuit
+
+
+class CircuitDAG:
+    """Directed acyclic dependency graph over a circuit's operations.
+
+    Nodes are operation indices into ``circuit.operations``; an edge
+    ``i -> j`` means operation ``j`` must run after operation ``i`` because
+    they share at least one qubit and ``i`` appears first.
+    Only nearest dependencies are recorded (the transitive reduction),
+    which is what routing and scheduling passes need.
+    """
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_qubit: Dict[int, int] = {}
+        for index, operation in enumerate(circuit):
+            self.graph.add_node(index, operation=operation)
+            for qubit in operation.qubits:
+                if qubit in last_on_qubit:
+                    self.graph.add_edge(last_on_qubit[qubit], index)
+                last_on_qubit[qubit] = index
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def operation(self, index: int) -> Operation:
+        """Return the operation stored at node ``index``."""
+        return self.graph.nodes[index]["operation"]
+
+    def predecessors(self, index: int) -> List[int]:
+        """Indices of operations that must run immediately before ``index``."""
+        return sorted(self.graph.predecessors(index))
+
+    def successors(self, index: int) -> List[int]:
+        """Indices of operations that must run immediately after ``index``."""
+        return sorted(self.graph.successors(index))
+
+    def front_layer(self) -> List[int]:
+        """Indices of operations with no predecessors (the executable frontier)."""
+        return sorted(n for n in self.graph.nodes if self.graph.in_degree(n) == 0)
+
+    def topological_layers(self) -> List[List[int]]:
+        """Operations grouped by longest-path depth (equivalent to ASAP moments)."""
+        depth: Dict[int, int] = {}
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            depth[node] = 1 + max((depth[p] for p in preds), default=-1)
+        layers: List[List[int]] = []
+        for node, level in depth.items():
+            while len(layers) <= level:
+                layers.append([])
+            layers[level].append(node)
+        return [sorted(layer) for layer in layers]
+
+    def critical_path_length(self) -> int:
+        """Length (in operations) of the longest dependency chain."""
+        if len(self) == 0:
+            return 0
+        return len(self.topological_layers())
+
+    def two_qubit_interaction_graph(self) -> nx.Graph:
+        """Undirected graph of qubit pairs that interact in the circuit.
+
+        Edge weights count how many two-qubit operations act on the pair;
+        the mapping pass uses this to place frequently-interacting program
+        qubits on adjacent device qubits.
+        """
+        graph: nx.Graph = nx.Graph()
+        graph.add_nodes_from(range(self.circuit.num_qubits))
+        for operation in self.circuit:
+            if operation.is_two_qubit:
+                a, b = operation.qubits
+                weight = graph.get_edge_data(a, b, {}).get("weight", 0)
+                graph.add_edge(a, b, weight=weight + 1)
+        return graph
+
+
+def interaction_pairs(circuit: QuantumCircuit) -> List[Tuple[int, int]]:
+    """Ordered list of qubit pairs touched by two-qubit gates (with repeats)."""
+    return [
+        (operation.qubits[0], operation.qubits[1])
+        for operation in circuit
+        if operation.is_two_qubit
+    ]

@@ -1,0 +1,184 @@
+"""Gate objects used by the circuit IR.
+
+A :class:`Gate` couples a name, an optional tuple of real parameters and a
+concrete unitary matrix.  The library deliberately keeps gates concrete
+(every gate carries its matrix) because NuOp, the simulators and the noise
+models all operate on matrices; there is no symbolic parameter machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gates import standard as standard_gates
+from repro.gates import parametric
+from repro.gates.unitary import allclose_up_to_global_phase, is_unitary
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A concrete quantum gate.
+
+    Attributes
+    ----------
+    name:
+        Human-readable gate name (e.g. ``"cz"``, ``"fsim"``, ``"u3"``).
+    matrix:
+        The gate unitary, stored as an immutable numpy array.
+    params:
+        Tuple of real parameters the gate was constructed from (may be
+        empty for fixed gates).  Parameters are informational; the matrix
+        is authoritative.
+    """
+
+    name: str
+    matrix: np.ndarray
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("gate matrix must be square")
+        size = matrix.shape[0]
+        if size & (size - 1) != 0 or size < 2:
+            raise ValueError("gate dimension must be a power of two >= 2")
+        if not is_unitary(matrix, atol=1e-7):
+            raise ValueError(f"gate {self.name!r} matrix is not unitary")
+        matrix.setflags(write=False)
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return int(round(math.log2(self.matrix.shape[0])))
+
+    @property
+    def type_key(self) -> str:
+        """Canonical string identifying the gate *type* (name + rounded params).
+
+        Calibration data and noise models are keyed by gate type: two fSim
+        gates with the same angles share a key (and therefore an error
+        rate), while different angles give different keys.  Parameters are
+        rounded to 6 decimals so keys built from equal floats match.
+        """
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{p:.6f}" for p in self.params)
+        return f"{self.name}({rendered})"
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True when the gate acts on exactly two qubits."""
+        return self.num_qubits == 2
+
+    def inverse(self) -> "Gate":
+        """Return the adjoint gate."""
+        return Gate(
+            name=f"{self.name}_dg",
+            matrix=np.array(self.matrix).conj().T,
+            params=self.params,
+        )
+
+    def approx_equal(self, other: "Gate", atol: float = 1e-7) -> bool:
+        """Return True if the two gates have the same unitary up to global phase."""
+        return allclose_up_to_global_phase(self.matrix, other.matrix, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            params = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"Gate({self.name}({params}), {self.num_qubits}q)"
+        return f"Gate({self.name}, {self.num_qubits}q)"
+
+
+# ---------------------------------------------------------------------------
+# Gate constructors
+# ---------------------------------------------------------------------------
+
+
+def named_gate(name: str) -> Gate:
+    """Construct a fixed gate from :data:`repro.gates.standard.STANDARD_GATES`."""
+    return Gate(name=name.lower(), matrix=standard_gates.standard_gate(name))
+
+
+def u3_gate(alpha: float, beta: float, lam: float) -> Gate:
+    """Arbitrary single-qubit rotation ``U3`` (paper footnote 1)."""
+    return Gate("u3", parametric.u3(alpha, beta, lam), (alpha, beta, lam))
+
+
+def rx_gate(theta: float) -> Gate:
+    """Rotation about X."""
+    return Gate("rx", parametric.rx(theta), (theta,))
+
+
+def ry_gate(theta: float) -> Gate:
+    """Rotation about Y."""
+    return Gate("ry", parametric.ry(theta), (theta,))
+
+
+def rz_gate(theta: float) -> Gate:
+    """Rotation about Z."""
+    return Gate("rz", parametric.rz(theta), (theta,))
+
+
+def fsim_gate(theta: float, phi: float) -> Gate:
+    """Google ``fSim(theta, phi)`` gate."""
+    return Gate("fsim", parametric.fsim(theta, phi), (theta, phi))
+
+
+def xy_gate(theta: float) -> Gate:
+    """Rigetti ``XY(theta)`` gate."""
+    return Gate("xy", parametric.xy(theta), (theta,))
+
+
+def cphase_gate(phi: float) -> Gate:
+    """Controlled-phase gate ``CZ(phi)``."""
+    return Gate("cphase", parametric.cphase(phi), (phi,))
+
+
+def rzz_gate(beta: float) -> Gate:
+    """QAOA ``exp(-i beta ZZ)`` interaction."""
+    return Gate("rzz", parametric.rzz(beta), (beta,))
+
+
+def xx_plus_yy_gate(beta: float) -> Gate:
+    """Fermi-Hubbard hopping ``exp(-i beta (XX + YY)/2)`` interaction."""
+    return Gate("xx_plus_yy", parametric.rxx_plus_ryy(beta), (beta,))
+
+
+def unitary_gate(matrix: np.ndarray, name: str = "unitary", params: Tuple[float, ...] = ()) -> Gate:
+    """Wrap an arbitrary unitary matrix as a gate."""
+    return Gate(name, np.asarray(matrix, dtype=complex), params)
+
+
+def gate_from_spec(name: str, params: Optional[Tuple[float, ...]] = None) -> Gate:
+    """Build a gate from a ``(name, params)`` specification.
+
+    Recognises the standard fixed gates plus the parametric families used
+    throughout the paper.  This is the inverse of the serialisation format
+    used by :mod:`repro.circuits.qasm`.
+    """
+    params = tuple(params or ())
+    key = name.lower()
+    builders = {
+        "u3": u3_gate,
+        "rx": rx_gate,
+        "ry": ry_gate,
+        "rz": rz_gate,
+        "fsim": fsim_gate,
+        "xy": xy_gate,
+        "cphase": cphase_gate,
+        "rzz": rzz_gate,
+        "xx_plus_yy": xx_plus_yy_gate,
+    }
+    if key in builders:
+        return builders[key](*params)
+    if key in standard_gates.STANDARD_GATES:
+        if params:
+            raise ValueError(f"standard gate {name!r} takes no parameters")
+        return named_gate(key)
+    raise ValueError(f"unknown gate specification {name!r}")

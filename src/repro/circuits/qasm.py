@@ -1,0 +1,134 @@
+"""A minimal textual serialisation for circuits.
+
+The format is a simplified OpenQASM-2 dialect: one operation per line,
+``name(params) q[i], q[j];``.  Gates whose matrices cannot be rebuilt from
+``(name, params)`` (i.e. raw ``unitary`` gates) are serialised with their
+matrix entries so round-tripping is loss-free.
+
+The serialiser exists for debuggability, golden-file tests and examples; it
+is not a full OpenQASM implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gate import Gate, gate_from_spec
+
+
+_REBUILDABLE = {
+    "u3",
+    "rx",
+    "ry",
+    "rz",
+    "fsim",
+    "xy",
+    "cphase",
+    "rzz",
+    "xx_plus_yy",
+    "i",
+    "id",
+    "x",
+    "y",
+    "z",
+    "h",
+    "s",
+    "sdg",
+    "t",
+    "tdg",
+    "sx",
+    "cz",
+    "cnot",
+    "cx",
+    "swap",
+    "iswap",
+    "sqrt_iswap",
+    "sqiswap",
+    "syc",
+}
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to text."""
+    lines: List[str] = [
+        "REPROQASM 1.0;",
+        f"qubits {circuit.num_qubits};",
+        f"name {circuit.name};",
+    ]
+    for operation in circuit:
+        gate = operation.gate
+        qubits = ", ".join(f"q[{q}]" for q in operation.qubits)
+        if gate.name in _REBUILDABLE:
+            if gate.params:
+                params = ", ".join(repr(p) for p in gate.params)
+                lines.append(f"{gate.name}({params}) {qubits};")
+            else:
+                lines.append(f"{gate.name} {qubits};")
+        else:
+            payload = json.dumps(
+                {
+                    "re": np.real(gate.matrix).tolist(),
+                    "im": np.imag(gate.matrix).tolist(),
+                }
+            )
+            lines.append(f"unitary<{payload}> {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> QuantumCircuit:
+    """Parse text produced by :func:`dumps` back into a circuit."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or not lines[0].startswith("REPROQASM"):
+        raise ValueError("missing REPROQASM header")
+    num_qubits = None
+    name = "circuit"
+    body_start = 1
+    for index, line in enumerate(lines[1:], start=1):
+        if line.startswith("qubits "):
+            num_qubits = int(line[len("qubits "):].rstrip(";"))
+        elif line.startswith("name "):
+            name = line[len("name "):].rstrip(";")
+        else:
+            body_start = index
+            break
+        body_start = index + 1
+    if num_qubits is None:
+        raise ValueError("missing qubit count declaration")
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for line in lines[body_start:]:
+        _parse_operation_line(line, circuit)
+    return circuit
+
+
+def _parse_qubits(qubit_text: str) -> List[int]:
+    return [
+        int(token.strip()[2:-1])
+        for token in qubit_text.split(",")
+        if token.strip()
+    ]
+
+
+def _parse_operation_line(line: str, circuit: QuantumCircuit) -> None:
+    line = line.rstrip(";").strip()
+    if not line:
+        return
+    if line.startswith("unitary<"):
+        close = line.rindex(">")
+        payload = json.loads(line[len("unitary<"):close])
+        matrix = np.array(payload["re"]) + 1j * np.array(payload["im"])
+        circuit.append(Gate("unitary", matrix), _parse_qubits(line[close + 1:]))
+        return
+    if "(" in line:
+        close = line.index(")")
+        head = line[: close + 1]
+        qubit_text = line[close + 1:]
+        gate_name, _, param_text = head.partition("(")
+        params = tuple(float(p) for p in param_text.rstrip(")").split(","))
+    else:
+        head, _, qubit_text = line.partition(" ")
+        gate_name, params = head, ()
+    circuit.append(gate_from_spec(gate_name.strip(), params), _parse_qubits(qubit_text))

@@ -1,0 +1,279 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Every evaluation artefact has a subcommand::
+
+    python -m repro table1            # Table I gate catalogue + identities
+    python -m repro table2            # Table II instruction sets
+    python -m repro fig6              # NuOp vs analytic baseline gate counts
+    python -m repro fig7              # exact vs approximate decomposition sweep
+    python -m repro fig8              # fSim expressivity heatmaps
+    python -m repro fig9              # Rigetti Aspen-8 instruction-set study
+    python -m repro fig10             # Google Sycamore instruction-set study
+    python -m repro fig10f            # Fermi-Hubbard error-rate scaling
+    python -m repro fig11a            # calibration circuit-count scaling
+    python -m repro fig11b            # calibration time vs reliability tradeoff
+    python -m repro design            # greedy instruction-set design (Section VIII.A)
+    python -m repro calibration       # drift + recalibration policy comparison
+    python -m repro apps              # list registered application workloads
+
+Each figure subcommand accepts ``--paper-scale`` to run the full
+configuration from the paper instead of the fast default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.visualization import render_figure8, render_figure9, render_figure10, render_figure11a
+from repro.visualization.text import render_table
+
+
+def _scale(config_class, paper_scale: bool):
+    return config_class.paper_scale() if paper_scale else config_class.quick()
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations (each returns the text to print)
+# ---------------------------------------------------------------------------
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.experiments.tables import table1_identities, table1_rows
+
+    rows = [
+        {
+            "vendor": row.vendor,
+            "status": row.status,
+            "gate": row.gate_name,
+            "fidelity": row.fidelity_range,
+        }
+        for row in table1_rows()
+    ]
+    identities = table1_identities()
+    checks = "\n".join(f"  {name}: {'ok' if value else 'FAILED'}" for name, value in identities.items())
+    return "Table I: vendor gate types\n" + render_table(rows) + "\n\ngate identities:\n" + checks
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.experiments.tables import table2_rows
+
+    rows = [
+        {
+            "set": row.name,
+            "kind": row.kind,
+            "#types": row.num_gate_types,
+            "members": ",".join(row.members) or "-",
+        }
+        for row in table2_rows()
+    ]
+    return "Table II: instruction sets\n" + render_table(rows)
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    from repro.experiments.fig6 import Figure6Config, run_figure6
+
+    result = run_figure6(_scale(Figure6Config, args.paper_scale))
+    return result.format_table()
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    from repro.experiments.fig7 import Figure7Config, run_figure7
+
+    result = run_figure7(_scale(Figure7Config, args.paper_scale))
+    return result.format_table()
+
+
+def _cmd_fig8(args: argparse.Namespace) -> str:
+    from repro.experiments.fig8 import Figure8Config, run_figure8
+
+    config = _scale(Figure8Config, args.paper_scale)
+    result = run_figure8(config)
+    return render_figure8(result)
+
+
+def _cmd_fig9(args: argparse.Namespace) -> str:
+    from repro.experiments.fig9 import Figure9Config, run_figure9
+
+    result = run_figure9(_scale(Figure9Config, args.paper_scale))
+    return render_figure9(result) + "\n\n" + result.format_table()
+
+
+def _cmd_fig10(args: argparse.Namespace) -> str:
+    from repro.experiments.fig10 import Figure10Config, run_figure10
+
+    result = run_figure10(_scale(Figure10Config, args.paper_scale))
+    return render_figure10(result) + "\n\n" + result.format_table()
+
+
+def _cmd_fig10f(args: argparse.Namespace) -> str:
+    from repro.experiments.fig10 import Figure10fConfig, run_figure10f
+
+    result = run_figure10f(_scale(Figure10fConfig, args.paper_scale))
+    return result.format_table()
+
+
+def _cmd_fig11a(args: argparse.Namespace) -> str:
+    from repro.experiments.fig11 import Figure11aConfig, run_figure11a
+
+    return render_figure11a(run_figure11a(Figure11aConfig()))
+
+
+def _cmd_fig11b(args: argparse.Namespace) -> str:
+    from repro.experiments.fig11 import Figure11bConfig, run_figure11b
+
+    config = Figure11bConfig.quick()
+    if args.paper_scale:
+        from repro.experiments.fig10 import Figure10Config
+
+        config = Figure11bConfig(figure10_config=Figure10Config.paper_scale())
+    return run_figure11b(config).format_table()
+
+
+def _cmd_design(args: argparse.Namespace) -> str:
+    from repro.applications import unitary_ensembles
+    from repro.core.expressivity import (
+        candidate_gate_grid,
+        design_tradeoff_curve,
+        expressivity_table,
+        knee_of_curve,
+    )
+
+    unitaries = unitary_ensembles(args.unitaries, seed=args.seed)
+    selected = {name: unitaries[name] for name in args.applications}
+    candidates = candidate_gate_grid(args.grid, args.grid, include_swap=True)
+    table = expressivity_table(selected, candidates, max_layers=args.max_layers)
+    designs = design_tradeoff_curve(table, max_gate_types=args.max_types)
+    rows = [
+        {
+            "#types": design.num_gate_types,
+            "mean 2Q count": design.mean_instruction_count,
+            "calibration h": design.calibration_hours,
+            "selection": "; ".join(design.selection),
+        }
+        for design in designs
+    ]
+    knee = knee_of_curve(designs)
+    return (
+        "Greedy instruction-set design (Section VIII.A procedure)\n"
+        + render_table(rows)
+        + f"\n\nknee of the curve (diminishing returns): {knee} gate types"
+    )
+
+
+def _cmd_calibration(args: argparse.Namespace) -> str:
+    from repro.calibration.drift import drift_model_for_instruction_set
+    from repro.calibration.scheduler import (
+        NeverPolicy,
+        PeriodicPolicy,
+        ThresholdPolicy,
+        compare_policies,
+    )
+
+    type_keys = [f"type_{index}" for index in range(args.gate_types)]
+    results = compare_policies(
+        lambda: drift_model_for_instruction_set(args.edges, type_keys, seed=args.seed),
+        [
+            PeriodicPolicy(period_hours=args.period),
+            ThresholdPolicy(degradation_threshold=args.threshold),
+            NeverPolicy(),
+        ],
+        horizon_hours=args.horizon,
+    )
+    rows = [result.as_row() for result in results.values()]
+    return (
+        f"Recalibration policies ({args.gate_types} gate types, {args.edges} edges, "
+        f"{args.horizon:.0f} h horizon)\n" + render_table(rows)
+    )
+
+
+def _cmd_apps(args: argparse.Namespace) -> str:
+    from repro.applications.registry import application_registry
+
+    rows = [
+        {
+            "name": spec.name,
+            "paper": "yes" if spec.paper_workload else "no",
+            "metric": spec.recommended_metric,
+            "description": spec.description,
+        }
+        for spec in application_registry().values()
+    ]
+    return "Registered application workloads\n" + render_table(rows)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_FIGURE_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig10f": _cmd_fig10f,
+    "fig11a": _cmd_fig11a,
+    "fig11b": _cmd_fig11b,
+    "design": _cmd_design,
+    "calibration": _cmd_calibration,
+    "apps": _cmd_apps,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the calibration/expressivity ISA paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "fig11a", "apps"):
+        subparsers.add_parser(name, help=f"print {name}")
+
+    for name in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig10f", "fig11b"):
+        sub = subparsers.add_parser(name, help=f"run the {name} experiment")
+        sub.add_argument(
+            "--paper-scale",
+            action="store_true",
+            help="run the full paper-scale configuration (slow) instead of the quick one",
+        )
+
+    design = subparsers.add_parser("design", help="greedy instruction-set design")
+    design.add_argument("--grid", type=int, default=4, help="fSim candidate grid points per axis")
+    design.add_argument("--unitaries", type=int, default=3, help="unitaries per application")
+    design.add_argument("--max-types", type=int, default=6, help="largest set size to design")
+    design.add_argument("--max-layers", type=int, default=4, help="NuOp layer budget")
+    design.add_argument("--seed", type=int, default=0)
+    design.add_argument(
+        "--applications",
+        nargs="+",
+        default=["qv", "qaoa", "swap"],
+        help="workloads to weight in the design (qv, qaoa, qft, fh, swap)",
+    )
+
+    calibration = subparsers.add_parser("calibration", help="drift + recalibration policy comparison")
+    calibration.add_argument("--gate-types", type=int, default=4)
+    calibration.add_argument("--edges", type=int, default=10)
+    calibration.add_argument("--horizon", type=float, default=7 * 24.0, help="hours simulated")
+    calibration.add_argument("--period", type=float, default=24.0, help="periodic policy period (hours)")
+    calibration.add_argument("--threshold", type=float, default=2.0, help="threshold policy degradation")
+    calibration.add_argument("--seed", type=int, default=17)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handler = _FIGURE_COMMANDS[args.command]
+    print(handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

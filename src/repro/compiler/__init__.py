@@ -1,0 +1,34 @@
+"""Device-mapping compiler passes: placement, routing, scheduling, 1Q merging."""
+
+from repro.compiler.layout import (
+    Layout,
+    choose_layout,
+    choose_physical_subset,
+    assign_program_qubits,
+    score_subset,
+)
+from repro.compiler.routing import RoutedCircuit, route_circuit
+from repro.compiler.scheduling import Schedule, ScheduledOperation, asap_schedule
+from repro.compiler.onequbit import (
+    merge_single_qubit_gates,
+    strip_identities,
+    count_single_qubit_layers,
+)
+from repro.compiler.passes import map_and_route
+
+__all__ = [
+    "Layout",
+    "choose_layout",
+    "choose_physical_subset",
+    "assign_program_qubits",
+    "score_subset",
+    "RoutedCircuit",
+    "route_circuit",
+    "Schedule",
+    "ScheduledOperation",
+    "asap_schedule",
+    "merge_single_qubit_gates",
+    "strip_identities",
+    "count_single_qubit_layers",
+    "map_and_route",
+]

@@ -1,0 +1,158 @@
+"""Gate-cancellation passes.
+
+NuOp emits decompositions operation by operation, and routing splices SWAP
+networks between them; simple peephole cleanup recovers some of the
+resulting redundancy before simulation:
+
+* :func:`cancel_adjacent_inverses` -- removes back-to-back pairs of gates
+  that multiply to the identity (e.g. ``CZ; CZ`` or ``CX; CX`` emitted by
+  adjacent decompositions),
+* :func:`merge_adjacent_two_qubit_gates` -- fuses runs of two-qubit gates
+  acting on the same qubit pair into a single unitary operation, giving
+  NuOp one larger block to decompose instead of several small ones,
+* :func:`optimize_circuit` -- the standard cleanup pipeline (cancellation,
+  fusion, single-qubit merging) used by the experiments' ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.circuits.gate import unitary_gate
+from repro.compiler.onequbit import merge_single_qubit_gates
+from repro.gates.unitary import allclose_up_to_global_phase
+
+
+def _is_identity_product(a: Operation, b: Operation, atol: float) -> bool:
+    """True when applying ``a`` then ``b`` on the same qubits is the identity."""
+    if a.qubits != b.qubits:
+        return False
+    product = b.gate.matrix @ a.gate.matrix
+    return allclose_up_to_global_phase(product, np.eye(product.shape[0]), atol=atol)
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit, atol: float = 1e-9) -> QuantumCircuit:
+    """Remove adjacent gate pairs that compose to the identity.
+
+    "Adjacent" means no intervening operation touches any of the pair's
+    qubits.  The pass iterates until no further cancellation is found, so
+    chains like ``CZ; CZ; CZ; CZ`` collapse completely.
+    """
+    operations = list(circuit.operations)
+    changed = True
+    while changed:
+        changed = False
+        kept: List[Optional[Operation]] = list(operations)
+        for index, operation in enumerate(kept):
+            if operation is None:
+                continue
+            blocked = set()
+            for later_index in range(index + 1, len(kept)):
+                later = kept[later_index]
+                if later is None:
+                    continue
+                if set(later.qubits) & set(operation.qubits):
+                    if later.qubits == operation.qubits and not blocked and _is_identity_product(
+                        operation, later, atol
+                    ):
+                        kept[index] = None
+                        kept[later_index] = None
+                        changed = True
+                    break
+                # Unrelated qubits: keep scanning past it.
+            if changed:
+                break
+        operations = [operation for operation in kept if operation is not None]
+
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for operation in operations:
+        result.append_operation(operation)
+    return result
+
+
+def merge_adjacent_two_qubit_gates(
+    circuit: QuantumCircuit, drop_identities: bool = True, atol: float = 1e-9
+) -> QuantumCircuit:
+    """Fuse runs of two-qubit gates on the same (unordered) qubit pair.
+
+    Single-qubit gates on either qubit of the pair are absorbed into the
+    fused block as well, so a QAOA layer followed by its routing SWAP
+    becomes one SU(4) block -- which NuOp then decomposes jointly, usually
+    saving hardware gates (the effect behind the G7/R5 SWAP results).
+    """
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    operations = list(circuit.operations)
+    index = 0
+    while index < len(operations):
+        operation = operations[index]
+        if not operation.is_two_qubit:
+            result.append_operation(operation)
+            index += 1
+            continue
+
+        pair = tuple(operation.qubits)
+        pair_set = set(pair)
+        block = np.eye(4, dtype=complex)
+
+        def embed(op: Operation) -> np.ndarray:
+            if op.is_two_qubit:
+                if op.qubits == pair:
+                    return op.gate.matrix
+                # Same pair, swapped order: conjugate by SWAP.
+                swap = np.array(
+                    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+                )
+                return swap @ op.gate.matrix @ swap
+            single = op.gate.matrix
+            if op.qubits[0] == pair[0]:
+                return np.kron(single, np.eye(2))
+            return np.kron(np.eye(2), single)
+
+        scan = index
+        while scan < len(operations):
+            candidate = operations[scan]
+            touched = set(candidate.qubits)
+            if not touched <= pair_set:
+                if touched & pair_set:
+                    break
+                # Disjoint operation: cannot be reordered safely without a
+                # dependency analysis, so close the block here.
+                break
+            block = embed(candidate) @ block
+            scan += 1
+
+        if scan == index + 1:
+            result.append_operation(operation)
+            index += 1
+            continue
+        if drop_identities and allclose_up_to_global_phase(block, np.eye(4), atol=atol):
+            index = scan
+            continue
+        result.append(unitary_gate(block, name="fused_su4"), list(pair))
+        index = scan
+    return result
+
+
+def optimize_circuit(
+    circuit: QuantumCircuit,
+    cancel_inverses: bool = True,
+    fuse_two_qubit_blocks: bool = False,
+    merge_single_qubit: bool = True,
+) -> QuantumCircuit:
+    """Standard peephole cleanup pipeline.
+
+    The two-qubit fusion step is off by default because it changes the
+    granularity of the operations NuOp sees (it is exercised explicitly by
+    the compilation ablation benchmarks).
+    """
+    result = circuit
+    if cancel_inverses:
+        result = cancel_adjacent_inverses(result)
+    if fuse_two_qubit_blocks:
+        result = merge_adjacent_two_qubit_gates(result)
+    if merge_single_qubit:
+        result = merge_single_qubit_gates(result)
+    return result

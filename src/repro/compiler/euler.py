@@ -1,0 +1,139 @@
+"""Euler-basis rewriting of single-qubit gates.
+
+Superconducting hardware executes single-qubit rotations as ``Rz``-framed
+pulses: Z rotations are "virtual" (implemented as a phase-frame update, at
+zero cost and zero error, McKay et al.) and only the X/Y rotations consume
+pulse time.  This pass rewrites every single-qubit gate into an Euler
+sequence -- ``Rz Ry Rz`` (``zyz``), ``Rz Rx Rz Rx Rz`` (``zxz``, the
+hardware ``U3`` realisation with two ``sqrt(X)`` pulses) or a single ``U3``
+-- and reports the number of *physical* (non-virtual) pulses, which is the
+quantity an error model should charge for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.circuits.gate import rx_gate, ry_gate, rz_gate, u3_gate
+from repro.gates.unitary import allclose_up_to_global_phase, u3_angles_from_unitary, zyz_angles
+
+SUPPORTED_BASES = ("zyz", "zxz", "u3")
+
+_ANGLE_ATOL = 1e-9
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap an angle into ``(-pi, pi]`` so near-zero rotations can be dropped."""
+    wrapped = math.remainder(angle, 2.0 * math.pi)
+    return wrapped
+
+
+def _is_zero(angle: float) -> bool:
+    return abs(_wrap_angle(angle)) < _ANGLE_ATOL
+
+
+def euler_operations(matrix: np.ndarray, qubit: int, basis: str = "zyz") -> List[Operation]:
+    """Euler-sequence operations implementing a single-qubit unitary.
+
+    Near-zero rotations are omitted, so e.g. a plain ``Rz`` stays a single
+    operation in the ``zyz`` basis.
+    """
+    if basis not in SUPPORTED_BASES:
+        raise ValueError(f"basis must be one of {SUPPORTED_BASES}, got {basis!r}")
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("euler_operations expects a single-qubit matrix")
+
+    if basis == "u3":
+        if allclose_up_to_global_phase(matrix, np.eye(2), atol=_ANGLE_ATOL):
+            return []
+        alpha, beta, lam = u3_angles_from_unitary(matrix)
+        return [Operation(u3_gate(alpha, beta, lam), (qubit,))]
+
+    alpha, theta, beta, _ = zyz_angles(matrix)
+    alpha, theta, beta = _wrap_angle(alpha), _wrap_angle(theta), _wrap_angle(beta)
+
+    operations: List[Operation] = []
+    if basis == "zyz":
+        if _is_zero(theta):
+            combined = _wrap_angle(alpha + beta)
+            if not _is_zero(combined):
+                operations.append(Operation(rz_gate(combined), (qubit,)))
+            return operations
+        if not _is_zero(beta):
+            operations.append(Operation(rz_gate(beta), (qubit,)))
+        operations.append(Operation(ry_gate(theta), (qubit,)))
+        if not _is_zero(alpha):
+            operations.append(Operation(rz_gate(alpha), (qubit,)))
+        return operations
+
+    # zxz: Ry(theta) = Rz(pi/2) Rx(theta) Rz(-pi/2); fold the fixed frames
+    # into the neighbouring virtual-Z rotations.
+    half_pi = math.pi / 2.0
+    first_z = _wrap_angle(beta - half_pi)
+    last_z = _wrap_angle(alpha + half_pi)
+    if _is_zero(theta):
+        combined = _wrap_angle(alpha + beta)
+        if not _is_zero(combined):
+            operations.append(Operation(rz_gate(combined), (qubit,)))
+        return operations
+    if not _is_zero(first_z):
+        operations.append(Operation(rz_gate(first_z), (qubit,)))
+    operations.append(Operation(rx_gate(theta), (qubit,)))
+    if not _is_zero(last_z):
+        operations.append(Operation(rz_gate(last_z), (qubit,)))
+    return operations
+
+
+def rewrite_single_qubit_gates(circuit: QuantumCircuit, basis: str = "zyz") -> QuantumCircuit:
+    """Rewrite every single-qubit gate of ``circuit`` into the chosen Euler basis."""
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for operation in circuit:
+        if len(operation.qubits) != 1:
+            result.append_operation(operation)
+            continue
+        for euler_operation in euler_operations(
+            operation.gate.matrix, operation.qubits[0], basis=basis
+        ):
+            result.append_operation(euler_operation)
+    return result
+
+
+@dataclass(frozen=True)
+class PulseCost:
+    """Physical pulse accounting of a circuit after Euler rewriting.
+
+    ``virtual_z`` rotations are free frame updates; ``physical_pulses``
+    counts the Rx/Ry/U3 gates that consume pulse time and contribute
+    single-qubit error.
+    """
+
+    virtual_z: int
+    physical_pulses: int
+    two_qubit_gates: int
+
+    @property
+    def total_error_weight(self) -> int:
+        """Operations that contribute error (physical 1Q pulses + 2Q gates)."""
+        return self.physical_pulses + self.two_qubit_gates
+
+
+def pulse_cost(circuit: QuantumCircuit, basis: str = "zxz") -> PulseCost:
+    """Count virtual-Z frame updates vs physical pulses after Euler rewriting."""
+    rewritten = rewrite_single_qubit_gates(circuit, basis=basis)
+    virtual = 0
+    physical = 0
+    two_qubit = 0
+    for operation in rewritten:
+        if operation.is_two_qubit:
+            two_qubit += 1
+        elif operation.gate.name == "rz":
+            virtual += 1
+        else:
+            physical += 1
+    return PulseCost(virtual_z=virtual, physical_pulses=physical, two_qubit_gates=two_qubit)

@@ -1,0 +1,151 @@
+"""Initial qubit placement (layout).
+
+Chooses which physical qubits of a device should host the program qubits.
+The procedure follows the standard noise-adaptive recipe the paper's
+toolflow inherits from Qiskit/TriQ-style compilers:
+
+1. enumerate connected subsets of the device with the required size,
+2. score each subset by the calibrated fidelity of its internal couplers
+   (using the best available gate type per edge) and its readout errors,
+3. map program qubits to the chosen subset so that frequently-interacting
+   program qubits sit on well-connected physical qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+from repro.devices.device import Device
+
+
+@dataclass
+class Layout:
+    """Result of the placement pass.
+
+    Attributes
+    ----------
+    physical_qubits:
+        Sorted tuple of physical qubit ids hosting the program ("slots").
+        Slot ``i`` corresponds to ``physical_qubits[i]``.
+    program_to_slot:
+        Mapping from program qubit index to slot index.
+    """
+
+    physical_qubits: Tuple[int, ...]
+    program_to_slot: Dict[int, int]
+
+    @property
+    def num_slots(self) -> int:
+        """Number of physical qubits in the layout."""
+        return len(self.physical_qubits)
+
+    def slot_of(self, program_qubit: int) -> int:
+        """Slot hosting ``program_qubit``."""
+        return self.program_to_slot[program_qubit]
+
+    def physical_of(self, program_qubit: int) -> int:
+        """Physical qubit hosting ``program_qubit``."""
+        return self.physical_qubits[self.program_to_slot[program_qubit]]
+
+
+def score_subset(
+    device: Device,
+    qubits: Sequence[int],
+    gate_type_keys: Optional[Sequence[str]] = None,
+) -> float:
+    """Score a candidate subset: higher is better.
+
+    The score is the average, over internal couplers, of the best gate
+    fidelity available on that coupler, minus the average readout error.
+    """
+    keys = list(gate_type_keys) if gate_type_keys else device.registered_gate_types
+    if not keys:
+        keys = ["*"]
+    edges = device.topology.subgraph_edges(qubits)
+    if not edges:
+        return -1.0
+    edge_scores = []
+    for edge in edges:
+        best = max(device.gate_fidelity(key, edge) for key in keys)
+        edge_scores.append(best)
+    readout = np.mean([device.noise_model.qubit_readout_error(q) for q in qubits])
+    # Connectivity bonus: more internal couplers means less routing later.
+    connectivity = len(edges) / max(len(qubits), 1)
+    return float(np.mean(edge_scores) - readout + 0.05 * connectivity)
+
+
+def choose_physical_subset(
+    device: Device,
+    size: int,
+    gate_type_keys: Optional[Sequence[str]] = None,
+    candidate_limit: int = 200,
+) -> Tuple[int, ...]:
+    """Pick the best-scoring connected subset of ``size`` physical qubits."""
+    candidates = device.topology.connected_subgraphs(size, limit=candidate_limit)
+    if not candidates:
+        raise ValueError(
+            f"device {device.name!r} has no connected subset of {size} qubits"
+        )
+    scored = [(score_subset(device, subset, gate_type_keys), subset) for subset in candidates]
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return tuple(sorted(scored[0][1]))
+
+
+def assign_program_qubits(
+    circuit: QuantumCircuit,
+    device: Device,
+    physical_qubits: Sequence[int],
+) -> Dict[int, int]:
+    """Greedy assignment of program qubits to slots of the chosen subset.
+
+    Program qubits are processed in decreasing order of two-qubit
+    interaction count and placed on the free physical qubit with the
+    highest remaining connectivity to already-placed partners.
+    """
+    interaction = CircuitDAG(circuit).two_qubit_interaction_graph()
+    order = sorted(
+        range(circuit.num_qubits),
+        key=lambda q: -sum(d.get("weight", 0) for _, _, d in interaction.edges(q, data=True)),
+    )
+    physical_qubits = list(physical_qubits)
+    slot_of_physical = {phys: slot for slot, phys in enumerate(physical_qubits)}
+    free = set(physical_qubits)
+    placement: Dict[int, int] = {}
+
+    for program_qubit in order:
+        best_physical = None
+        best_score = -np.inf
+        for physical in sorted(free):
+            score = 0.0
+            for neighbor in interaction.neighbors(program_qubit):
+                if neighbor in placement:
+                    partner_physical = physical_qubits[placement[neighbor]]
+                    distance = device.topology.distance(physical, partner_physical)
+                    weight = interaction.edges[program_qubit, neighbor].get("weight", 1)
+                    score -= weight * distance
+            score += 0.01 * device.topology.degree(physical)
+            if score > best_score:
+                best_score = score
+                best_physical = physical
+        free.remove(best_physical)
+        placement[program_qubit] = slot_of_physical[best_physical]
+    return placement
+
+
+def choose_layout(
+    circuit: QuantumCircuit,
+    device: Device,
+    gate_type_keys: Optional[Sequence[str]] = None,
+    candidate_limit: int = 200,
+) -> Layout:
+    """Full placement pass: subset selection plus program-qubit assignment."""
+    physical = choose_physical_subset(
+        device, circuit.num_qubits, gate_type_keys, candidate_limit
+    )
+    program_to_slot = assign_program_qubits(circuit, device, physical)
+    return Layout(physical_qubits=tuple(physical), program_to_slot=program_to_slot)

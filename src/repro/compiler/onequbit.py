@@ -1,0 +1,69 @@
+"""Single-qubit gate optimisation.
+
+Merges runs of consecutive single-qubit gates on the same qubit into one
+``U3`` rotation (or removes them when the product is the identity).  NuOp
+decompositions interleave many single-qubit rotations; merging them before
+simulation keeps the single-qubit gate count (and therefore the simulated
+single-qubit error contribution) comparable to what an optimising vendor
+compiler would execute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.circuits.gate import u3_gate
+from repro.gates.unitary import allclose_up_to_global_phase, u3_angles_from_unitary
+
+
+def merge_single_qubit_gates(circuit: QuantumCircuit, drop_identities: bool = True) -> QuantumCircuit:
+    """Return an equivalent circuit with adjacent single-qubit gates merged.
+
+    Runs of single-qubit gates on one qubit are multiplied together and
+    re-emitted as a single ``U3`` gate immediately before the next
+    multi-qubit operation on that qubit (or at the end of the circuit).
+    Products equal to the identity are dropped when ``drop_identities``.
+    """
+    merged = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    pending: Dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        if drop_identities and allclose_up_to_global_phase(matrix, np.eye(2), atol=1e-9):
+            return
+        alpha, beta, lam = u3_angles_from_unitary(matrix)
+        merged.append(u3_gate(alpha, beta, lam), [qubit])
+
+    for operation in circuit:
+        if len(operation.qubits) == 1:
+            qubit = operation.qubits[0]
+            accumulated = pending.get(qubit, np.eye(2, dtype=complex))
+            pending[qubit] = operation.gate.matrix @ accumulated
+        else:
+            for qubit in operation.qubits:
+                flush(qubit)
+            merged.append_operation(operation)
+    for qubit in sorted(list(pending)):
+        flush(qubit)
+    return merged
+
+
+def count_single_qubit_layers(circuit: QuantumCircuit) -> int:
+    """Number of single-qubit operations (diagnostic helper for tests)."""
+    return sum(1 for operation in circuit if len(operation.qubits) == 1)
+
+
+def strip_identities(circuit: QuantumCircuit, atol: float = 1e-9) -> QuantumCircuit:
+    """Remove operations whose matrices are the identity up to global phase."""
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for operation in circuit:
+        dim = operation.gate.matrix.shape[0]
+        if allclose_up_to_global_phase(operation.gate.matrix, np.eye(dim), atol=atol):
+            continue
+        result.append_operation(operation)
+    return result

@@ -1,0 +1,45 @@
+"""Pass orchestration for the device-mapping stage of the toolflow.
+
+Figure 1 of the paper splits the compiler into (i) qubit mapping, routing
+and scheduling and (ii) the NuOp gate-decomposition stage.  This module
+orchestrates stage (i); stage (ii) lives in :mod:`repro.core.pipeline`
+which layers NuOp on top of the routed circuit produced here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.layout import Layout, choose_layout
+from repro.compiler.routing import RoutedCircuit, route_circuit
+from repro.devices.device import Device
+
+
+def map_and_route(
+    circuit: QuantumCircuit,
+    device: Device,
+    gate_type_keys: Optional[Sequence[str]] = None,
+    layout: Optional[Layout] = None,
+    candidate_limit: int = 200,
+    lookahead: int = 10,
+) -> RoutedCircuit:
+    """Run placement and routing, returning a routed circuit on device slots.
+
+    Parameters
+    ----------
+    circuit:
+        Application circuit on program qubits.
+    device:
+        Target device (calibration data must already be registered for the
+        gate types used to score candidate placements).
+    gate_type_keys:
+        Gate types whose calibrated fidelities drive placement scoring
+        (defaults to every registered type).
+    layout:
+        Optional pre-computed layout (used by experiments that compare
+        instruction sets on identical placements).
+    """
+    if layout is None:
+        layout = choose_layout(circuit, device, gate_type_keys, candidate_limit)
+    return route_circuit(circuit, device, layout, lookahead=lookahead)

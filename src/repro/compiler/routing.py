@@ -1,0 +1,208 @@
+"""SWAP-insertion routing (a lightweight SABRE-style router).
+
+After placement, two-qubit operations may act on program qubits whose
+physical hosts are not adjacent.  The router walks the circuit's
+dependency DAG and, whenever the front layer contains no executable
+two-qubit operation, inserts the SWAP that most reduces the total
+distance of pending operations (with a small lookahead window, as in the
+SABRE heuristic the Qiskit transpiler uses).
+
+The routed circuit is expressed on *slots* (indices into the layout's
+physical-qubit tuple); inserted SWAPs appear as explicit ``swap``
+operations which NuOp later decomposes into hardware gate types unless
+the instruction set includes a native SWAP (R5/G7 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+from repro.circuits.gate import named_gate
+from repro.compiler.layout import Layout
+from repro.devices.device import Device
+
+
+@dataclass
+class RoutedCircuit:
+    """Output of the routing pass.
+
+    Attributes
+    ----------
+    circuit:
+        Circuit on ``len(physical_qubits)`` slots; slot ``i`` is backed by
+        ``physical_qubits[i]``.
+    physical_qubits:
+        Physical qubit id per slot.
+    initial_mapping / final_mapping:
+        Program qubit -> slot before and after execution (SWAPs permute the
+        mapping).  ``final_mapping`` is needed to un-permute measured
+        distributions before comparing with the ideal program output.
+    num_swaps:
+        Number of SWAP operations inserted.
+    """
+
+    circuit: QuantumCircuit
+    physical_qubits: Tuple[int, ...]
+    initial_mapping: Dict[int, int]
+    final_mapping: Dict[int, int]
+    num_swaps: int = 0
+
+    def slot_permutation(self) -> List[int]:
+        """``perm[slot]`` = program qubit currently hosted by ``slot`` (or -1)."""
+        permutation = [-1] * len(self.physical_qubits)
+        for program_qubit, slot in self.final_mapping.items():
+            permutation[slot] = program_qubit
+        return permutation
+
+
+def _distance_between_slots(
+    device: Device, physical_qubits: Sequence[int], slot_a: int, slot_b: int
+) -> int:
+    return device.topology.distance(physical_qubits[slot_a], physical_qubits[slot_b])
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    device: Device,
+    layout: Layout,
+    lookahead: int = 10,
+    max_iterations_factor: int = 100,
+) -> RoutedCircuit:
+    """Insert SWAPs so that every two-qubit operation acts on adjacent qubits."""
+    physical_qubits = list(layout.physical_qubits)
+    num_slots = len(physical_qubits)
+    mapping: Dict[int, int] = dict(layout.program_to_slot)
+
+    dag = CircuitDAG(circuit)
+    remaining_preds = {node: dag.graph.in_degree(node) for node in dag.graph.nodes}
+    front = [node for node, degree in remaining_preds.items() if degree == 0]
+    front.sort()
+
+    routed = QuantumCircuit(num_slots, name=f"{circuit.name}_routed")
+    swap_gate = named_gate("swap")
+    num_swaps = 0
+
+    # Edges internal to the layout subset, expressed in slot indices.
+    slot_of_physical = {phys: slot for slot, phys in enumerate(physical_qubits)}
+    slot_edges = [
+        (slot_of_physical[a], slot_of_physical[b])
+        for a, b in device.topology.subgraph_edges(physical_qubits)
+    ]
+
+    def executable(node: int) -> bool:
+        operation = dag.operation(node)
+        if not operation.is_two_qubit:
+            return True
+        slot_a = mapping[operation.qubits[0]]
+        slot_b = mapping[operation.qubits[1]]
+        return device.topology.are_connected(
+            physical_qubits[slot_a], physical_qubits[slot_b]
+        )
+
+    def emit(node: int) -> None:
+        operation = dag.operation(node)
+        slots = tuple(mapping[q] for q in operation.qubits)
+        routed.append(operation.gate, slots)
+
+    def advance(node: int) -> None:
+        for successor in dag.graph.successors(node):
+            remaining_preds[successor] -= 1
+            if remaining_preds[successor] == 0:
+                front.append(successor)
+
+    pending_limit = max_iterations_factor * max(len(circuit), 1)
+    iterations = 0
+    while front:
+        iterations += 1
+        if iterations > pending_limit:
+            raise RuntimeError("routing failed to converge; check device connectivity")
+
+        progressed = False
+        for node in sorted(front):
+            if executable(node):
+                front.remove(node)
+                emit(node)
+                advance(node)
+                progressed = True
+                break
+        if progressed:
+            continue
+
+        # No executable operation: insert the best SWAP for the blocked front
+        # layer plus a lookahead window of upcoming two-qubit operations.
+        blocked = [dag.operation(node) for node in front if dag.operation(node).is_two_qubit]
+        upcoming: List[Operation] = []
+        for node in sorted(dag.graph.nodes):
+            if remaining_preds.get(node, 0) > 0 and dag.operation(node).is_two_qubit:
+                upcoming.append(dag.operation(node))
+                if len(upcoming) >= lookahead:
+                    break
+
+        def cost(current_mapping: Dict[int, int]) -> float:
+            total = 0.0
+            for operation in blocked:
+                total += _distance_between_slots(
+                    device,
+                    physical_qubits,
+                    current_mapping[operation.qubits[0]],
+                    current_mapping[operation.qubits[1]],
+                )
+            for weight, operation in enumerate(upcoming):
+                decay = 0.5 / (1 + weight)
+                total += decay * _distance_between_slots(
+                    device,
+                    physical_qubits,
+                    current_mapping[operation.qubits[0]],
+                    current_mapping[operation.qubits[1]],
+                )
+            return total
+
+        slot_to_program = {slot: prog for prog, slot in mapping.items()}
+        best_swap: Optional[Tuple[int, int]] = None
+        best_cost = cost(mapping)
+        involved_slots = {mapping[q] for op in blocked for q in op.qubits}
+        for slot_a, slot_b in slot_edges:
+            if slot_a not in involved_slots and slot_b not in involved_slots:
+                continue
+            trial = dict(mapping)
+            prog_a = slot_to_program.get(slot_a)
+            prog_b = slot_to_program.get(slot_b)
+            if prog_a is not None:
+                trial[prog_a] = slot_b
+            if prog_b is not None:
+                trial[prog_b] = slot_a
+            trial_cost = cost(trial)
+            if trial_cost < best_cost - 1e-9:
+                best_cost = trial_cost
+                best_swap = (slot_a, slot_b)
+        if best_swap is None:
+            # Fall back to the swap along the shortest path of the first
+            # blocked operation (guarantees progress).
+            operation = blocked[0]
+            slot_a = mapping[operation.qubits[0]]
+            slot_b = mapping[operation.qubits[1]]
+            path = device.topology.shortest_path(
+                physical_qubits[slot_a], physical_qubits[slot_b]
+            )
+            best_swap = (slot_of_physical[path[0]], slot_of_physical[path[1]])
+
+        slot_a, slot_b = best_swap
+        routed.append(swap_gate, (slot_a, slot_b))
+        num_swaps += 1
+        prog_a = slot_to_program.get(slot_a)
+        prog_b = slot_to_program.get(slot_b)
+        if prog_a is not None:
+            mapping[prog_a] = slot_b
+        if prog_b is not None:
+            mapping[prog_b] = slot_a
+
+    return RoutedCircuit(
+        circuit=routed,
+        physical_qubits=tuple(physical_qubits),
+        initial_mapping=dict(layout.program_to_slot),
+        final_mapping=mapping,
+        num_swaps=num_swaps,
+    )

@@ -1,0 +1,62 @@
+"""ASAP scheduling with durations.
+
+Assigns a start time to every operation using as-soon-as-possible
+scheduling and the noise model's gate durations.  The schedule is used by
+the decoherence estimator and to report circuit durations in the
+experiment summaries; the density-matrix/trajectory simulators use the
+simpler per-moment idle model directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.simulators.noise_model import NoiseModel
+
+
+@dataclass
+class ScheduledOperation:
+    """An operation with its scheduled start time and duration (ns)."""
+
+    operation: Operation
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """Completion time of the operation."""
+        return self.start + self.duration
+
+
+@dataclass
+class Schedule:
+    """ASAP schedule of a circuit."""
+
+    operations: List[ScheduledOperation]
+    total_duration: float
+
+    def qubit_busy_time(self, qubit: int) -> float:
+        """Total time ``qubit`` spends executing gates."""
+        return sum(
+            item.duration for item in self.operations if qubit in item.operation.qubits
+        )
+
+    def qubit_idle_time(self, qubit: int) -> float:
+        """Total time ``qubit`` spends idle within the schedule."""
+        return self.total_duration - self.qubit_busy_time(qubit)
+
+
+def asap_schedule(circuit: QuantumCircuit, noise_model: NoiseModel) -> Schedule:
+    """Compute an ASAP schedule using the noise model's gate durations."""
+    qubit_free_at: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+    scheduled: List[ScheduledOperation] = []
+    for operation in circuit:
+        duration = noise_model.operation_duration(operation)
+        start = max(qubit_free_at[q] for q in operation.qubits)
+        for qubit in operation.qubits:
+            qubit_free_at[qubit] = start + duration
+        scheduled.append(ScheduledOperation(operation, start, duration))
+    total = max(qubit_free_at.values()) if qubit_free_at else 0.0
+    return Schedule(operations=scheduled, total_duration=total)

@@ -1,0 +1,127 @@
+"""KAK-identity baseline decomposer ("Cirq-like", Figure 6 of the paper).
+
+Industry compilers decompose two-qubit unitaries analytically: a KAK
+decomposition targets the CZ/CNOT basis exactly, and other hardware gates
+are reached by rewriting each CZ with fixed gate identities.  That is
+exactly why Cirq needs 6 SYC gates for a Quantum-Volume unitary that NuOp
+implements with 3 (Section VII.A).  This module reproduces that behaviour
+as an analytic gate-count model:
+
+* ``cz`` / ``cnot``: exact minimal count from the Shende-Bullock-Markov
+  criteria (:func:`repro.gates.kak.min_cz_count`),
+* ``syc``: every CZ of the analytic decomposition is rewritten with 2 SYC
+  gates,
+* ``iswap`` / ``sqrt_iswap``: the analytic library route goes through the
+  CZ form as well, spending 1 extra gate relative to the Weyl-optimal
+  count for generic unitaries,
+* unsupported combinations raise, mirroring Cirq's missing
+  ``sqrt_iswap``-target support noted in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gates.kak import (
+    is_locally_equivalent,
+    min_cz_count,
+    min_iswap_count,
+    min_sqrt_iswap_count,
+)
+from repro.gates import standard
+
+
+class UnsupportedDecompositionError(ValueError):
+    """Raised when the analytic baseline has no routine for a target/basis pair."""
+
+
+SUPPORTED_BASES = ("cz", "cnot", "cx", "syc", "iswap", "sqrt_iswap")
+
+
+@dataclass(frozen=True)
+class BaselineDecomposition:
+    """Result of the analytic baseline: a gate count and the basis used."""
+
+    basis: str
+    num_two_qubit_gates: int
+    decomposition_error: float = 0.0
+
+
+def baseline_gate_count(
+    unitary: np.ndarray,
+    basis: str,
+    allow_unsupported: bool = False,
+) -> BaselineDecomposition:
+    """Number of two-qubit basis gates the analytic (Cirq-like) flow would emit.
+
+    Parameters
+    ----------
+    unitary:
+        Target two-qubit unitary.
+    basis:
+        Hardware basis gate name (``cz``, ``cnot``, ``syc``, ``iswap``,
+        ``sqrt_iswap``).
+    allow_unsupported:
+        The analytic library cannot target ``sqrt_iswap`` for generic SU(4)
+        unitaries (the paper notes Cirq lacks this decomposition for QV
+        circuits).  With ``allow_unsupported=True`` a conservative
+        CZ-rewrite estimate is returned instead of raising.
+    """
+    key = basis.lower()
+    if key not in SUPPORTED_BASES:
+        raise UnsupportedDecompositionError(f"no analytic routine for basis {basis!r}")
+
+    cz_count = min_cz_count(unitary)
+
+    if key in ("cz", "cnot", "cx"):
+        return BaselineDecomposition(key, cz_count)
+
+    if key == "syc":
+        # Each CZ of the analytic circuit is rewritten with two SYC gates.
+        return BaselineDecomposition(key, 2 * cz_count)
+
+    if key == "iswap":
+        minimal = min_iswap_count(unitary)
+        if cz_count >= 3:
+            # Generic unitaries are routed through the CZ form with one
+            # extra iSWAP of overhead (matching the ~4 gates the paper
+            # reports for Cirq on QV unitaries).
+            return BaselineDecomposition(key, minimal + 1)
+        return BaselineDecomposition(key, minimal)
+
+    # sqrt_iswap
+    minimal = min_sqrt_iswap_count(unitary)
+    if cz_count >= 3 and not allow_unsupported:
+        raise UnsupportedDecompositionError(
+            "the analytic library does not support generic unitaries in the "
+            "sqrt(iSWAP) basis (Cirq limitation reported in the paper); pass "
+            "allow_unsupported=True for a CZ-rewrite estimate"
+        )
+    if cz_count >= 3:
+        return BaselineDecomposition(key, 2 * cz_count)
+    return BaselineDecomposition(key, max(minimal, 2 * cz_count))
+
+
+def baseline_counts_for_targets(
+    unitaries,
+    basis: str,
+    allow_unsupported: bool = False,
+) -> Dict[str, float]:
+    """Average baseline gate count over an ensemble of target unitaries."""
+    counts = [
+        baseline_gate_count(u, basis, allow_unsupported=allow_unsupported).num_two_qubit_gates
+        for u in unitaries
+    ]
+    return {
+        "basis": basis,
+        "mean_gate_count": float(np.mean(counts)),
+        "max_gate_count": float(np.max(counts)),
+    }
+
+
+def is_swap_like(unitary: np.ndarray) -> bool:
+    """True when the unitary is locally equivalent to SWAP (3 CZ / 3 iSWAP class)."""
+    return is_locally_equivalent(unitary, standard.SWAP)

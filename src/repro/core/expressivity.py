@@ -1,0 +1,257 @@
+"""Instruction-set design from expressivity characterisation (Section VIII.A).
+
+The paper selects its S1-S7 gate types by hand from the Figure 8 heatmaps:
+gate types that give low instruction counts across several applications are
+kept.  This module turns that procedure into an algorithm:
+
+1. :func:`candidate_gate_grid` enumerates candidate fSim gate types on a
+   parameter grid (the same grid as Figure 8),
+2. :func:`expressivity_table` measures, with NuOp, how many applications of
+   each candidate are needed for every application unitary,
+3. :func:`greedy_instruction_set` greedily picks the ``k`` candidates that
+   minimise the workload-weighted average instruction count, assuming a
+   noise-adaptive compiler that always uses the best available type
+   (exactly what NuOp does at compile time), and
+4. :func:`design_tradeoff_curve` sweeps ``k`` and attaches the calibration
+   cost of each proposed set, exposing the expressivity-vs-calibration
+   Pareto frontier the paper navigates by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.calibration.model import CalibrationModel
+from repro.circuits.gate import Gate, fsim_gate, named_gate
+from repro.core.decomposer import NuOpDecomposer
+
+CandidateKey = str
+"""Identifier of a candidate gate type (its :attr:`Gate.type_key`)."""
+
+
+@dataclass(frozen=True)
+class CandidateGate:
+    """One candidate hardware gate type for instruction-set design."""
+
+    key: CandidateKey
+    gate: Gate
+    theta: Optional[float] = None
+    phi: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.theta is None:
+            return f"CandidateGate({self.key})"
+        return f"CandidateGate(fSim({self.theta:.3f}, {self.phi:.3f}))"
+
+
+def candidate_gate_grid(
+    theta_points: int = 5,
+    phi_points: int = 5,
+    include_swap: bool = True,
+) -> List[CandidateGate]:
+    """Candidate fSim(theta, phi) gate types on a uniform parameter grid.
+
+    The identity corner ``fSim(0, 0)`` is excluded (it cannot generate
+    entanglement); the hardware SWAP gate is appended when requested since
+    the paper finds it disproportionately valuable on connectivity-limited
+    devices.
+    """
+    if theta_points < 2 or phi_points < 2:
+        raise ValueError("the grid needs at least two points per axis")
+    candidates: List[CandidateGate] = []
+    for theta in np.linspace(0.0, np.pi / 2, theta_points):
+        for phi in np.linspace(0.0, np.pi, phi_points):
+            if theta < 1e-9 and phi < 1e-9:
+                continue
+            gate = fsim_gate(float(theta), float(phi))
+            candidates.append(CandidateGate(gate.type_key, gate, float(theta), float(phi)))
+    if include_swap:
+        swap = named_gate("swap")
+        candidates.append(CandidateGate(swap.type_key, swap))
+    return candidates
+
+
+@dataclass
+class ExpressivityTable:
+    """Per-candidate, per-unitary exact gate counts for several workloads.
+
+    ``counts[application][candidate_key]`` is an array with one entry per
+    application unitary: the number of hardware applications of that
+    candidate needed to express the unitary (NuOp exact mode).  Unitaries
+    that the candidate cannot express within the layer budget are charged
+    the budget plus one, which penalises weak candidates without making the
+    averages infinite.
+    """
+
+    candidates: Dict[CandidateKey, CandidateGate]
+    counts: Dict[str, Dict[CandidateKey, np.ndarray]] = field(default_factory=dict)
+    max_layers: int = 6
+
+    def applications(self) -> List[str]:
+        """Workload names in the table."""
+        return list(self.counts)
+
+    def mean_count(self, application: str, candidate: CandidateKey) -> float:
+        """Average gate count of one candidate on one workload."""
+        return float(np.mean(self.counts[application][candidate]))
+
+    def best_counts(
+        self, application: str, selection: Sequence[CandidateKey]
+    ) -> np.ndarray:
+        """Per-unitary count when the compiler may pick any selected candidate."""
+        if not selection:
+            raise ValueError("the selection must contain at least one candidate")
+        stacked = np.stack([self.counts[application][key] for key in selection])
+        return stacked.min(axis=0)
+
+    def selection_cost(
+        self,
+        selection: Sequence[CandidateKey],
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """Workload-weighted mean instruction count of an instruction set."""
+        weights = dict(weights or {})
+        total = 0.0
+        weight_sum = 0.0
+        for application in self.counts:
+            weight = float(weights.get(application, 1.0))
+            total += weight * float(np.mean(self.best_counts(application, selection)))
+            weight_sum += weight
+        return total / weight_sum if weight_sum else float("nan")
+
+
+def expressivity_table(
+    application_unitaries: Mapping[str, Sequence[np.ndarray]],
+    candidates: Sequence[CandidateGate],
+    decomposer: Optional[NuOpDecomposer] = None,
+    max_layers: int = 6,
+) -> ExpressivityTable:
+    """Measure exact NuOp gate counts for every (candidate, unitary) pair."""
+    if not application_unitaries or not candidates:
+        raise ValueError("need at least one application and one candidate")
+    decomposer = decomposer if decomposer is not None else NuOpDecomposer(max_layers=max_layers)
+    table = ExpressivityTable(
+        candidates={candidate.key: candidate for candidate in candidates},
+        max_layers=max_layers,
+    )
+    for application, unitaries in application_unitaries.items():
+        per_candidate: Dict[CandidateKey, np.ndarray] = {}
+        for candidate in candidates:
+            counts = []
+            for unitary in unitaries:
+                decomposition = decomposer.decompose_exact(
+                    unitary, gate=candidate.gate, max_layers=max_layers
+                )
+                if decomposition.decomposition_fidelity >= decomposer.exact_threshold:
+                    counts.append(decomposition.num_layers)
+                else:
+                    counts.append(max_layers + 1)
+            per_candidate[candidate.key] = np.asarray(counts, dtype=float)
+        table.counts[application] = per_candidate
+    return table
+
+
+@dataclass
+class DesignedInstructionSet:
+    """Output of the greedy design: selected gate types plus their cost."""
+
+    selection: List[CandidateKey]
+    mean_instruction_count: float
+    per_application_counts: Dict[str, float]
+    calibration_hours: Optional[float] = None
+
+    @property
+    def num_gate_types(self) -> int:
+        """Number of selected gate types."""
+        return len(self.selection)
+
+
+def greedy_instruction_set(
+    table: ExpressivityTable,
+    num_gate_types: int,
+    weights: Optional[Mapping[str, float]] = None,
+    required: Sequence[CandidateKey] = (),
+) -> DesignedInstructionSet:
+    """Greedily select ``num_gate_types`` candidates minimising the weighted count.
+
+    ``required`` seeds the selection (e.g. force CZ because error
+    correction needs it); remaining slots are filled one at a time with the
+    candidate giving the largest reduction in the weighted average
+    instruction count.  Ties are broken deterministically by candidate key.
+    """
+    if num_gate_types < 1:
+        raise ValueError("the instruction set needs at least one gate type")
+    unknown = [key for key in required if key not in table.candidates]
+    if unknown:
+        raise ValueError(f"required candidates not in the table: {unknown}")
+    if num_gate_types < len(required):
+        raise ValueError("num_gate_types is smaller than the required seed set")
+
+    selection: List[CandidateKey] = list(required)
+    remaining = [key for key in sorted(table.candidates) if key not in selection]
+
+    while len(selection) < num_gate_types and remaining:
+        best_key = None
+        best_cost = np.inf
+        for key in remaining:
+            cost = table.selection_cost(selection + [key], weights)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_key = key
+        if best_key is None:
+            break
+        selection.append(best_key)
+        remaining.remove(best_key)
+
+    per_application = {
+        application: float(np.mean(table.best_counts(application, selection)))
+        for application in table.counts
+    }
+    return DesignedInstructionSet(
+        selection=selection,
+        mean_instruction_count=table.selection_cost(selection, weights),
+        per_application_counts=per_application,
+    )
+
+
+def design_tradeoff_curve(
+    table: ExpressivityTable,
+    max_gate_types: int = 8,
+    weights: Optional[Mapping[str, float]] = None,
+    calibration_model: Optional[CalibrationModel] = None,
+    required: Sequence[CandidateKey] = (),
+) -> List[DesignedInstructionSet]:
+    """Greedy designs for every set size from 1 (or the seed size) to the maximum.
+
+    Each design is annotated with its daily calibration time so callers can
+    locate the expressivity-vs-calibration sweet spot (the paper's 4-8
+    recommendation emerges as the knee of this curve).
+    """
+    calibration_model = calibration_model or CalibrationModel()
+    designs: List[DesignedInstructionSet] = []
+    start = max(len(required), 1)
+    for size in range(start, max_gate_types + 1):
+        design = greedy_instruction_set(table, size, weights=weights, required=required)
+        design.calibration_hours = calibration_model.calibration_time_hours(design.num_gate_types)
+        designs.append(design)
+    return designs
+
+
+def knee_of_curve(designs: Sequence[DesignedInstructionSet], tolerance: float = 0.05) -> int:
+    """Smallest set size whose cost is within ``tolerance`` of the largest set's cost.
+
+    This is the quantitative version of "diminishing returns after 4-8
+    types": adding gate types past the knee buys almost no expressivity
+    while calibration cost keeps growing linearly.
+    """
+    if not designs:
+        raise ValueError("need at least one design")
+    ordered = sorted(designs, key=lambda d: d.num_gate_types)
+    best_cost = ordered[-1].mean_instruction_count
+    for design in ordered:
+        if design.mean_instruction_count <= best_cost * (1.0 + tolerance):
+            return design.num_gate_types
+    return ordered[-1].num_gate_types

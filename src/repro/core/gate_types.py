@@ -1,0 +1,122 @@
+"""Hardware two-qubit gate types (the S1-S7 catalogue of the paper).
+
+A :class:`GateType` is a named, concrete two-qubit hardware gate.  Table II
+of the paper defines seven baseline types (selected from the Figure 8
+expressivity characterisation) plus the hardware SWAP gate:
+
+========  =======================  ==========================
+Label     fSim parameters          Equivalent vendor gate
+========  =======================  ==========================
+``S1``    fSim(pi/2, pi/6)         Google SYC
+``S2``    fSim(pi/4, 0)            sqrt(iSWAP) / XY(pi/2)
+``S3``    fSim(0, pi)              CZ
+``S4``    fSim(pi/2, 0)            iSWAP / XY(pi)
+``S5``    fSim(pi/3, 0)            XY(2 pi/3)
+``S6``    fSim(3 pi/8, 0)          XY(3 pi/4)
+``S7``    fSim(pi/6, pi)           --
+``SWAP``  fSim-inexpressible       native SWAP
+========  =======================  ==========================
+
+Two flavours are provided: the Google flavour builds every type as an
+explicit fSim gate; the Rigetti flavour uses the CZ / XY(theta)
+parameterisation of the same local-equivalence classes so that the Aspen-8
+calibration data (keyed by ``cz`` and ``xy(pi)``) is picked up directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.circuits.gate import Gate, fsim_gate, named_gate, xy_gate
+
+
+@dataclass(frozen=True)
+class GateType:
+    """A named two-qubit hardware gate type."""
+
+    label: str
+    gate: Gate
+
+    @property
+    def type_key(self) -> str:
+        """Calibration key of the underlying gate (see :attr:`Gate.type_key`)."""
+        return self.gate.type_key
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the gate type."""
+        return self.gate.matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType({self.label}: {self.type_key})"
+
+
+# fSim parameters of the baseline types (Table II).
+S_TYPE_FSIM_PARAMETERS: Dict[str, Tuple[float, float]] = {
+    "S1": (np.pi / 2, np.pi / 6),
+    "S2": (np.pi / 4, 0.0),
+    "S3": (0.0, np.pi),
+    "S4": (np.pi / 2, 0.0),
+    "S5": (np.pi / 3, 0.0),
+    "S6": (3 * np.pi / 8, 0.0),
+    "S7": (np.pi / 6, np.pi),
+}
+
+# XY(theta) angles realising the same classes (theta = 2 * fSim theta).
+S_TYPE_XY_ANGLES: Dict[str, float] = {
+    "S2": np.pi / 2,
+    "S4": np.pi,
+    "S5": 2 * np.pi / 3,
+    "S6": 3 * np.pi / 4,
+}
+
+
+def google_gate_type(label: str) -> GateType:
+    """Baseline type in the Google (fSim) parameterisation.
+
+    ``S3`` is returned as the canonical ``cz`` gate rather than
+    ``fSim(0, pi)``: the two matrices are identical, and using the
+    canonical name keeps calibration keys stable across vendors.
+    """
+    if label == "SWAP":
+        return GateType("SWAP", named_gate("swap"))
+    if label == "S3":
+        return GateType("S3", named_gate("cz"))
+    if label not in S_TYPE_FSIM_PARAMETERS:
+        raise ValueError(f"unknown gate type label {label!r}")
+    theta, phi = S_TYPE_FSIM_PARAMETERS[label]
+    return GateType(label, fsim_gate(theta, phi))
+
+
+def rigetti_gate_type(label: str) -> GateType:
+    """Baseline type in the Rigetti (CZ / XY) parameterisation.
+
+    ``S3`` maps to the CZ gate and the iSWAP-like types map to ``XY(theta)``
+    gates so that measured Aspen-8 calibration data (keyed ``cz`` and
+    ``xy(pi)``) is used where available.
+    """
+    if label == "SWAP":
+        return GateType("SWAP", named_gate("swap"))
+    if label == "S3":
+        return GateType("S3", named_gate("cz"))
+    if label in S_TYPE_XY_ANGLES:
+        return GateType(label, xy_gate(S_TYPE_XY_ANGLES[label]))
+    if label in S_TYPE_FSIM_PARAMETERS:
+        theta, phi = S_TYPE_FSIM_PARAMETERS[label]
+        return GateType(label, fsim_gate(theta, phi))
+    raise ValueError(f"unknown gate type label {label!r}")
+
+
+def all_google_types() -> Dict[str, GateType]:
+    """Every baseline type (S1-S7 plus SWAP) in the Google flavour."""
+    labels = list(S_TYPE_FSIM_PARAMETERS) + ["SWAP"]
+    return {label: google_gate_type(label) for label in labels}
+
+
+def all_rigetti_types() -> Dict[str, GateType]:
+    """Every baseline type usable on Rigetti hardware (S2-S6 plus SWAP)."""
+    labels = ["S2", "S3", "S4", "S5", "S6", "SWAP"]
+    return {label: rigetti_gate_type(label) for label in labels}

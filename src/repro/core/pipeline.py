@@ -1,0 +1,211 @@
+"""End-to-end compilation pipeline (Figure 1 of the paper).
+
+``compile_circuit`` chains the device-mapping compiler
+(:mod:`repro.compiler`) with the NuOp decomposition pass
+(:class:`NuOpPass`): layout, routing, per-operation noise-adaptive gate
+decomposition and single-qubit gate merging.  The result carries the
+statistics the experiments report: two-qubit instruction counts, gate-type
+usage, swap counts and estimated fidelities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Operation, QuantumCircuit
+from repro.circuits.gate import named_gate
+from repro.compiler.layout import Layout
+from repro.compiler.onequbit import merge_single_qubit_gates
+from repro.compiler.passes import map_and_route
+from repro.compiler.routing import RoutedCircuit
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import InstructionSet
+from repro.core.noise_adaptive import decompose_with_instruction_set
+from repro.devices.device import Device
+
+
+@dataclass
+class CompiledCircuit:
+    """A fully compiled circuit plus bookkeeping for the experiments."""
+
+    circuit: QuantumCircuit
+    physical_qubits: Tuple[int, ...]
+    initial_mapping: Dict[int, int]
+    final_mapping: Dict[int, int]
+    instruction_set_name: str
+    num_swaps: int = 0
+    gate_type_usage: Dict[str, int] = field(default_factory=dict)
+    decomposition_fidelities: List[float] = field(default_factory=list)
+    estimated_hardware_fidelity: float = 1.0
+
+    @property
+    def two_qubit_gate_count(self) -> int:
+        """Number of hardware two-qubit instructions in the compiled circuit."""
+        return self.circuit.num_two_qubit_gates()
+
+    @property
+    def average_decomposition_fidelity(self) -> float:
+        """Mean ``F_d`` over the decomposed application operations."""
+        if not self.decomposition_fidelities:
+            return 1.0
+        return float(np.mean(self.decomposition_fidelities))
+
+    def program_qubit_order(self) -> List[int]:
+        """``order[i]`` = slot holding program qubit ``i`` at the end of the circuit."""
+        return [self.final_mapping[q] for q in sorted(self.final_mapping)]
+
+
+class NuOpPass:
+    """Circuit-level NuOp pass: decompose every two-qubit operation.
+
+    The pass walks a routed circuit (expressed on layout slots), looks up
+    the calibrated fidelity of every candidate gate type on the physical
+    edge behind each operation, and splices in the decomposition that
+    maximises ``F_d * F_h``.
+    """
+
+    def __init__(
+        self,
+        instruction_set: InstructionSet,
+        decomposer: Optional[NuOpDecomposer] = None,
+        approximate: bool = True,
+        use_noise_adaptivity: bool = True,
+        max_layers: Optional[int] = None,
+    ):
+        self.instruction_set = instruction_set
+        self.decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+        self.approximate = approximate
+        self.use_noise_adaptivity = use_noise_adaptivity
+        self.max_layers = max_layers
+
+    def _edge_fidelities(
+        self, device: Device, physical_pair: Sequence[int]
+    ) -> Dict[str, float]:
+        if self.instruction_set.is_continuous:
+            mean_error = device.two_qubit_error_distribution.expected()
+            return {"*": 1.0 - mean_error}
+        fidelities = {}
+        for gate_type in self.instruction_set.gate_types:
+            if self.use_noise_adaptivity:
+                fidelity = device.gate_fidelity(gate_type.type_key, physical_pair)
+            else:
+                fidelity = 1.0 - device.two_qubit_error_distribution.expected()
+            fidelities[gate_type.type_key] = fidelity
+        return fidelities
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        device: Device,
+        physical_qubits: Sequence[int],
+    ) -> Tuple[QuantumCircuit, Dict[str, int], List[float], float]:
+        """Decompose ``circuit`` (on slots) for the instruction set.
+
+        Returns ``(decomposed_circuit, gate_type_usage, decomposition_fidelities,
+        estimated_hardware_fidelity)``.
+        """
+        single_qubit_fidelity = 1.0 - np.mean(
+            [device.noise_model.single_qubit_error_rate(q) for q in physical_qubits]
+        )
+        output = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_{self.instruction_set.name}")
+        usage: Dict[str, int] = {}
+        fidelities: List[float] = []
+        hardware_estimate = 1.0
+
+        for operation in circuit:
+            if not operation.is_two_qubit:
+                output.append_operation(operation)
+                continue
+            slot_a, slot_b = operation.qubits
+            physical_pair = (physical_qubits[slot_a], physical_qubits[slot_b])
+            edge_fidelities = self._edge_fidelities(device, physical_pair)
+            decomposition = decompose_with_instruction_set(
+                self.decomposer,
+                operation.gate.matrix,
+                self.instruction_set,
+                edge_fidelities=edge_fidelities,
+                approximate=self.approximate,
+                single_qubit_fidelity=float(single_qubit_fidelity),
+                max_layers=self.max_layers,
+            )
+            label = decomposition.gate_type_label or self.instruction_set.name
+            usage[label] = usage.get(label, 0) + decomposition.num_layers
+            fidelities.append(decomposition.decomposition_fidelity)
+            hardware_estimate *= decomposition.overall_fidelity
+            for new_operation in decomposition.operations((slot_a, slot_b)):
+                output.append_operation(new_operation)
+        return output, usage, fidelities, float(hardware_estimate)
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    device: Device,
+    instruction_set: InstructionSet,
+    decomposer: Optional[NuOpDecomposer] = None,
+    approximate: bool = True,
+    use_noise_adaptivity: bool = True,
+    merge_single_qubit: bool = True,
+    layout: Optional[Layout] = None,
+    error_scale: float = 1.0,
+    max_layers: Optional[int] = None,
+) -> CompiledCircuit:
+    """Compile an application circuit for a device and instruction set.
+
+    Steps: register calibration data for the instruction set's gate types,
+    choose a layout, route, run NuOp, merge single-qubit gates, and make
+    sure every gate type appearing in the output (relevant for continuous
+    families) has calibration data for the simulator.
+
+    ``error_scale`` scales the error rate of any gate type registered
+    during this call; the Figure 10a-c "FullfSim at 1.5x/2x/3x error"
+    sweeps use it.
+    """
+    if not instruction_set.is_continuous:
+        device.ensure_gate_types(instruction_set.type_keys(), scale=error_scale)
+        scoring_keys = instruction_set.type_keys()
+    else:
+        scoring_keys = None
+
+    routed: RoutedCircuit = map_and_route(
+        circuit, device, gate_type_keys=scoring_keys, layout=layout
+    )
+
+    nuop = NuOpPass(
+        instruction_set,
+        decomposer=decomposer,
+        approximate=approximate,
+        use_noise_adaptivity=use_noise_adaptivity,
+        max_layers=max_layers,
+    )
+    decomposed, usage, fidelities, hardware_estimate = nuop.run(
+        routed.circuit, device, routed.physical_qubits
+    )
+
+    # Continuous families emit freshly-parameterised gates; give them
+    # calibration data so the noise model can simulate them.
+    new_keys = sorted(
+        {
+            op.gate.type_key
+            for op in decomposed
+            if op.is_two_qubit
+        }
+    )
+    device.ensure_gate_types(new_keys, scale=error_scale)
+
+    if merge_single_qubit:
+        decomposed = merge_single_qubit_gates(decomposed)
+
+    return CompiledCircuit(
+        circuit=decomposed,
+        physical_qubits=routed.physical_qubits,
+        initial_mapping=routed.initial_mapping,
+        final_mapping=routed.final_mapping,
+        instruction_set_name=instruction_set.name,
+        num_swaps=routed.num_swaps,
+        gate_type_usage=usage,
+        decomposition_fidelities=fidelities,
+        estimated_hardware_fidelity=hardware_estimate,
+    )

@@ -1,0 +1,276 @@
+"""Template circuits for NuOp's numerical decomposition (Figure 4 of the paper).
+
+A template with ``L`` layers alternates arbitrary single-qubit rotations
+(two ``U3`` gates per layer boundary) with the target hardware two-qubit
+gate::
+
+    K_0 -- G -- K_1 -- G -- ... -- G -- K_L
+
+The optimisation variables are the ``6 (L+1)`` single-qubit angles; for the
+continuous FullXY / FullfSim sets the two-qubit gate angles of every layer
+are variables as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gates.parametric import fsim, u3, xy
+
+
+def _single_qubit_layer(params: np.ndarray) -> np.ndarray:
+    """4x4 unitary of one boundary layer: ``U3(params[0]) (x) U3(params[1])``."""
+    return np.kron(u3(*params[0]), u3(*params[1]))
+
+
+def _u3_derivatives(alpha: float, beta: float, lam: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partial derivatives of the U3 matrix with respect to its three angles."""
+    half = alpha / 2.0
+    c = np.cos(half)
+    s = np.sin(half)
+    eb = np.exp(1j * beta)
+    el = np.exp(1j * lam)
+    ebl = np.exp(1j * (beta + lam))
+    d_alpha = 0.5 * np.array(
+        [[-s, -el * c], [eb * c, -ebl * s]], dtype=complex
+    )
+    d_beta = np.array([[0, 0], [1j * eb * s, 1j * ebl * c]], dtype=complex)
+    d_lam = np.array([[0, -1j * el * s], [0, 1j * ebl * c]], dtype=complex)
+    return d_alpha, d_beta, d_lam
+
+
+def _fsim_derivatives(theta: float, phi: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Partial derivatives of the fSim matrix with respect to (theta, phi)."""
+    c = np.cos(theta)
+    s = np.sin(theta)
+    d_theta = np.zeros((4, 4), dtype=complex)
+    d_theta[1, 1] = -s
+    d_theta[1, 2] = -1j * c
+    d_theta[2, 1] = -1j * c
+    d_theta[2, 2] = -s
+    d_phi = np.zeros((4, 4), dtype=complex)
+    d_phi[3, 3] = -1j * np.exp(-1j * phi)
+    return d_theta, d_phi
+
+
+def _xy_derivative(theta: float) -> np.ndarray:
+    """Derivative of the XY matrix with respect to theta."""
+    half = theta / 2.0
+    c = np.cos(half)
+    s = np.sin(half)
+    derivative = np.zeros((4, 4), dtype=complex)
+    derivative[1, 1] = -0.5 * s
+    derivative[1, 2] = 0.5j * c
+    derivative[2, 1] = 0.5j * c
+    derivative[2, 2] = -0.5 * s
+    return derivative
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """Description of a template: number of layers plus the entangling gate model.
+
+    ``two_qubit_family`` selects how the entangling gates are produced:
+
+    * ``"fixed"`` -- every layer applies ``fixed_gate_matrix``,
+    * ``"fsim"``  -- layer ``i`` applies ``fSim(theta_i, phi_i)`` with the
+      angles taken from the parameter vector,
+    * ``"xy"``    -- layer ``i`` applies ``XY(theta_i)``.
+    """
+
+    num_layers: int
+    two_qubit_family: str = "fixed"
+    fixed_gate_matrix: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 0:
+            raise ValueError("number of layers must be non-negative")
+        if self.two_qubit_family not in ("fixed", "fsim", "xy"):
+            raise ValueError("two_qubit_family must be 'fixed', 'fsim' or 'xy'")
+        if self.two_qubit_family == "fixed" and self.num_layers > 0:
+            if self.fixed_gate_matrix is None:
+                raise ValueError("fixed templates need a gate matrix")
+            object.__setattr__(
+                self, "fixed_gate_matrix", np.asarray(self.fixed_gate_matrix, dtype=complex)
+            )
+
+    @property
+    def num_single_qubit_parameters(self) -> int:
+        """Number of single-qubit angles (6 per boundary layer)."""
+        return 6 * (self.num_layers + 1)
+
+    @property
+    def num_two_qubit_parameters(self) -> int:
+        """Number of entangling-gate angles that are optimisation variables."""
+        if self.two_qubit_family == "fsim":
+            return 2 * self.num_layers
+        if self.two_qubit_family == "xy":
+            return self.num_layers
+        return 0
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of optimisation variables."""
+        return self.num_single_qubit_parameters + self.num_two_qubit_parameters
+
+    # -- parameter handling ---------------------------------------------------
+
+    def split_parameters(self, flat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split a flat parameter vector into (single-qubit, two-qubit) blocks."""
+        flat = np.asarray(flat, dtype=float)
+        if flat.size != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} parameters, got {flat.size}"
+            )
+        boundary = self.num_single_qubit_parameters
+        single = flat[:boundary].reshape(self.num_layers + 1, 2, 3)
+        two = flat[boundary:]
+        return single, two
+
+    def two_qubit_matrices(self, two_qubit_params: np.ndarray) -> List[np.ndarray]:
+        """Entangling-gate matrices for every layer given the (possibly empty) angles."""
+        if self.two_qubit_family == "fixed":
+            return [self.fixed_gate_matrix] * self.num_layers
+        if self.two_qubit_family == "fsim":
+            pairs = np.asarray(two_qubit_params, dtype=float).reshape(self.num_layers, 2)
+            return [fsim(theta, phi) for theta, phi in pairs]
+        angles = np.asarray(two_qubit_params, dtype=float).reshape(self.num_layers)
+        return [xy(theta) for theta in angles]
+
+    def two_qubit_angles(self, two_qubit_params: np.ndarray) -> List[Tuple[float, ...]]:
+        """Per-layer entangling-gate angles (empty tuples for fixed templates)."""
+        if self.two_qubit_family == "fixed":
+            return [() for _ in range(self.num_layers)]
+        if self.two_qubit_family == "fsim":
+            pairs = np.asarray(two_qubit_params, dtype=float).reshape(self.num_layers, 2)
+            return [tuple(float(v) for v in pair) for pair in pairs]
+        angles = np.asarray(two_qubit_params, dtype=float).reshape(self.num_layers)
+        return [(float(a),) for a in angles]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def unitary(self, flat_params: np.ndarray) -> np.ndarray:
+        """Unitary represented by the template for the given parameters."""
+        single, two = self.split_parameters(flat_params)
+        matrices = self.two_qubit_matrices(two)
+        unitary = _single_qubit_layer(single[0])
+        for layer in range(self.num_layers):
+            unitary = matrices[layer] @ unitary
+            unitary = _single_qubit_layer(single[layer + 1]) @ unitary
+        return unitary
+
+    def initial_parameters(
+        self, rng: Optional[np.random.Generator] = None, scale: float = np.pi
+    ) -> np.ndarray:
+        """A parameter vector: zeros when ``rng`` is None, random otherwise."""
+        if rng is None:
+            return np.zeros(self.num_parameters)
+        return rng.uniform(-scale, scale, size=self.num_parameters)
+
+    # -- objective with analytic gradient -----------------------------------------
+
+    def _factors_with_derivatives(
+        self, flat_params: np.ndarray
+    ) -> List[Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]]:
+        """Factor matrices in application order with per-parameter derivatives.
+
+        Each entry is ``(factor_matrix, [(parameter_index, d factor / d parameter), ...])``.
+        """
+        single, two = self.split_parameters(flat_params)
+        boundary_offset = 0
+        two_offset = self.num_single_qubit_parameters
+        entangling = self.two_qubit_matrices(two)
+        factors: List[Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]] = []
+
+        def boundary_factor(layer_index: int) -> Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]:
+            params_a = single[layer_index, 0]
+            params_b = single[layer_index, 1]
+            u3_a = u3(*params_a)
+            u3_b = u3(*params_b)
+            matrix = np.kron(u3_a, u3_b)
+            derivatives: List[Tuple[int, np.ndarray]] = []
+            base = boundary_offset + 6 * layer_index
+            for angle_index, d_matrix in enumerate(_u3_derivatives(*params_a)):
+                derivatives.append((base + angle_index, np.kron(d_matrix, u3_b)))
+            for angle_index, d_matrix in enumerate(_u3_derivatives(*params_b)):
+                derivatives.append((base + 3 + angle_index, np.kron(u3_a, d_matrix)))
+            return matrix, derivatives
+
+        factors.append(boundary_factor(0))
+        for layer in range(self.num_layers):
+            matrix = entangling[layer]
+            derivatives = []
+            if self.two_qubit_family == "fsim":
+                theta, phi = np.asarray(two, dtype=float).reshape(self.num_layers, 2)[layer]
+                d_theta, d_phi = _fsim_derivatives(theta, phi)
+                derivatives = [
+                    (two_offset + 2 * layer, d_theta),
+                    (two_offset + 2 * layer + 1, d_phi),
+                ]
+            elif self.two_qubit_family == "xy":
+                theta = float(np.asarray(two, dtype=float).reshape(self.num_layers)[layer])
+                derivatives = [(two_offset + layer, _xy_derivative(theta))]
+            factors.append((matrix, derivatives))
+            factors.append(boundary_factor(layer + 1))
+        return factors
+
+    def objective_with_gradient(
+        self, flat_params: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Value and gradient of ``1 - |Tr(U(params)^dagger target)| / 4``.
+
+        The gradient is analytic: prefix/suffix products of the template
+        factors turn every partial derivative into a single 4x4 trace,
+        which makes BFGS roughly an order of magnitude faster than with
+        finite differences.
+        """
+        target = np.asarray(target, dtype=complex)
+        factors = self._factors_with_derivatives(np.asarray(flat_params, dtype=float))
+        matrices = [matrix for matrix, _ in factors]
+        count = len(matrices)
+
+        # prefix[m] = F_{m-1} ... F_0 (identity for m = 0)
+        prefix = [np.eye(4, dtype=complex)]
+        for matrix in matrices:
+            prefix.append(matrix @ prefix[-1])
+        # suffix[m] = F_{count-1} ... F_m (identity for m = count)
+        suffix = [np.eye(4, dtype=complex)] * (count + 1)
+        running = np.eye(4, dtype=complex)
+        for m in range(count - 1, -1, -1):
+            running = running @ matrices[m]
+            suffix[m] = running
+
+        unitary = prefix[count]
+        overlap = np.trace(unitary.conj().T @ target)
+        magnitude = abs(overlap)
+        value = 1.0 - magnitude / 4.0
+
+        gradient = np.zeros(len(flat_params))
+        if magnitude < 1e-12:
+            return value, gradient
+        scale = overlap.conjugate() / magnitude
+        for m, (_, derivatives) in enumerate(factors):
+            if not derivatives:
+                continue
+            left = suffix[m + 1]
+            right = prefix[m]
+            # M = left^dagger @ target @ right^dagger, so that
+            # Tr((left dF right)^dagger target) = Tr(dF^dagger M).
+            middle = left.conj().T @ target @ right.conj().T
+            for parameter_index, d_factor in derivatives:
+                d_overlap = np.trace(d_factor.conj().T @ middle)
+                gradient[parameter_index] = -np.real(scale * d_overlap) / 4.0
+        return value, gradient
+
+
+def fixed_gate_template(num_layers: int, gate_matrix: np.ndarray) -> TemplateSpec:
+    """Template whose entangling gates are all the given fixed hardware gate."""
+    return TemplateSpec(num_layers=num_layers, two_qubit_family="fixed", fixed_gate_matrix=gate_matrix)
+
+
+def continuous_family_template(num_layers: int, family: str) -> TemplateSpec:
+    """Template whose entangling-gate angles are optimisation variables (FullXY / FullfSim)."""
+    return TemplateSpec(num_layers=num_layers, two_qubit_family=family)

@@ -1,0 +1,31 @@
+"""Device models: topologies, calibration data and the two study devices.
+
+* :mod:`repro.devices.topology` -- connectivity graphs and constructors.
+* :mod:`repro.devices.device` -- the generic :class:`Device` container and
+  per-gate-type calibration sampling.
+* :mod:`repro.devices.aspen8` -- Rigetti Aspen-8 (30 qubits, octagon rings).
+* :mod:`repro.devices.sycamore` -- Google Sycamore (54 qubits, grid).
+"""
+
+from repro.devices.topology import (
+    Topology,
+    line_topology,
+    ring_topology,
+    grid_topology,
+    octagon_chain_topology,
+)
+from repro.devices.device import Device, GateErrorDistribution
+from repro.devices.aspen8 import aspen8_device
+from repro.devices.sycamore import sycamore_device
+
+__all__ = [
+    "Topology",
+    "line_topology",
+    "ring_topology",
+    "grid_topology",
+    "octagon_chain_topology",
+    "Device",
+    "GateErrorDistribution",
+    "aspen8_device",
+    "sycamore_device",
+]

@@ -1,0 +1,71 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes a ``Config`` dataclass with ``quick()`` (benchmark-
+sized) and ``paper_scale()`` constructors, a ``run_*`` function and a
+result object with a ``format_table()`` method.  EXPERIMENTS.md records
+paper-versus-measured values for each.
+"""
+
+from repro.experiments.runner import (
+    SimulationOptions,
+    InstructionSetResult,
+    StudyResult,
+    run_instruction_set_study,
+    simulate_compiled,
+)
+from repro.experiments.fig6 import Figure6Config, Figure6Result, run_figure6
+from repro.experiments.fig7 import Figure7Config, Figure7Result, run_figure7
+from repro.experiments.fig8 import Figure8Config, Figure8Result, run_figure8
+from repro.experiments.fig9 import Figure9Config, Figure9Result, run_figure9
+from repro.experiments.fig10 import (
+    Figure10Config,
+    Figure10Result,
+    Figure10fConfig,
+    Figure10fResult,
+    run_figure10,
+    run_figure10f,
+)
+from repro.experiments.fig11 import (
+    Figure11aConfig,
+    Figure11aResult,
+    Figure11bConfig,
+    Figure11bResult,
+    run_figure11a,
+    run_figure11b,
+    tradeoff_from_measurements,
+)
+from repro.experiments import tables
+
+__all__ = [
+    "SimulationOptions",
+    "InstructionSetResult",
+    "StudyResult",
+    "run_instruction_set_study",
+    "simulate_compiled",
+    "Figure6Config",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Config",
+    "Figure7Result",
+    "run_figure7",
+    "Figure8Config",
+    "Figure8Result",
+    "run_figure8",
+    "Figure9Config",
+    "Figure9Result",
+    "run_figure9",
+    "Figure10Config",
+    "Figure10Result",
+    "Figure10fConfig",
+    "Figure10fResult",
+    "run_figure10",
+    "run_figure10f",
+    "Figure11aConfig",
+    "Figure11aResult",
+    "Figure11bConfig",
+    "Figure11bResult",
+    "run_figure11a",
+    "run_figure11b",
+    "tradeoff_from_measurements",
+    "tables",
+]

@@ -1,0 +1,177 @@
+"""Figure 11: calibration overhead versus application reliability.
+
+Panel (a) is purely analytic: the number of calibration circuits as a
+function of the number of fSim parameter combinations for 2-, 54- and
+1000-qubit devices.  Panel (b) pairs the calibration-time model with the
+reliability improvements measured by the Figure 9 / Figure 10 studies to
+exhibit the diminishing-returns sweet spot at 4-8 gate types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.calibration.model import CalibrationModel, calibration_savings_factor
+from repro.calibration.tradeoff import TradeoffPoint, tradeoff_curve
+from repro.core.decomposer import NuOpDecomposer
+from repro.experiments.fig10 import Figure10Config, run_figure10
+
+
+@dataclass
+class Figure11aConfig:
+    """Device sizes and gate-type counts swept in panel (a)."""
+
+    device_qubits: List[int] = field(default_factory=lambda: [2, 54, 1000])
+    gate_type_counts: List[int] = field(default_factory=lambda: [1, 2, 4, 8, 16, 50, 100, 300])
+    average_degree: float = 3.4
+
+
+@dataclass
+class Figure11aResult:
+    """Calibration circuit counts: ``circuits[num_qubits][num_types]``."""
+
+    circuits: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        """Text rendering of panel (a)."""
+        lines = ["Figure 11a: number of calibration circuits"]
+        sizes = sorted(self.circuits)
+        type_counts = sorted(next(iter(self.circuits.values()))) if self.circuits else []
+        header = f"{'#types':>8} | " + " | ".join(f"{size:>12}q" for size in sizes)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for count in type_counts:
+            cells = " | ".join(f"{self.circuits[size][count]:13.3g}" for size in sizes)
+            lines.append(f"{count:>8} | {cells}")
+        return "\n".join(lines)
+
+
+def run_figure11a(
+    config: Optional[Figure11aConfig] = None,
+    model: Optional[CalibrationModel] = None,
+) -> Figure11aResult:
+    """Compute the calibration-circuit scaling of panel (a)."""
+    config = config or Figure11aConfig()
+    model = model or CalibrationModel()
+    result = Figure11aResult()
+    for num_qubits in config.device_qubits:
+        per_size: Dict[int, int] = {}
+        for num_types in config.gate_type_counts:
+            per_size[num_types] = model.circuits_for_device(
+                num_types, num_qubits, average_degree=config.average_degree
+            )
+        result.circuits[num_qubits] = per_size
+    return result
+
+
+@dataclass
+class Figure11bConfig:
+    """Configuration of the calibration-time vs reliability panel."""
+
+    gate_type_counts: List[int] = field(default_factory=lambda: [2, 3, 4, 5, 6, 7, 8])
+    num_qubit_pairs: int = 93
+    figure10_config: Optional[Figure10Config] = None
+
+    @classmethod
+    def quick(cls) -> "Figure11bConfig":
+        """Benchmark-sized configuration (tiny Figure 10 run behind the scenes)."""
+        config = Figure10Config.quick()
+        config.instruction_sets = ["S2", "G1", "G3", "G7"]
+        config.full_fsim_error_scales = [1.0]
+        return cls(gate_type_counts=[2, 4, 8], figure10_config=config)
+
+
+@dataclass
+class Figure11bResult:
+    """Tradeoff points plus the calibration savings factor."""
+
+    points: List[TradeoffPoint] = field(default_factory=list)
+    savings_factor: float = 0.0
+
+    def format_table(self) -> str:
+        """Text rendering of panel (b)."""
+        lines = ["Figure 11b: calibration time vs reliability improvement"]
+        lines.append(f"{'#types':>7} | {'hours':>7} | {'circuits':>10} | improvements")
+        lines.append("-" * 60)
+        for point in self.points:
+            improvements = ", ".join(
+                f"{name}={value:+.2%}" for name, value in point.reliability_improvement.items()
+            )
+            lines.append(
+                f"{point.num_gate_types:>7} | {point.calibration_hours:7.1f} | "
+                f"{point.calibration_circuits:10.3g} | {improvements}"
+            )
+        lines.append(f"calibration savings vs continuous family: {self.savings_factor:.0f}x")
+        return "\n".join(lines)
+
+
+GOOGLE_SET_SIZES: Dict[str, int] = {
+    "G1": 2,
+    "G2": 3,
+    "G3": 4,
+    "G4": 5,
+    "G5": 6,
+    "G6": 7,
+    "G7": 8,
+}
+
+
+def tradeoff_from_measurements(
+    reliability_by_set: Mapping[str, Mapping[str, float]],
+    baseline: Mapping[str, float],
+    model: Optional[CalibrationModel] = None,
+    num_qubit_pairs: int = 93,
+) -> List[TradeoffPoint]:
+    """Convert per-instruction-set reliabilities into the Figure 11b curve.
+
+    ``reliability_by_set`` maps Google multi-type set names (G1-G7) to
+    metric dictionaries; the set size is looked up in
+    :data:`GOOGLE_SET_SIZES`.
+    """
+    by_size = {
+        GOOGLE_SET_SIZES[name]: metrics
+        for name, metrics in reliability_by_set.items()
+        if name in GOOGLE_SET_SIZES
+    }
+    return tradeoff_curve(by_size, baseline, model=model, num_qubit_pairs=num_qubit_pairs)
+
+
+def run_figure11b(
+    config: Optional[Figure11bConfig] = None,
+    decomposer: Optional[NuOpDecomposer] = None,
+    model: Optional[CalibrationModel] = None,
+) -> Figure11bResult:
+    """Run (a small) Figure 10 study and derive the Figure 11b tradeoff."""
+    config = config or Figure11bConfig.quick()
+    model = model or CalibrationModel()
+    figure10 = run_figure10(config.figure10_config or Figure10Config.quick(), decomposer)
+
+    reliability_by_set: Dict[str, Dict[str, float]] = {}
+    baseline: Dict[str, float] = {}
+    for study, metric_label in (
+        (figure10.qv, "Google-QV"),
+        (figure10.qaoa, "Google-QAOA"),
+        (figure10.qft, "Google-QFT"),
+    ):
+        single_values = [
+            result.mean_metric
+            for name, result in study.per_set.items()
+            if name.startswith("S")
+        ]
+        if single_values:
+            baseline[metric_label] = float(np.max(single_values))
+        for name, result in study.per_set.items():
+            if name in GOOGLE_SET_SIZES:
+                reliability_by_set.setdefault(name, {})[metric_label] = result.mean_metric
+
+    points = tradeoff_from_measurements(
+        reliability_by_set, baseline, model=model, num_qubit_pairs=config.num_qubit_pairs
+    )
+    proposed = max(
+        (GOOGLE_SET_SIZES[name] for name in reliability_by_set), default=8
+    )
+    savings = calibration_savings_factor(model, proposed)
+    return Figure11bResult(points=points, savings_factor=savings)

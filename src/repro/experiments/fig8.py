@@ -1,0 +1,134 @@
+"""Figure 8: expressivity heatmaps over the fSim(theta, phi) parameter space.
+
+For a grid of fSim gate types (theta in [0, pi/2], phi in [0, pi]) and each
+application's ensemble of two-qubit unitaries, compute the average number
+of hardware gates an exact NuOp decomposition needs.  These heatmaps are
+how the paper selects the expressive S1-S7 gate types (marked on the grid
+in Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.applications import unitary_ensembles
+from repro.circuits.gate import fsim_gate
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.gate_types import S_TYPE_FSIM_PARAMETERS
+
+
+@dataclass
+class Figure8Config:
+    """Grid resolution and ensemble sizes for the heatmaps."""
+
+    theta_points: int = 5
+    phi_points: int = 5
+    unitaries_per_application: int = 4
+    applications: List[str] = field(
+        default_factory=lambda: ["qv", "qaoa", "qft", "fh", "swap"]
+    )
+    max_layers: int = 6
+    seed: int = 8
+
+    @classmethod
+    def quick(cls) -> "Figure8Config":
+        """Benchmark-sized configuration (coarse grid, few unitaries)."""
+        return cls(theta_points=4, phi_points=4, unitaries_per_application=3,
+                   applications=["qv", "qaoa", "swap"])
+
+    @classmethod
+    def paper_scale(cls) -> "Figure8Config":
+        """The paper's configuration: 19 x 19 grid, 1000 QV/QAOA unitaries."""
+        return cls(theta_points=19, phi_points=19, unitaries_per_application=1000)
+
+    def theta_values(self) -> np.ndarray:
+        """Grid of iSWAP-like angles."""
+        return np.linspace(0.0, np.pi / 2, self.theta_points)
+
+    def phi_values(self) -> np.ndarray:
+        """Grid of CPHASE angles."""
+        return np.linspace(0.0, np.pi, self.phi_points)
+
+
+@dataclass
+class Figure8Result:
+    """Per-application heatmaps of average exact gate counts."""
+
+    theta_values: np.ndarray
+    phi_values: np.ndarray
+    heatmaps: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def best_gate(self, application: str) -> Tuple[float, float, float]:
+        """(theta, phi, count) of the most expressive grid point for an application."""
+        grid = self.heatmaps[application]
+        index = np.unravel_index(np.argmin(grid), grid.shape)
+        return (
+            float(self.theta_values[index[1]]),
+            float(self.phi_values[index[0]]),
+            float(grid[index]),
+        )
+
+    def count_at(self, application: str, theta: float, phi: float) -> float:
+        """Average gate count at the grid point closest to (theta, phi)."""
+        grid = self.heatmaps[application]
+        theta_index = int(np.argmin(np.abs(self.theta_values - theta)))
+        phi_index = int(np.argmin(np.abs(self.phi_values - phi)))
+        return float(grid[phi_index, theta_index])
+
+    def s_type_counts(self, application: str) -> Dict[str, float]:
+        """Average counts at the grid points nearest the S1-S7 gate types."""
+        return {
+            label: self.count_at(application, theta, phi)
+            for label, (theta, phi) in S_TYPE_FSIM_PARAMETERS.items()
+        }
+
+    def format_table(self, application: str) -> str:
+        """ASCII rendering of one heatmap."""
+        grid = self.heatmaps[application]
+        lines = [f"Figure 8 heatmap for {application} (average exact gate count)"]
+        header = "phi \\ theta | " + " ".join(f"{t:5.2f}" for t in self.theta_values)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for phi_index, phi in enumerate(self.phi_values):
+            row = " ".join(f"{grid[phi_index, t]:5.2f}" for t in range(len(self.theta_values)))
+            lines.append(f"{phi:11.2f} | {row}")
+        return "\n".join(lines)
+
+
+def run_figure8(
+    config: Optional[Figure8Config] = None,
+    decomposer: Optional[NuOpDecomposer] = None,
+) -> Figure8Result:
+    """Compute the Figure 8 heatmaps."""
+    config = config or Figure8Config.quick()
+    decomposer = decomposer if decomposer is not None else NuOpDecomposer(
+        max_layers=config.max_layers
+    )
+    ensembles = unitary_ensembles(config.unitaries_per_application, seed=config.seed)
+    theta_values = config.theta_values()
+    phi_values = config.phi_values()
+    result = Figure8Result(theta_values=theta_values, phi_values=phi_values)
+
+    for application in config.applications:
+        unitaries = ensembles[application]
+        grid = np.zeros((len(phi_values), len(theta_values)))
+        for phi_index, phi in enumerate(phi_values):
+            for theta_index, theta in enumerate(theta_values):
+                gate = fsim_gate(float(theta), float(phi))
+                counts = []
+                for unitary in unitaries:
+                    decomposition = decomposer.decompose_exact(
+                        unitary, gate=gate, max_layers=config.max_layers
+                    )
+                    if decomposition.decomposition_fidelity >= decomposer.exact_threshold:
+                        counts.append(decomposition.num_layers)
+                    else:
+                        # The gate family member cannot express the target
+                        # within the layer budget; charge the budget + 1.
+                        counts.append(config.max_layers + 1)
+                grid[phi_index, theta_index] = float(np.mean(counts))
+        result.heatmaps[application] = grid
+    return result

@@ -1,0 +1,194 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every experiment in :mod:`repro.experiments` follows the same pattern:
+compile application circuits for a set of candidate instruction sets, run
+a noisy simulation on the target device model, post-process the measured
+distribution back into program-qubit order and evaluate the paper's
+metric.  This module holds that common machinery plus small result
+containers that the benchmark harness and the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import InstructionSet
+from repro.core.pipeline import CompiledCircuit, compile_circuit
+from repro.devices.device import Device
+from repro.metrics.distributions import permute_distribution
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.sampling import sample_counts
+from repro.simulators.statevector import ideal_probabilities
+from repro.simulators.trajectory import TrajectorySimulator
+
+MetricFunction = Callable[[np.ndarray, np.ndarray], float]
+"""Signature: ``metric(measured_program_order, ideal_program_order) -> float``."""
+
+
+@dataclass
+class SimulationOptions:
+    """Knobs controlling the noisy simulation of compiled circuits."""
+
+    shots: int = 3000
+    seed: int = 11
+    max_density_matrix_qubits: int = 8
+    trajectories: int = 30
+    apply_readout_error: bool = True
+
+
+def simulate_compiled(
+    compiled: CompiledCircuit,
+    device: Device,
+    options: Optional[SimulationOptions] = None,
+) -> np.ndarray:
+    """Noisy output distribution of a compiled circuit, in program-qubit order."""
+    options = options or SimulationOptions()
+    circuit = compiled.circuit
+    noise_model = device.noise_model
+    if circuit.num_qubits <= options.max_density_matrix_qubits:
+        result = DensityMatrixSimulator(noise_model).run(
+            circuit, physical_qubits=compiled.physical_qubits
+        )
+        probabilities = result.probabilities()
+    else:
+        simulator = TrajectorySimulator(
+            noise_model, num_trajectories=options.trajectories, seed=options.seed
+        )
+        probabilities = simulator.run(circuit, physical_qubits=compiled.physical_qubits)
+
+    readout = None
+    if options.apply_readout_error:
+        readout = device.readout_errors_for(compiled.physical_qubits)
+    counts = sample_counts(
+        probabilities,
+        options.shots,
+        rng=np.random.default_rng(options.seed),
+        readout_error=readout,
+    )
+    measured_slots = counts.to_probability_vector()
+    order = [compiled.final_mapping[q] for q in range(circuit.num_qubits)]
+    return permute_distribution(measured_slots, order)
+
+
+@dataclass
+class InstructionSetResult:
+    """Aggregate metrics of one instruction set over an ensemble of circuits."""
+
+    instruction_set: str
+    metric_name: str
+    metric_values: List[float] = field(default_factory=list)
+    two_qubit_counts: List[int] = field(default_factory=list)
+    swap_counts: List[int] = field(default_factory=list)
+    gate_type_usage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_metric(self) -> float:
+        """Ensemble mean of the reliability metric."""
+        return float(np.mean(self.metric_values)) if self.metric_values else float("nan")
+
+    @property
+    def mean_two_qubit_count(self) -> float:
+        """Ensemble mean hardware two-qubit instruction count."""
+        return float(np.mean(self.two_qubit_counts)) if self.two_qubit_counts else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for tabular reporting (EXPERIMENTS.md / benchmark output)."""
+        return {
+            "instruction_set": self.instruction_set,
+            "metric": self.metric_name,
+            "mean_metric": round(self.mean_metric, 4),
+            "mean_2q_count": round(self.mean_two_qubit_count, 2),
+            "mean_swaps": round(float(np.mean(self.swap_counts)) if self.swap_counts else 0.0, 2),
+        }
+
+
+@dataclass
+class StudyResult:
+    """Results of one application workload across many instruction sets."""
+
+    application: str
+    metric_name: str
+    per_set: Dict[str, InstructionSetResult] = field(default_factory=dict)
+
+    def best_set(self) -> str:
+        """Instruction set with the highest mean metric."""
+        return max(self.per_set, key=lambda name: self.per_set[name].mean_metric)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All rows, in insertion order."""
+        return [result.as_row() for result in self.per_set.values()]
+
+    def format_table(self) -> str:
+        """Plain-text table matching the paper's bar-chart annotations."""
+        lines = [f"{self.application} ({self.metric_name})"]
+        lines.append(f"{'set':>10} | {'metric':>8} | {'2Q count':>8} | {'swaps':>6}")
+        lines.append("-" * 42)
+        for name, result in self.per_set.items():
+            lines.append(
+                f"{name:>10} | {result.mean_metric:8.4f} | "
+                f"{result.mean_two_qubit_count:8.2f} | "
+                f"{(np.mean(result.swap_counts) if result.swap_counts else 0):6.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_instruction_set_study(
+    application: str,
+    circuits: Sequence[QuantumCircuit],
+    metric_name: str,
+    metric: MetricFunction,
+    device_factory: Callable[[], Device],
+    instruction_sets: Dict[str, InstructionSet],
+    decomposer: Optional[NuOpDecomposer] = None,
+    options: Optional[SimulationOptions] = None,
+    approximate: bool = True,
+    use_noise_adaptivity: bool = True,
+    error_scales: Optional[Dict[str, float]] = None,
+    ideal_override: Optional[Callable[[QuantumCircuit], np.ndarray]] = None,
+) -> StudyResult:
+    """Compile + simulate + score every circuit under every instruction set.
+
+    A single device instance is shared by all instruction sets so that every
+    set sees the *same* sampled calibration data (as on a real device), and
+    a single decomposer instance is shared so fidelity profiles are reused.
+    ``error_scales`` optionally maps instruction-set names to error-rate
+    multipliers (used for the scaled FullfSim variants of Figure 10).
+    """
+    decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+    options = options or SimulationOptions()
+    error_scales = error_scales or {}
+    device = device_factory()
+    study = StudyResult(application=application, metric_name=metric_name)
+
+    ideal_cache: Dict[int, np.ndarray] = {}
+    for name, instruction_set in instruction_sets.items():
+        result = InstructionSetResult(instruction_set=name, metric_name=metric_name)
+        for index, circuit in enumerate(circuits):
+            if index not in ideal_cache:
+                if ideal_override is not None:
+                    ideal_cache[index] = ideal_override(circuit)
+                else:
+                    ideal_cache[index] = ideal_probabilities(circuit)
+            compiled = compile_circuit(
+                circuit,
+                device,
+                instruction_set,
+                decomposer=decomposer,
+                approximate=approximate,
+                use_noise_adaptivity=use_noise_adaptivity,
+                error_scale=error_scales.get(name, 1.0),
+            )
+            measured = simulate_compiled(compiled, device, options)
+            value = metric(measured, ideal_cache[index])
+            result.metric_values.append(float(value))
+            result.two_qubit_counts.append(compiled.two_qubit_gate_count)
+            result.swap_counts.append(compiled.num_swaps)
+            for label, count in compiled.gate_type_usage.items():
+                result.gate_type_usage[label] = result.gate_type_usage.get(label, 0) + count
+        study.per_set[name] = result
+    return study

@@ -1,0 +1,114 @@
+"""Tables I and II of the paper as data.
+
+Table I lists the current and anticipated two-qubit gate types of Rigetti
+and Google systems; Table II lists every instruction set studied.  The
+functions here regenerate the table contents from the library's own gate
+and instruction-set definitions so the benchmark harness can check them
+for consistency (unitarity, local-equivalence identities, set membership).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.gate_types import S_TYPE_FSIM_PARAMETERS, google_gate_type
+from repro.core.instruction_sets import table2_catalogue
+from repro.gates.kak import is_locally_equivalent
+from repro.gates.parametric import fsim, xy
+from repro.gates.standard import CZ, ISWAP, SQRT_ISWAP, SYC
+
+
+@dataclass
+class Table1Row:
+    """One gate entry of Table I."""
+
+    vendor: str
+    status: str
+    gate_name: str
+    matrix: np.ndarray
+    fidelity_range: str
+
+
+def table1_rows() -> List[Table1Row]:
+    """The gate types of Table I with representative fidelity ranges."""
+    return [
+        Table1Row("rigetti", "current", "CZ", CZ.copy(), "~95%"),
+        Table1Row("rigetti", "current", "XY(pi)", xy(np.pi), "~95%"),
+        Table1Row("rigetti", "anticipated", "XY(theta)", xy(np.pi / 3), "95-99%"),
+        Table1Row("google", "current", "CZ", CZ.copy(), "~99.6%"),
+        Table1Row("google", "current", "SYC", SYC.copy(), "~99.6%"),
+        Table1Row("google", "current", "sqrt_iSWAP", SQRT_ISWAP.copy(), "~99.4%"),
+        Table1Row("google", "anticipated", "fSim(theta, phi)", fsim(0.7, 0.9), "~99.6%"),
+    ]
+
+
+def table1_identities() -> Dict[str, bool]:
+    """Gate identities asserted by Table I / Table II footnotes.
+
+    ``XY(theta) = iSWAP(theta/2) = fSim(theta/2, 0)`` and
+    ``CZ(phi) = fSim(0, phi)`` up to single-qubit rotations, plus the named
+    special cases.
+    """
+    theta = 1.234
+    phi = 2.345
+    return {
+        "xy_equals_fsim": is_locally_equivalent(xy(theta), fsim(theta / 2, 0.0)),
+        "cphase_equals_fsim": is_locally_equivalent(
+            np.diag([1, 1, 1, np.exp(1j * phi)]), fsim(0.0, phi)
+        ),
+        "cz_is_fsim_0_pi": is_locally_equivalent(CZ, fsim(0.0, np.pi)),
+        "iswap_is_fsim_pi2_0": is_locally_equivalent(ISWAP, fsim(np.pi / 2, 0.0)),
+        "sqrt_iswap_is_fsim_pi4_0": is_locally_equivalent(SQRT_ISWAP, fsim(np.pi / 4, 0.0)),
+        "syc_is_fsim_pi2_pi6": np.allclose(SYC, fsim(np.pi / 2, np.pi / 6)),
+    }
+
+
+@dataclass
+class Table2Row:
+    """One instruction set of Table II."""
+
+    name: str
+    kind: str
+    members: List[str] = field(default_factory=list)
+    num_gate_types: int = 0
+
+
+def table2_rows() -> List[Table2Row]:
+    """Every instruction set of Table II, regenerated from the catalogue."""
+    rows: List[Table2Row] = []
+    for name, instruction_set in table2_catalogue().items():
+        if instruction_set.is_continuous:
+            kind = "continuous"
+        elif instruction_set.num_gate_types == 1:
+            kind = "single"
+        else:
+            kind = "multi"
+        rows.append(
+            Table2Row(
+                name=name,
+                kind=kind,
+                members=instruction_set.labels(),
+                num_gate_types=instruction_set.num_gate_types,
+            )
+        )
+    return rows
+
+
+def s_type_parameter_table() -> Dict[str, Dict[str, float]]:
+    """The S1-S7 fSim parameters (Table II header identities)."""
+    table = {}
+    for label, (theta, phi) in S_TYPE_FSIM_PARAMETERS.items():
+        table[label] = {"theta": float(theta), "phi": float(phi)}
+    return table
+
+
+def verify_s_type_equivalences() -> Dict[str, bool]:
+    """Check that each S-type gate matches its documented fSim parameters."""
+    checks = {}
+    for label, (theta, phi) in S_TYPE_FSIM_PARAMETERS.items():
+        gate_type = google_gate_type(label)
+        checks[label] = is_locally_equivalent(gate_type.matrix, fsim(theta, phi))
+    return checks

@@ -1,0 +1,149 @@
+"""Gate library: fixed and parametric quantum gate unitaries.
+
+This subpackage is the lowest-level substrate of the reproduction.  It
+provides:
+
+* :mod:`repro.gates.standard` -- fixed single- and two-qubit gate matrices
+  (Pauli gates, Hadamard, CZ, CNOT, iSWAP, SWAP, SYC, ...).
+* :mod:`repro.gates.parametric` -- parameterized gate families used by the
+  paper: ``U3``, axis rotations, ``fSim(theta, phi)``, ``XY(theta)``,
+  ``CPHASE(phi)`` and the canonical (Weyl) two-qubit gate.
+* :mod:`repro.gates.unitary` -- utilities for working with unitaries:
+  Haar-random sampling, fidelity measures (Hilbert-Schmidt / average gate
+  fidelity), global-phase-insensitive comparison, single-qubit (ZYZ)
+  synthesis and nearest-Kronecker-product factoring.
+* :mod:`repro.gates.kak` -- local-equivalence invariants of two-qubit
+  unitaries (Makhlin-style invariants computed from the magic-basis
+  ``gamma`` matrix), Weyl-chamber coordinates and minimal gate-count
+  criteria used by the KAK/"Cirq-like" baseline decomposer.
+"""
+
+from repro.gates.standard import (
+    I1,
+    I2,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    SDG,
+    T,
+    TDG,
+    SX,
+    CZ,
+    CNOT,
+    SWAP,
+    ISWAP,
+    SQRT_ISWAP,
+    SYC,
+    standard_gate,
+    STANDARD_GATES,
+)
+from repro.gates.parametric import (
+    rx,
+    ry,
+    rz,
+    phase_gate,
+    u3,
+    fsim,
+    xy,
+    cphase,
+    rzz,
+    rxx_plus_ryy,
+    canonical_gate,
+    controlled_rz,
+)
+from repro.gates.unitary import (
+    is_unitary,
+    is_hermitian,
+    random_unitary,
+    random_su4,
+    random_special_unitary,
+    allclose_up_to_global_phase,
+    remove_global_phase,
+    hilbert_schmidt_fidelity,
+    average_gate_fidelity,
+    process_fidelity_from_hs,
+    unitary_distance,
+    kron_n,
+    embed_unitary,
+    nearest_kronecker_product,
+    zyz_angles,
+    u3_angles_from_unitary,
+)
+from repro.gates.kak import (
+    MAGIC_BASIS,
+    gamma_matrix,
+    local_invariants,
+    invariant_distance,
+    is_locally_equivalent,
+    weyl_coordinates,
+    min_cz_count,
+    min_iswap_count,
+    min_sqrt_iswap_count,
+    min_gate_count,
+)
+
+__all__ = [
+    # standard
+    "I1",
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "CZ",
+    "CNOT",
+    "SWAP",
+    "ISWAP",
+    "SQRT_ISWAP",
+    "SYC",
+    "standard_gate",
+    "STANDARD_GATES",
+    # parametric
+    "rx",
+    "ry",
+    "rz",
+    "phase_gate",
+    "u3",
+    "fsim",
+    "xy",
+    "cphase",
+    "rzz",
+    "rxx_plus_ryy",
+    "canonical_gate",
+    "controlled_rz",
+    # unitary utils
+    "is_unitary",
+    "is_hermitian",
+    "random_unitary",
+    "random_su4",
+    "random_special_unitary",
+    "allclose_up_to_global_phase",
+    "remove_global_phase",
+    "hilbert_schmidt_fidelity",
+    "average_gate_fidelity",
+    "process_fidelity_from_hs",
+    "unitary_distance",
+    "kron_n",
+    "embed_unitary",
+    "nearest_kronecker_product",
+    "zyz_angles",
+    "u3_angles_from_unitary",
+    # kak
+    "MAGIC_BASIS",
+    "gamma_matrix",
+    "local_invariants",
+    "invariant_distance",
+    "is_locally_equivalent",
+    "weyl_coordinates",
+    "min_cz_count",
+    "min_iswap_count",
+    "min_sqrt_iswap_count",
+    "min_gate_count",
+]

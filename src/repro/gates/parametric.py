@@ -1,0 +1,171 @@
+"""Parametric gate families.
+
+The key families from the paper (Table I):
+
+* ``fSim(theta, phi)`` -- Google's proposed continuous family.
+* ``XY(theta)`` -- Rigetti's proposed family; ``XY(theta)`` equals
+  ``fSim(theta/2, 0)`` up to single-qubit rotations (the paper's identity
+  ``XY(theta) = iSWAP(theta/2) = fSim(theta/2, 0)``).
+* ``CPHASE(phi) = CZ(phi) = fSim(0, phi)``.
+* ``U3(alpha, beta, lambda)`` -- arbitrary single-qubit rotation used in
+  NuOp's template circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``."""
+    c = np.cos(theta / 2)
+    s = np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``."""
+    c = np.cos(theta / 2)
+    s = np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta``."""
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def phase_gate(phi: float) -> np.ndarray:
+    """Diagonal phase gate ``diag(1, exp(i*phi))``."""
+    return np.array([[1, 0], [0, np.exp(1j * phi)]], dtype=complex)
+
+
+def u3(alpha: float, beta: float, lam: float) -> np.ndarray:
+    """Arbitrary single-qubit rotation with three Euler angles.
+
+    Uses the convention printed in the paper (footnote 1)::
+
+        U3(a, b, l) = [[cos(a/2),           -exp(i*l) sin(a/2)],
+                       [exp(i*b) sin(a/2),   exp(i*(b+l)) cos(a/2)]]
+    """
+    c = np.cos(alpha / 2)
+    s = np.sin(alpha / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * beta) * s, np.exp(1j * (beta + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def fsim(theta: float, phi: float) -> np.ndarray:
+    """Google ``fSim(theta, phi)`` gate (Table I).
+
+    ``fSim(pi/2, pi/6)`` is the Sycamore (SYC) gate, ``fSim(pi/4, 0)`` is
+    sqrt(iSWAP), ``fSim(0, pi)`` is CZ and ``fSim(pi/2, 0)`` is iSWAP (all up
+    to single-qubit rotations and global phase).
+    """
+    c = np.cos(theta)
+    s = np.sin(theta)
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, np.exp(-1j * phi)],
+        ],
+        dtype=complex,
+    )
+
+
+def xy(theta: float) -> np.ndarray:
+    """Rigetti ``XY(theta)`` gate (Table I).
+
+    ``XY(pi)`` is the iSWAP gate up to single-qubit rotations, and
+    ``XY(theta)`` is locally equivalent to ``fSim(theta/2, 0)``.
+    """
+    c = np.cos(theta / 2)
+    s = np.sin(theta / 2)
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, 1j * s, 0],
+            [0, 1j * s, c, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    )
+
+
+def cphase(phi: float) -> np.ndarray:
+    """Controlled-phase gate ``CZ(phi) = diag(1, 1, 1, exp(i*phi))``.
+
+    ``cphase(pi)`` is the CZ gate.  In fSim notation this is
+    ``fSim(0, -phi)`` (the fSim convention carries a minus sign on phi).
+    """
+    return np.diag([1, 1, 1, np.exp(1j * phi)]).astype(complex)
+
+
+def rzz(beta: float) -> np.ndarray:
+    """Two-qubit ZZ interaction ``exp(-i * beta * Z (x) Z)``.
+
+    This is the native two-qubit operation of QAOA MaxCut circuits
+    (Figure 2b of the paper) and of the Fermi-Hubbard Trotter step.
+    """
+    return np.diag(
+        [
+            np.exp(-1j * beta),
+            np.exp(1j * beta),
+            np.exp(1j * beta),
+            np.exp(-1j * beta),
+        ]
+    ).astype(complex)
+
+
+def rxx_plus_ryy(beta: float) -> np.ndarray:
+    """Excitation-preserving ``exp(-i * beta * (XX + YY) / 2)`` interaction.
+
+    This is the hopping term of the Fermi-Hubbard model after the
+    Jordan-Wigner transformation; it is locally equivalent to an
+    ``XY(2*beta)`` rotation.
+    """
+    c = np.cos(beta)
+    s = np.sin(beta)
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, 1],
+        ],
+        dtype=complex,
+    )
+
+
+def canonical_gate(a: float, b: float, c: float) -> np.ndarray:
+    """Canonical (Weyl chamber) two-qubit gate ``exp(i (a XX + b YY + c ZZ))``.
+
+    Every two-qubit unitary is equivalent, up to single-qubit rotations
+    before and after, to a canonical gate.  The coordinates ``(a, b, c)``
+    are the Weyl-chamber coordinates returned by
+    :func:`repro.gates.kak.weyl_coordinates`.
+    """
+    xx = np.kron(np.array([[0, 1], [1, 0]]), np.array([[0, 1], [1, 0]]))
+    yy = np.kron(np.array([[0, -1j], [1j, 0]]), np.array([[0, -1j], [1j, 0]]))
+    zz = np.kron(np.diag([1, -1]), np.diag([1, -1]))
+    from scipy.linalg import expm
+
+    return expm(1j * (a * xx + b * yy + c * zz)).astype(complex)
+
+
+def controlled_rz(phi: float) -> np.ndarray:
+    """Controlled-RZ gate used by the QFT circuit, ``diag(1,1,1,e^{i phi})``.
+
+    Alias for :func:`cphase`; kept separate because the QFT generator in
+    :mod:`repro.applications.qft` refers to controlled rotations
+    ``CZ(pi / 2**t)``.
+    """
+    return cphase(phi)

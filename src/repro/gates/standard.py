@@ -1,0 +1,164 @@
+"""Fixed (non-parametric) gate matrices.
+
+All matrices use the computational basis ordering ``|q1 q0>`` is *not*
+used; instead we use the conventional big-endian ordering where the first
+qubit of a gate is the most significant bit of the basis index.  For a
+two-qubit gate acting on qubits ``(a, b)``, basis state ``|a b>`` maps to
+index ``2*a + b``.  This matches the matrices printed in the paper
+(Table I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Single-qubit gates
+# ---------------------------------------------------------------------------
+
+I1 = np.eye(2, dtype=complex)
+"""Single-qubit identity."""
+
+I2 = np.eye(4, dtype=complex)
+"""Two-qubit identity."""
+
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+"""Pauli X."""
+
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+"""Pauli Y."""
+
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+"""Pauli Z."""
+
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+"""Hadamard."""
+
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+"""Phase gate (sqrt(Z))."""
+
+SDG = S.conj().T
+"""Inverse phase gate."""
+
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+"""T gate (fourth root of Z)."""
+
+TDG = T.conj().T
+"""Inverse T gate."""
+
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+"""Square root of X."""
+
+# ---------------------------------------------------------------------------
+# Two-qubit gates
+# ---------------------------------------------------------------------------
+
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+"""Controlled-Z gate (Table I)."""
+
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+"""Controlled-NOT with the first qubit as control."""
+
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+"""SWAP gate."""
+
+ISWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1j, 0],
+        [0, 1j, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+"""iSWAP gate; locally equivalent to ``XY(pi)`` and ``fSim(pi/2, 0)``."""
+
+SQRT_ISWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1 / np.sqrt(2), 1j / np.sqrt(2), 0],
+        [0, 1j / np.sqrt(2), 1 / np.sqrt(2), 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+"""sqrt(iSWAP) gate; equal to ``fSim(pi/4, 0)`` up to convention (S2 in the paper)."""
+
+
+def _syc_matrix() -> np.ndarray:
+    """Google Sycamore gate ``SYC = fSim(pi/2, pi/6)`` (S1 in the paper)."""
+    theta = np.pi / 2
+    phi = np.pi / 6
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, np.cos(theta), -1j * np.sin(theta), 0],
+            [0, -1j * np.sin(theta), np.cos(theta), 0],
+            [0, 0, 0, np.exp(-1j * phi)],
+        ],
+        dtype=complex,
+    )
+
+
+SYC = _syc_matrix()
+"""Google Sycamore gate ``fSim(pi/2, pi/6)``."""
+
+
+STANDARD_GATES = {
+    "i": I1,
+    "id": I1,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "h": H,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "cz": CZ,
+    "cnot": CNOT,
+    "cx": CNOT,
+    "swap": SWAP,
+    "iswap": ISWAP,
+    "sqrt_iswap": SQRT_ISWAP,
+    "sqiswap": SQRT_ISWAP,
+    "syc": SYC,
+}
+"""Mapping from lower-case gate name to matrix."""
+
+
+def standard_gate(name: str) -> np.ndarray:
+    """Return a copy of the named standard gate matrix.
+
+    Parameters
+    ----------
+    name:
+        Case-insensitive gate name; see :data:`STANDARD_GATES` for the list
+        of recognised names.
+
+    Raises
+    ------
+    KeyError
+        If the gate name is not known.
+    """
+    key = name.lower()
+    if key not in STANDARD_GATES:
+        raise KeyError(f"unknown standard gate {name!r}")
+    return STANDARD_GATES[key].copy()

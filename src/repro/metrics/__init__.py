@@ -1,0 +1,47 @@
+"""Application-level reliability metrics used in the paper's evaluation.
+
+* heavy output probability (QV),
+* cross-entropy difference (QAOA) and linear XEB fidelity (Fermi-Hubbard),
+* success rate (QFT),
+* generic distribution distances and permutation helpers.
+"""
+
+from repro.metrics.distributions import (
+    validate_distribution,
+    total_variation_distance,
+    hellinger_fidelity,
+    kl_divergence,
+    cross_entropy,
+    permute_distribution,
+    uniform_distribution,
+)
+from repro.metrics.hop import (
+    heavy_output_set,
+    heavy_output_probability,
+    ideal_heavy_output_probability,
+    passes_quantum_volume_threshold,
+)
+from repro.metrics.xeb import (
+    cross_entropy_difference,
+    linear_xeb_fidelity,
+    normalized_linear_xeb_fidelity,
+)
+from repro.metrics.success import success_rate
+
+__all__ = [
+    "validate_distribution",
+    "total_variation_distance",
+    "hellinger_fidelity",
+    "kl_divergence",
+    "cross_entropy",
+    "permute_distribution",
+    "uniform_distribution",
+    "heavy_output_set",
+    "heavy_output_probability",
+    "ideal_heavy_output_probability",
+    "passes_quantum_volume_threshold",
+    "cross_entropy_difference",
+    "linear_xeb_fidelity",
+    "normalized_linear_xeb_fidelity",
+    "success_rate",
+]

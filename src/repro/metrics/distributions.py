@@ -1,0 +1,75 @@
+"""Distribution-level helpers shared by the application metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def validate_distribution(probabilities: Sequence[float]) -> np.ndarray:
+    """Return a normalised, non-negative copy of a probability vector."""
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1:
+        raise ValueError("expected a one-dimensional probability vector")
+    if np.any(probs < -1e-9):
+        raise ValueError("probabilities must be non-negative")
+    probs = np.clip(probs, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("probability vector sums to zero")
+    return probs / total
+
+
+def total_variation_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """Total variation distance ``0.5 * sum |p - q|``."""
+    p = validate_distribution(p)
+    q = validate_distribution(q)
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def hellinger_fidelity(p: Sequence[float], q: Sequence[float]) -> float:
+    """Hellinger fidelity ``(sum sqrt(p q))^2`` between two distributions."""
+    p = validate_distribution(p)
+    q = validate_distribution(q)
+    return float(np.sum(np.sqrt(p * q)) ** 2)
+
+
+def kl_divergence(p: Sequence[float], q: Sequence[float], epsilon: float = 1e-12) -> float:
+    """Kullback-Leibler divergence ``D(p || q)`` with clipping for zeros."""
+    p = validate_distribution(p)
+    q = validate_distribution(q)
+    q = np.clip(q, epsilon, None)
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / q[mask])))
+
+
+def cross_entropy(p: Sequence[float], q: Sequence[float], epsilon: float = 1e-300) -> float:
+    """Cross entropy ``-sum_x p(x) log q(x)`` (natural log)."""
+    p = validate_distribution(p)
+    q = np.asarray(q, dtype=float)
+    q = np.clip(q, epsilon, None)
+    return float(-np.sum(p * np.log(q)))
+
+
+def permute_distribution(probabilities: Sequence[float], qubit_order: Sequence[int]) -> np.ndarray:
+    """Reorder the qubits of a distribution.
+
+    ``qubit_order[i]`` gives the current axis that should become qubit ``i``
+    of the output.  Used to undo the qubit permutation introduced by
+    routing SWAPs before comparing a measured distribution against the
+    ideal program-order distribution.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    num_qubits = int(round(np.log2(probs.size)))
+    if sorted(qubit_order) != list(range(num_qubits)):
+        raise ValueError("qubit_order must be a permutation of the qubits")
+    tensor = probs.reshape((2,) * num_qubits)
+    tensor = np.transpose(tensor, qubit_order)
+    return tensor.reshape(-1)
+
+
+def uniform_distribution(num_qubits: int) -> np.ndarray:
+    """The uniform distribution over ``2^n`` outcomes."""
+    size = 2**num_qubits
+    return np.full(size, 1.0 / size)

@@ -1,0 +1,46 @@
+"""Heavy Output Probability (HOP), the Quantum Volume metric.
+
+For each QV circuit the *heavy outputs* are the basis states whose ideal
+probability exceeds the median ideal probability.  The HOP of a noisy
+execution is the total measured probability mass on the heavy set; an
+ensemble average above 2/3 (with statistical confidence) certifies the
+corresponding quantum volume (Cross et al. 2019, used in Figures 7, 9a
+and 10a of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+from repro.metrics.distributions import validate_distribution
+
+
+def heavy_output_set(ideal_probabilities: Sequence[float]) -> Set[int]:
+    """Indices of outcomes whose ideal probability is above the median."""
+    ideal = validate_distribution(ideal_probabilities)
+    median = float(np.median(ideal))
+    return {int(index) for index, value in enumerate(ideal) if value > median}
+
+
+def heavy_output_probability(
+    measured_probabilities: Sequence[float],
+    ideal_probabilities: Sequence[float],
+) -> float:
+    """Probability mass the measured distribution places on the heavy set."""
+    measured = validate_distribution(measured_probabilities)
+    heavy = heavy_output_set(ideal_probabilities)
+    return float(sum(measured[index] for index in heavy))
+
+
+def ideal_heavy_output_probability(ideal_probabilities: Sequence[float]) -> float:
+    """HOP of a perfect execution (asymptotically ~0.85 for random circuits)."""
+    return heavy_output_probability(ideal_probabilities, ideal_probabilities)
+
+
+def passes_quantum_volume_threshold(hops: Sequence[float], threshold: float = 2.0 / 3.0) -> bool:
+    """True when the ensemble-average HOP exceeds the quantum-volume threshold."""
+    if len(hops) == 0:
+        raise ValueError("need at least one HOP value")
+    return bool(np.mean(hops) > threshold)

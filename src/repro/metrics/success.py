@@ -1,0 +1,25 @@
+"""Success-rate metric for circuits with a known correct outcome (QFT benchmark)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.metrics.distributions import validate_distribution
+
+
+def success_rate(
+    measured_probabilities: Sequence[float],
+    correct_outcomes: Union[int, Iterable[int]],
+) -> float:
+    """Probability that a measurement returns one of the correct outcomes."""
+    measured = validate_distribution(measured_probabilities)
+    if isinstance(correct_outcomes, (int, np.integer)):
+        outcomes = [int(correct_outcomes)]
+    else:
+        outcomes = [int(outcome) for outcome in correct_outcomes]
+    for outcome in outcomes:
+        if not 0 <= outcome < measured.size:
+            raise ValueError(f"outcome {outcome} outside distribution support")
+    return float(sum(measured[outcome] for outcome in outcomes))

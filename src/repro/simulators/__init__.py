@@ -1,0 +1,80 @@
+"""Simulation backends.
+
+* :mod:`repro.simulators.statevector` -- ideal pure-state simulation.
+* :mod:`repro.simulators.noise` -- Kraus channels (depolarizing, amplitude
+  damping, dephasing, thermal relaxation).
+* :mod:`repro.simulators.noise_model` -- calibration-driven noise model.
+* :mod:`repro.simulators.density_matrix` -- exact noisy simulation.
+* :mod:`repro.simulators.trajectory` -- Monte-Carlo trajectory simulation
+  for larger circuits.
+* :mod:`repro.simulators.sampling` -- shot sampling and readout error.
+* :mod:`repro.simulators.estimator` -- analytic fidelity estimates.
+"""
+
+from repro.simulators.statevector import (
+    zero_state,
+    apply_gate,
+    simulate_statevector,
+    probabilities,
+    ideal_probabilities,
+    expectation_value,
+    state_fidelity,
+)
+from repro.simulators.noise import (
+    KrausChannel,
+    depolarizing_channel,
+    depolarizing_probability_from_error_rate,
+    amplitude_damping_channel,
+    phase_damping_channel,
+    bit_flip_channel,
+    thermal_relaxation_channel,
+    compose_channels,
+    expand_channel,
+    average_channel_fidelity,
+)
+from repro.simulators.noise_model import NoiseModel
+from repro.simulators.density_matrix import (
+    DensityMatrixSimulator,
+    DensityMatrixResult,
+    apply_channel_to_rho,
+)
+from repro.simulators.trajectory import TrajectorySimulator
+from repro.simulators.sampling import Counts, sample_counts, apply_readout_error
+from repro.simulators.estimator import (
+    circuit_gate_fidelity,
+    circuit_duration,
+    decoherence_factor,
+    estimate_circuit_fidelity,
+)
+
+__all__ = [
+    "zero_state",
+    "apply_gate",
+    "simulate_statevector",
+    "probabilities",
+    "ideal_probabilities",
+    "expectation_value",
+    "state_fidelity",
+    "KrausChannel",
+    "depolarizing_channel",
+    "depolarizing_probability_from_error_rate",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "bit_flip_channel",
+    "thermal_relaxation_channel",
+    "compose_channels",
+    "expand_channel",
+    "average_channel_fidelity",
+    "NoiseModel",
+    "DensityMatrixSimulator",
+    "DensityMatrixResult",
+    "apply_channel_to_rho",
+    "TrajectorySimulator",
+    "Counts",
+    "sample_counts",
+    "apply_readout_error",
+    "circuit_gate_fidelity",
+    "circuit_duration",
+    "decoherence_factor",
+    "estimate_circuit_fidelity",
+]

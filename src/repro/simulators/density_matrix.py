@@ -1,0 +1,167 @@
+"""Density-matrix simulation with noise.
+
+Exact (all Kraus branches) simulation of noisy circuits.  Memory scales as
+``4^n`` so this simulator is used for the 3-6 qubit benchmark circuits of
+Figures 7, 9 and 10; larger circuits (10/20-qubit Fermi-Hubbard) use the
+Monte-Carlo trajectory simulator instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import as_moments
+from repro.simulators.noise import KrausChannel
+from repro.simulators.noise_model import NoiseModel
+
+_MAX_DENSITY_MATRIX_QUBITS = 12
+
+
+@dataclass
+class DensityMatrixResult:
+    """Final density matrix of a simulation plus convenience accessors."""
+
+    density_matrix: np.ndarray
+    num_qubits: int
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis measurement probabilities."""
+        probs = np.real(np.diagonal(self.density_matrix)).copy()
+        probs[probs < 0] = 0.0
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("density matrix has non-positive trace")
+        return probs / total
+
+    def purity(self) -> float:
+        """Purity ``Tr(rho^2)`` of the final state."""
+        rho = self.density_matrix
+        return float(np.real(np.trace(rho @ rho)))
+
+    def fidelity_with_state(self, state: np.ndarray) -> float:
+        """Fidelity ``<psi| rho |psi>`` against a pure reference state."""
+        state = np.asarray(state, dtype=complex)
+        state = state / np.linalg.norm(state)
+        return float(np.real(np.vdot(state, self.density_matrix @ state)))
+
+
+def _apply_matrix_to_rho(
+    rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply ``matrix . rho . matrix^dagger`` restricted to ``qubits``."""
+    qubits = list(qubits)
+    k = len(qubits)
+    tensor = rho.reshape((2,) * (2 * num_qubits))
+    gate = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+
+    # Left multiplication on the row axes.
+    tensor = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), qubits))
+    current = qubits + [axis for axis in range(2 * num_qubits) if axis not in qubits]
+    inverse = [current.index(axis) for axis in range(2 * num_qubits)]
+    tensor = np.transpose(tensor, inverse)
+
+    # Right multiplication (by the conjugate) on the column axes.
+    column_axes = [num_qubits + q for q in qubits]
+    tensor = np.tensordot(gate.conj(), tensor, axes=(list(range(k, 2 * k)), column_axes))
+    current = column_axes + [axis for axis in range(2 * num_qubits) if axis not in column_axes]
+    inverse = [current.index(axis) for axis in range(2 * num_qubits)]
+    tensor = np.transpose(tensor, inverse)
+
+    dim = 2**num_qubits
+    return tensor.reshape(dim, dim)
+
+
+def apply_channel_to_rho(
+    rho: np.ndarray, channel: KrausChannel, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a Kraus channel to the given qubits of a density matrix."""
+    result = np.zeros_like(rho)
+    for operator in channel.operators:
+        result += _apply_matrix_to_rho(rho, operator, qubits, num_qubits)
+    return result
+
+
+class DensityMatrixSimulator:
+    """Noisy circuit simulator based on full density matrices."""
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None):
+        self.noise_model = noise_model
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        physical_qubits: Optional[Sequence[int]] = None,
+        initial_state: Optional[np.ndarray] = None,
+    ) -> DensityMatrixResult:
+        """Simulate ``circuit`` and return the final density matrix.
+
+        Parameters
+        ----------
+        circuit:
+            Circuit expressed on ``circuit.num_qubits`` local qubits.
+        physical_qubits:
+            ``physical_qubits[i]`` is the physical (device) qubit backing
+            circuit qubit ``i``; used only for noise-model lookups.
+            Defaults to the identity mapping.
+        initial_state:
+            Optional pure initial state (defaults to ``|0...0>``).
+        """
+        n = circuit.num_qubits
+        if n > _MAX_DENSITY_MATRIX_QUBITS:
+            raise ValueError(
+                f"density-matrix simulation limited to {_MAX_DENSITY_MATRIX_QUBITS} qubits; "
+                "use the trajectory simulator for larger circuits"
+            )
+        if physical_qubits is None:
+            physical_qubits = list(range(n))
+        dim = 2**n
+        if initial_state is None:
+            rho = np.zeros((dim, dim), dtype=complex)
+            rho[0, 0] = 1.0
+        else:
+            state = np.asarray(initial_state, dtype=complex)
+            state = state / np.linalg.norm(state)
+            rho = np.outer(state, state.conj())
+
+        for moment, duration in self._moments_with_durations(circuit):
+            busy = set()
+            for operation in moment:
+                busy.update(operation.qubits)
+                rho = _apply_matrix_to_rho(rho, operation.gate.matrix, operation.qubits, n)
+                if self.noise_model is not None:
+                    for channel, qubits in self.noise_model.error_channels_for_operation(
+                        operation, physical_qubits
+                    ):
+                        rho = apply_channel_to_rho(rho, channel, qubits, n)
+            if self.noise_model is not None and duration > 0:
+                for qubit in range(n):
+                    if qubit in busy:
+                        continue
+                    idle = self.noise_model.idle_channel(
+                        qubit, physical_qubits[qubit], duration
+                    )
+                    if idle is not None:
+                        channel, qubits = idle
+                        rho = apply_channel_to_rho(rho, channel, qubits, n)
+        return DensityMatrixResult(density_matrix=rho, num_qubits=n)
+
+    def _moments_with_durations(
+        self, circuit: QuantumCircuit
+    ) -> List[Tuple[List, float]]:
+        """ASAP moments paired with the moment duration (max gate duration)."""
+        moments = as_moments(circuit)
+        result = []
+        for moment in moments:
+            if self.noise_model is None:
+                duration = 0.0
+            else:
+                duration = max(
+                    (self.noise_model.operation_duration(op) for op in moment),
+                    default=0.0,
+                )
+            result.append((moment, duration))
+        return result

@@ -1,0 +1,197 @@
+"""Calibration-driven noise model.
+
+A :class:`NoiseModel` holds the per-qubit and per-edge calibration data a
+device exposes (gate error rates per gate type, T1/T2 times, gate
+durations, readout error) and converts it into the Kraus channels applied
+by the density-matrix and trajectory simulators.  The construction follows
+the paper's simulation setup (Section VI): depolarizing errors scaled by
+the calibrated gate error rates plus amplitude damping / dephasing from
+T1, T2 and gate durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Operation
+from repro.simulators.noise import (
+    KrausChannel,
+    depolarizing_channel,
+    depolarizing_probability_from_error_rate,
+    thermal_relaxation_channel,
+)
+
+Edge = Tuple[int, int]
+
+
+def _canonical_edge(pair: Sequence[int]) -> Edge:
+    a, b = int(pair[0]), int(pair[1])
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class NoiseModel:
+    """Container for calibration data plus channel construction.
+
+    All error rates are average gate *infidelities* (``1 - fidelity``).
+    Durations are in nanoseconds; T1/T2 in the same unit.
+    """
+
+    single_qubit_error: Dict[int, float] = field(default_factory=dict)
+    two_qubit_error: Dict[Edge, Dict[str, float]] = field(default_factory=dict)
+    default_single_qubit_error: float = 1e-3
+    default_two_qubit_error: float = 1e-2
+    t1: Dict[int, float] = field(default_factory=dict)
+    t2: Dict[int, float] = field(default_factory=dict)
+    default_t1: float = 15_000.0
+    default_t2: float = 15_000.0
+    readout_error: Dict[int, float] = field(default_factory=dict)
+    default_readout_error: float = 0.0
+    single_qubit_duration: float = 25.0
+    two_qubit_duration: float = 32.0
+    gate_durations: Dict[str, float] = field(default_factory=dict)
+    include_thermal_relaxation: bool = True
+    include_idle_noise: bool = True
+
+    # -- calibration lookups -------------------------------------------------
+
+    def single_qubit_error_rate(self, qubit: int) -> float:
+        """Error rate of single-qubit gates on ``qubit``."""
+        return self.single_qubit_error.get(int(qubit), self.default_single_qubit_error)
+
+    def two_qubit_error_rate(self, type_key: str, pair: Sequence[int]) -> float:
+        """Error rate of the two-qubit gate type ``type_key`` on edge ``pair``."""
+        edge = _canonical_edge(pair)
+        per_edge = self.two_qubit_error.get(edge, {})
+        if type_key in per_edge:
+            return per_edge[type_key]
+        if "*" in per_edge:
+            return per_edge["*"]
+        return self.default_two_qubit_error
+
+    def set_two_qubit_error_rate(
+        self, type_key: str, pair: Sequence[int], error_rate: float
+    ) -> None:
+        """Register the error rate of a gate type on an edge."""
+        edge = _canonical_edge(pair)
+        self.two_qubit_error.setdefault(edge, {})[type_key] = float(error_rate)
+
+    def qubit_t1(self, qubit: int) -> float:
+        """T1 relaxation time of ``qubit``."""
+        return self.t1.get(int(qubit), self.default_t1)
+
+    def qubit_t2(self, qubit: int) -> float:
+        """T2 coherence time of ``qubit``."""
+        return self.t2.get(int(qubit), self.default_t2)
+
+    def qubit_readout_error(self, qubit: int) -> float:
+        """Readout (measurement bit-flip) error probability of ``qubit``."""
+        return self.readout_error.get(int(qubit), self.default_readout_error)
+
+    def operation_duration(self, operation: Operation) -> float:
+        """Duration (ns) of an operation, looked up by gate type key."""
+        key = operation.gate.type_key
+        if key in self.gate_durations:
+            return self.gate_durations[key]
+        if operation.gate.name in self.gate_durations:
+            return self.gate_durations[operation.gate.name]
+        if operation.is_two_qubit:
+            return self.two_qubit_duration
+        return self.single_qubit_duration
+
+    def operation_fidelity(self, operation: Operation, physical_qubits: Sequence[int]) -> float:
+        """Hardware fidelity ``1 - error rate`` of ``operation``.
+
+        ``physical_qubits[i]`` is the physical qubit backing circuit qubit
+        ``i``; the operation's qubit indices are circuit-local.
+        """
+        physical = [physical_qubits[q] for q in operation.qubits]
+        if operation.is_two_qubit:
+            rate = self.two_qubit_error_rate(operation.gate.type_key, physical)
+        else:
+            rate = self.single_qubit_error_rate(physical[0])
+        return 1.0 - rate
+
+    # -- channel construction --------------------------------------------------
+
+    def error_channels_for_operation(
+        self, operation: Operation, physical_qubits: Sequence[int]
+    ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        """Error channels to apply after ``operation``.
+
+        Returns ``(channel, circuit_qubits)`` pairs.  The depolarizing part
+        acts jointly on the operation's qubits; thermal relaxation acts on
+        each qubit individually for the gate's duration.
+        """
+        channels: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
+        physical = [physical_qubits[q] for q in operation.qubits]
+        if operation.is_two_qubit:
+            rate = self.two_qubit_error_rate(operation.gate.type_key, physical)
+            probability = depolarizing_probability_from_error_rate(rate, 2)
+            if probability > 0:
+                channels.append(
+                    (depolarizing_channel(probability, 2), tuple(operation.qubits))
+                )
+        else:
+            rate = self.single_qubit_error_rate(physical[0])
+            probability = depolarizing_probability_from_error_rate(rate, 1)
+            if probability > 0:
+                channels.append(
+                    (depolarizing_channel(probability, 1), tuple(operation.qubits))
+                )
+        if self.include_thermal_relaxation:
+            duration = self.operation_duration(operation)
+            for circuit_qubit, physical_qubit in zip(operation.qubits, physical):
+                channel = thermal_relaxation_channel(
+                    duration, self.qubit_t1(physical_qubit), self.qubit_t2(physical_qubit)
+                )
+                if not channel.is_identity():
+                    channels.append((channel, (circuit_qubit,)))
+        return channels
+
+    def idle_channel(
+        self, circuit_qubit: int, physical_qubit: int, duration: float
+    ) -> Optional[Tuple[KrausChannel, Tuple[int, ...]]]:
+        """Thermal relaxation applied to a qubit idling for ``duration``."""
+        if not (self.include_thermal_relaxation and self.include_idle_noise):
+            return None
+        if duration <= 0:
+            return None
+        channel = thermal_relaxation_channel(
+            duration, self.qubit_t1(physical_qubit), self.qubit_t2(physical_qubit)
+        )
+        if channel.is_identity():
+            return None
+        return channel, (circuit_qubit,)
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        num_qubits: int,
+        two_qubit_error: float,
+        single_qubit_error: float = 1e-3,
+        t1: float = 15_000.0,
+        t2: float = 15_000.0,
+        readout_error: float = 0.0,
+    ) -> "NoiseModel":
+        """Noise model with identical parameters on every qubit and edge.
+
+        Useful for controlled experiments such as the error-rate sweeps of
+        Figures 7 and 10f, where the paper varies a single mean error rate.
+        """
+        model = cls(
+            default_single_qubit_error=single_qubit_error,
+            default_two_qubit_error=two_qubit_error,
+            default_t1=t1,
+            default_t2=t2,
+            default_readout_error=readout_error,
+        )
+        for qubit in range(num_qubits):
+            model.single_qubit_error[qubit] = single_qubit_error
+            model.t1[qubit] = t1
+            model.t2[qubit] = t2
+            model.readout_error[qubit] = readout_error
+        return model

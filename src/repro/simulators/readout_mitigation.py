@@ -1,0 +1,120 @@
+"""Readout-error mitigation.
+
+Both device models carry per-qubit readout error rates (1.6% on Sycamore,
+several percent on Aspen-8), which systematically bias the HOP / XED /
+success-rate metrics.  This module implements the standard
+confusion-matrix mitigation used on real systems: build the tensor-product
+assignment matrix from the per-qubit readout error rates, then recover the
+pre-readout distribution by matrix inversion or by constrained least
+squares (which keeps the result a valid probability vector).
+
+Mitigation is *not* applied inside the paper-reproduction pipeline (the
+paper reports raw metrics); it is provided for the extension studies and
+exposed through :class:`ReadoutMitigator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import nnls
+
+
+def single_qubit_confusion(error_rate: float, asymmetry: float = 0.0) -> np.ndarray:
+    """2x2 assignment matrix ``A[measured, prepared]`` for one qubit.
+
+    ``error_rate`` is the mean probability of flipping the outcome;
+    ``asymmetry`` shifts the 1->0 flip probability relative to the 0->1
+    flip (real devices usually misread |1> more often because of T1 decay
+    during readout).
+    """
+    if not 0.0 <= error_rate < 0.5:
+        raise ValueError("readout error rate must be in [0, 0.5)")
+    p01 = error_rate * (1.0 - asymmetry)  # prepared 0, measured 1
+    p10 = error_rate * (1.0 + asymmetry)  # prepared 1, measured 0
+    if not (0.0 <= p01 <= 1.0 and 0.0 <= p10 <= 1.0):
+        raise ValueError("asymmetry pushes a flip probability outside [0, 1]")
+    return np.array([[1.0 - p01, p10], [p01, 1.0 - p10]], dtype=float)
+
+
+def confusion_matrix(
+    readout_errors: Sequence[float], asymmetry: float = 0.0
+) -> np.ndarray:
+    """Tensor-product assignment matrix for a register of qubits.
+
+    Qubit 0 is the most significant bit of the basis index, matching the
+    simulator convention, so the Kronecker product runs in qubit order.
+    """
+    if len(readout_errors) == 0:
+        raise ValueError("need at least one qubit")
+    matrix = np.array([[1.0]])
+    for error_rate in readout_errors:
+        matrix = np.kron(matrix, single_qubit_confusion(float(error_rate), asymmetry))
+    return matrix
+
+
+def apply_confusion(probabilities: np.ndarray, readout_errors: Sequence[float]) -> np.ndarray:
+    """Forward model: distribution actually measured given the true distribution."""
+    matrix = confusion_matrix(readout_errors)
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.size != matrix.shape[1]:
+        raise ValueError("distribution size does not match the number of qubits")
+    return matrix @ probabilities
+
+
+def mitigate_probabilities(
+    measured: np.ndarray,
+    readout_errors: Sequence[float],
+    method: str = "least_squares",
+) -> np.ndarray:
+    """Recover the pre-readout distribution from a measured one.
+
+    ``method="inverse"`` applies the exact inverse of the assignment matrix
+    and then clips/renormalises (fast, can produce small negative entries
+    before clipping); ``method="least_squares"`` solves a non-negative
+    least-squares problem, which is the numerically robust choice for
+    finite-shot data.
+    """
+    measured = np.asarray(measured, dtype=float)
+    matrix = confusion_matrix(readout_errors)
+    if measured.size != matrix.shape[0]:
+        raise ValueError("distribution size does not match the number of qubits")
+    if method == "inverse":
+        recovered = np.linalg.solve(matrix, measured)
+    elif method == "least_squares":
+        recovered, _ = nnls(matrix, measured)
+    else:
+        raise ValueError("method must be 'inverse' or 'least_squares'")
+    recovered = np.clip(recovered, 0.0, None)
+    total = recovered.sum()
+    if total <= 0:
+        raise ValueError("mitigation produced an all-zero distribution")
+    return recovered / total
+
+
+@dataclass
+class ReadoutMitigator:
+    """Convenience wrapper binding mitigation to a device's calibration data.
+
+    Build it once per (device, physical-qubit selection) and call
+    :meth:`mitigate` on every measured distribution.
+    """
+
+    readout_errors: Sequence[float]
+    method: str = "least_squares"
+
+    @classmethod
+    def for_device(cls, device, physical_qubits: Sequence[int], method: str = "least_squares") -> "ReadoutMitigator":
+        """Mitigator using the device's calibrated per-qubit readout errors."""
+        return cls(readout_errors=device.readout_errors_for(physical_qubits), method=method)
+
+    def mitigate(self, measured: np.ndarray) -> np.ndarray:
+        """Mitigated probability distribution."""
+        return mitigate_probabilities(measured, self.readout_errors, method=self.method)
+
+    def expected_assignment_fidelity(self) -> float:
+        """Probability that an ideal basis state is read out correctly (uniform average)."""
+        matrix = confusion_matrix(self.readout_errors)
+        return float(np.mean(np.diag(matrix)))

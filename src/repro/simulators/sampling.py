@@ -1,0 +1,110 @@
+"""Measurement sampling and readout-error modelling.
+
+The simulators produce output probability distributions; this module turns
+them into shot counts, optionally applying per-qubit readout (measurement
+bit-flip) errors, and provides the small ``Counts`` container used by the
+metrics module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Counts:
+    """Histogram of measured bitstrings.
+
+    Keys are integer basis-state indices (qubit 0 = most significant bit),
+    matching the ordering of probability vectors everywhere else in the
+    library.
+    """
+
+    num_qubits: int
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def shots(self) -> int:
+        """Total number of shots recorded."""
+        return sum(self.counts.values())
+
+    def probability(self, outcome: int) -> float:
+        """Empirical probability of ``outcome``."""
+        if self.shots == 0:
+            return 0.0
+        return self.counts.get(int(outcome), 0) / self.shots
+
+    def to_probability_vector(self) -> np.ndarray:
+        """Dense empirical distribution over all ``2^n`` outcomes."""
+        vector = np.zeros(2**self.num_qubits)
+        for outcome, count in self.counts.items():
+            vector[outcome] = count
+        total = vector.sum()
+        return vector / total if total > 0 else vector
+
+    def to_bitstring_dict(self) -> Dict[str, int]:
+        """Counts keyed by binary strings (``"010"`` style, qubit 0 first)."""
+        return {
+            format(outcome, f"0{self.num_qubits}b"): count
+            for outcome, count in sorted(self.counts.items())
+        }
+
+    def most_common(self, n: int = 1) -> Sequence[int]:
+        """The ``n`` most frequently observed outcomes."""
+        ranked = sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
+        return [outcome for outcome, _ in ranked[:n]]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.counts)
+
+    def __getitem__(self, outcome: int) -> int:
+        return self.counts.get(int(outcome), 0)
+
+
+def apply_readout_error(
+    probabilities: np.ndarray,
+    readout_error: Sequence[float],
+) -> np.ndarray:
+    """Apply independent per-qubit symmetric readout bit-flips to a distribution.
+
+    ``readout_error[q]`` is the probability that qubit ``q`` is read out
+    flipped.  The confusion is applied qubit-by-qubit so the cost is
+    ``O(n * 2^n)`` instead of building the full ``2^n x 2^n`` matrix.
+    """
+    probabilities = np.asarray(probabilities, dtype=float).copy()
+    num_qubits = int(round(np.log2(probabilities.size)))
+    if len(readout_error) != num_qubits:
+        raise ValueError("readout_error must provide one probability per qubit")
+    tensor = probabilities.reshape((2,) * num_qubits)
+    for qubit, p_flip in enumerate(readout_error):
+        if p_flip <= 0:
+            continue
+        confusion = np.array([[1 - p_flip, p_flip], [p_flip, 1 - p_flip]])
+        tensor = np.tensordot(confusion, tensor, axes=([1], [qubit]))
+        order = list(range(1, qubit + 1)) + [0] + list(range(qubit + 1, num_qubits))
+        tensor = np.transpose(tensor, order)
+    return tensor.reshape(-1)
+
+
+def sample_counts(
+    probabilities: np.ndarray,
+    shots: int,
+    rng: Optional[np.random.Generator] = None,
+    readout_error: Optional[Sequence[float]] = None,
+) -> Counts:
+    """Sample ``shots`` measurement outcomes from a probability distribution."""
+    rng = np.random.default_rng(rng)
+    probabilities = np.asarray(probabilities, dtype=float)
+    num_qubits = int(round(np.log2(probabilities.size)))
+    if readout_error is not None:
+        probabilities = apply_readout_error(probabilities, readout_error)
+    probabilities = np.clip(probabilities, 0.0, None)
+    probabilities = probabilities / probabilities.sum()
+    outcomes = rng.choice(probabilities.size, size=int(shots), p=probabilities)
+    counts: Dict[int, int] = {}
+    for outcome in outcomes:
+        counts[int(outcome)] = counts.get(int(outcome), 0) + 1
+    return Counts(num_qubits=num_qubits, counts=counts)

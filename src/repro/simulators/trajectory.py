@@ -1,0 +1,133 @@
+"""Monte-Carlo (quantum trajectory) simulation of noisy circuits.
+
+For circuits too large for density matrices (the 10- and 20-qubit
+Fermi-Hubbard benchmarks of Figure 10f) noise is unravelled into
+stochastic trajectories: each trajectory keeps a pure statevector and
+samples one Kraus branch per error channel.  Averaging the output
+distributions of many trajectories converges to the density-matrix result.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import as_moments
+from repro.simulators.noise import KrausChannel
+from repro.simulators.noise_model import NoiseModel
+from repro.simulators.statevector import apply_gate, zero_state
+
+
+def _apply_channel_stochastically(
+    state: np.ndarray,
+    channel: KrausChannel,
+    qubits: Sequence[int],
+    num_qubits: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample one Kraus branch of ``channel`` and apply it to ``state``."""
+    if len(channel.operators) == 1:
+        return apply_gate(state, channel.operators[0], qubits, num_qubits)
+    probabilities = []
+    branches = []
+    for operator in channel.operators:
+        branch = apply_gate(state, operator, qubits, num_qubits)
+        weight = float(np.real(np.vdot(branch, branch)))
+        probabilities.append(weight)
+        branches.append(branch)
+    probabilities = np.asarray(probabilities)
+    total = probabilities.sum()
+    if total <= 0:
+        raise RuntimeError("channel produced zero total probability")
+    probabilities = probabilities / total
+    choice = rng.choice(len(branches), p=probabilities)
+    branch = branches[choice]
+    return branch / np.linalg.norm(branch)
+
+
+class TrajectorySimulator:
+    """Noisy simulator based on Monte-Carlo averaging of pure-state trajectories."""
+
+    def __init__(
+        self,
+        noise_model: Optional[NoiseModel] = None,
+        num_trajectories: int = 50,
+        seed: Optional[int] = None,
+    ):
+        self.noise_model = noise_model
+        self.num_trajectories = int(num_trajectories)
+        self.seed = seed
+
+    def run_single_trajectory(
+        self,
+        circuit: QuantumCircuit,
+        physical_qubits: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Run one stochastic trajectory and return its final statevector."""
+        n = circuit.num_qubits
+        state = zero_state(n)
+        for moment in as_moments(circuit):
+            busy = set()
+            duration = 0.0
+            if self.noise_model is not None:
+                duration = max(
+                    (self.noise_model.operation_duration(op) for op in moment),
+                    default=0.0,
+                )
+            for operation in moment:
+                busy.update(operation.qubits)
+                state = apply_gate(state, operation.gate.matrix, operation.qubits, n)
+                if self.noise_model is not None:
+                    for channel, qubits in self.noise_model.error_channels_for_operation(
+                        operation, physical_qubits
+                    ):
+                        state = _apply_channel_stochastically(
+                            state, channel, qubits, n, rng
+                        )
+            if self.noise_model is not None and duration > 0:
+                for qubit in range(n):
+                    if qubit in busy:
+                        continue
+                    idle = self.noise_model.idle_channel(
+                        qubit, physical_qubits[qubit], duration
+                    )
+                    if idle is not None:
+                        channel, qubits = idle
+                        state = _apply_channel_stochastically(
+                            state, channel, qubits, n, rng
+                        )
+        return state
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        physical_qubits: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Return the trajectory-averaged output probability distribution."""
+        n = circuit.num_qubits
+        if physical_qubits is None:
+            physical_qubits = list(range(n))
+        rng = np.random.default_rng(self.seed)
+        accumulated = np.zeros(2**n)
+        for _ in range(self.num_trajectories):
+            state = self.run_single_trajectory(circuit, physical_qubits, rng)
+            accumulated += np.abs(state) ** 2
+        return accumulated / self.num_trajectories
+
+    def run_states(
+        self,
+        circuit: QuantumCircuit,
+        physical_qubits: Optional[Sequence[int]] = None,
+    ) -> List[np.ndarray]:
+        """Return the final statevector of every trajectory (for diagnostics)."""
+        n = circuit.num_qubits
+        if physical_qubits is None:
+            physical_qubits = list(range(n))
+        rng = np.random.default_rng(self.seed)
+        return [
+            self.run_single_trajectory(circuit, physical_qubits, rng)
+            for _ in range(self.num_trajectories)
+        ]

@@ -1,0 +1,40 @@
+"""Plain-text rendering of the paper's figures.
+
+The experiments in :mod:`repro.experiments` return structured result
+objects; this package renders them as terminal-friendly text -- horizontal
+bar charts for the Figure 9/10 panels, shaded heatmaps for Figure 8, line
+plots for the Figure 11 scaling curves, and aligned tables for everything
+else.  No plotting dependency is required.
+"""
+
+from repro.visualization.text import (
+    bar_chart,
+    heatmap,
+    histogram,
+    line_plot,
+    render_table,
+    sparkline,
+)
+from repro.visualization.figures import (
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_figure11a,
+    render_study,
+    render_tradeoff,
+)
+
+__all__ = [
+    "bar_chart",
+    "heatmap",
+    "histogram",
+    "line_plot",
+    "render_table",
+    "sparkline",
+    "render_figure8",
+    "render_figure9",
+    "render_figure10",
+    "render_figure11a",
+    "render_study",
+    "render_tradeoff",
+]

@@ -1,0 +1,134 @@
+"""Renderers that turn experiment result objects into text figures.
+
+Each ``render_*`` function takes the result object produced by the matching
+driver in :mod:`repro.experiments` and returns a multi-line string shaped
+like the corresponding figure of the paper (bar panels for Figures 9/10,
+heatmaps for Figure 8, scaling curves for Figure 11a).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.visualization.text import bar_chart, heatmap, line_plot, render_table
+
+QV_THRESHOLD = 2.0 / 3.0
+"""Heavy-output-probability threshold marking a quantum-volume pass."""
+
+
+def render_study(study, reference: Optional[float] = None) -> str:
+    """Bar-chart rendering of one :class:`StudyResult` panel.
+
+    The bars are annotated with the mean two-qubit instruction count, the
+    way the paper annotates its Figure 9/10 bars.
+    """
+    values = {name: result.mean_metric for name, result in study.per_set.items()}
+    chart = bar_chart(values, reference=reference, reference_label="QV threshold")
+    counts = {name: result.mean_two_qubit_count for name, result in study.per_set.items()}
+    annotations = ", ".join(f"{name}: {count:.1f}" for name, count in counts.items())
+    return "\n".join(
+        [
+            f"{study.application} ({study.metric_name})",
+            chart,
+            f"mean two-qubit instruction counts: {annotations}",
+        ]
+    )
+
+
+def _render_panels(result, reference_for_qv: float = QV_THRESHOLD) -> str:
+    panels: List[str] = []
+    for study in result.studies():
+        reference = reference_for_qv if study.application == "qv" else None
+        panels.append(render_study(study, reference=reference))
+    return "\n\n".join(panels)
+
+
+def render_figure9(result) -> str:
+    """Text version of Figure 9 (Aspen-8 panels)."""
+    return "Figure 9: Rigetti Aspen-8\n\n" + _render_panels(result)
+
+
+def render_figure10(result) -> str:
+    """Text version of Figure 10a-e (Sycamore panels, plus the no-variation ablation)."""
+    text = "Figure 10: Google Sycamore\n\n" + _render_panels(result)
+    if getattr(result, "qaoa_no_variation", None) is not None:
+        text += "\n\nFigure 10e: no noise variation across gate types\n"
+        text += render_study(result.qaoa_no_variation)
+    return text
+
+
+def render_figure8(result, applications: Optional[Sequence[str]] = None) -> str:
+    """Shaded heatmaps of the Figure 8 gate-count characterisation."""
+    applications = list(applications) if applications is not None else list(result.heatmaps)
+    sections: List[str] = []
+    for application in applications:
+        grid = result.heatmaps[application]
+        sections.append(
+            heatmap(
+                grid,
+                row_labels=[f"{phi:.2f}" for phi in result.phi_values],
+                column_labels=[f"{theta:.2f}" for theta in result.theta_values],
+                title=(
+                    f"Figure 8 ({application}): mean two-qubit gate count over "
+                    "fSim(theta [columns], phi [rows]); darker = fewer gates"
+                ),
+                invert=True,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_figure11a(result) -> str:
+    """Log-scale scaling curves of calibration circuit counts (Figure 11a)."""
+    sizes = sorted(result.circuits)
+    type_counts = sorted(next(iter(result.circuits.values()))) if result.circuits else []
+    series = {
+        f"{size} qubits": [result.circuits[size][count] for count in type_counts]
+        for size in sizes
+    }
+    plot = line_plot(
+        [float(c) for c in type_counts],
+        series,
+        title="Figure 11a: calibration circuits vs number of fSim gate types",
+        x_label="number of gate types",
+        y_label="circuits",
+        logy=True,
+    )
+    rows = [
+        {"#types": count, **{f"{size}q": result.circuits[size][count] for size in sizes}}
+        for count in type_counts
+    ]
+    return plot + "\n\n" + render_table(rows)
+
+
+def render_tradeoff(points, metric: Optional[str] = None) -> str:
+    """Calibration-time vs reliability rendering of Figure 11b tradeoff points."""
+    if not points:
+        return "(no tradeoff points)"
+    metrics = sorted({name for point in points for name in point.reliability_improvement})
+    selected = [metric] if metric else metrics
+    rows = []
+    for point in points:
+        row = {
+            "#types": point.num_gate_types,
+            "hours": point.calibration_hours,
+            "circuits": float(point.calibration_circuits),
+        }
+        for name in selected:
+            row[name] = point.reliability_improvement.get(name, float("nan"))
+        rows.append(row)
+    table = render_table(rows)
+    x = [float(point.num_gate_types) for point in points]
+    series = {"calibration hours": [point.calibration_hours for point in points]}
+    for name in selected:
+        series[name] = [point.reliability_improvement.get(name, np.nan) for point in points]
+    plot = line_plot(
+        x,
+        series,
+        title="Figure 11b: calibration time and reliability vs number of gate types",
+        x_label="number of gate types",
+        y_label="value",
+    )
+    return table + "\n\n" + plot

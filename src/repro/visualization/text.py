@@ -1,0 +1,252 @@
+"""Low-level text plotting primitives.
+
+Every function returns a string (no printing, no terminal escape codes) so
+the output can be embedded in logs, test assertions and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+BAR_CHARACTER = "#"
+SHADES = " .:-=+*#%@"
+"""Characters from light to dark used by :func:`heatmap` and :func:`sparkline`."""
+
+
+def _normalise(values: Sequence[float]) -> np.ndarray:
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return array
+    low = np.nanmin(array)
+    high = np.nanmax(array)
+    if not np.isfinite(low) or not np.isfinite(high) or high == low:
+        return np.zeros_like(array)
+    return (array - low) / (high - low)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:.3f}",
+    reference: Optional[float] = None,
+    reference_label: str = "threshold",
+) -> str:
+    """Horizontal bar chart, one row per labelled value.
+
+    Parameters
+    ----------
+    values:
+        Mapping of label to value (bars are drawn in insertion order).
+    width:
+        Number of character cells used by the longest bar.
+    value_format:
+        Format applied to the numeric annotation at the end of each bar.
+    reference:
+        Optional reference value rendered as a vertical marker column
+        (e.g. the 2/3 quantum-volume threshold of Figures 9a and 10a).
+    """
+    if not values:
+        return "(no data)"
+    label_width = max(len(str(label)) for label in values)
+    numeric = list(values.values())
+    high = max(max(numeric), reference if reference is not None else -np.inf)
+    high = high if high > 0 else 1.0
+
+    lines: List[str] = []
+    marker_column = None
+    if reference is not None:
+        marker_column = int(round(width * reference / high))
+    for label, value in values.items():
+        filled = int(round(width * max(value, 0.0) / high))
+        bar = list(BAR_CHARACTER * filled + " " * (width - filled))
+        if marker_column is not None and 0 <= marker_column < len(bar):
+            bar[marker_column] = "|"
+        annotation = value_format.format(value)
+        lines.append(f"{str(label):>{label_width}} [{''.join(bar)}] {annotation}")
+    if reference is not None:
+        lines.append(f"{'':>{label_width}}  ('|' marks {reference_label} = {value_format.format(reference)})")
+    return "\n".join(lines)
+
+
+def heatmap(
+    grid: np.ndarray,
+    row_labels: Optional[Sequence[str]] = None,
+    column_labels: Optional[Sequence[str]] = None,
+    title: str = "",
+    invert: bool = False,
+    cell_format: str = "{:5.2f}",
+    shaded: bool = True,
+) -> str:
+    """Render a 2-D array as an aligned numeric grid with optional shading.
+
+    Parameters
+    ----------
+    grid:
+        2-D array of values.
+    row_labels / column_labels:
+        Axis tick labels; defaults to the row/column indices.
+    invert:
+        When True, low values are rendered dark (useful for gate-count
+        heatmaps where *low* is good, as in Figure 8).
+    shaded:
+        Append a shade character next to every cell so the structure is
+        visible at a glance.
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError("heatmap expects a 2-D array")
+    rows, cols = grid.shape
+    row_labels = [str(label) for label in (row_labels if row_labels is not None else range(rows))]
+    column_labels = [str(label) for label in (column_labels if column_labels is not None else range(cols))]
+    if len(row_labels) != rows or len(column_labels) != cols:
+        raise ValueError("label lengths must match the grid shape")
+
+    normalised = _normalise(grid.ravel()).reshape(grid.shape)
+    if invert:
+        normalised = 1.0 - normalised
+
+    label_width = max(len(label) for label in row_labels)
+    cell_width = max(len(cell_format.format(v)) for v in grid.ravel()) + (2 if shaded else 0)
+    cell_width = max(cell_width, max(len(label) for label in column_labels))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 3) + " ".join(f"{label:>{cell_width}}" for label in column_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            text = cell_format.format(grid[r, c])
+            if shaded:
+                shade = SHADES[int(round(normalised[r, c] * (len(SHADES) - 1)))]
+                text = f"{text} {shade}"
+            cells.append(f"{text:>{cell_width}}")
+        lines.append(f"{row_labels[r]:>{label_width}} | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line shaded rendering of a numeric series."""
+    normalised = _normalise(values)
+    if normalised.size == 0:
+        return ""
+    return "".join(SHADES[int(round(v * (len(SHADES) - 1)))] for v in normalised)
+
+
+def line_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 15,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    logy: bool = False,
+) -> str:
+    """ASCII scatter/line plot of one or more series over shared x values.
+
+    Each series is drawn with a distinct marker character; the y axis is
+    annotated with the minimum and maximum values (log-scaled if ``logy``).
+    Used for the Figure 11a scaling curves and the Figure 10f error-rate
+    sweep.
+    """
+    x = np.asarray(list(x_values), dtype=float)
+    if x.size == 0 or not series:
+        return "(no data)"
+    markers = "ox+*sd^v"
+    all_y = np.concatenate([np.asarray(list(values), dtype=float) for values in series.values()])
+    y_transform = (lambda v: np.log10(np.maximum(v, 1e-300))) if logy else (lambda v: v)
+    y_all = y_transform(all_y)
+    y_low, y_high = float(np.nanmin(y_all)), float(np.nanmax(y_all))
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(np.min(x)), float(np.max(x))
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        y = y_transform(np.asarray(list(values), dtype=float))
+        for xi, yi in zip(x, y):
+            col = int(round((xi - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((yi - y_low) / (y_high - y_low) * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** y_high:.3g}" if logy else f"{y_high:.3g}"
+    bottom_label = f"{10 ** y_low:.3g}" if logy else f"{y_low:.3g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(canvas):
+        prefix = ""
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        elif row_index == height // 2:
+            prefix = y_label
+        lines.append(f"{prefix:>{gutter}} |" + "".join(row))
+    lines.append(f"{'':>{gutter}} +" + "-" * width)
+    lines.append(f"{'':>{gutter}}  {x_low:<10.3g}{x_label:^{max(width - 20, 1)}}{x_high:>10.3g}")
+    legend = ", ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{gutter}}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Text histogram of a sample (e.g. per-edge error rates of a device)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(array, bins=bins)
+    high = max(int(counts.max()), 1)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for count, low, high_edge in zip(counts, edges[:-1], edges[1:]):
+        filled = int(round(width * count / high))
+        lines.append(f"[{low:9.4g}, {high_edge:9.4g}) {BAR_CHARACTER * filled} {count}")
+    return "\n".join(lines)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Aligned text table from a list of dictionaries (column order preserved)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render_cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered: List[Dict[str, str]] = [
+        {column: render_cell(row.get(column, "")) for column in columns} for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered)) for column in columns
+    }
+    header = " | ".join(f"{column:>{widths[column]}}" for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(f"{row[column]:>{widths[column]}}" for column in columns) for row in rendered
+    ]
+    return "\n".join([header, separator] + body)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite.
+
+A single session-scoped :class:`NuOpDecomposer` is shared across tests so
+that fidelity profiles computed once (e.g. "random SU(4) into CZ") are
+reused, keeping the suite fast without changing any semantics (the
+decomposer's cache is keyed by target unitary and gate type only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposer import NuOpDecomposer
+
+
+@pytest.fixture(scope="session")
+def shared_decomposer() -> NuOpDecomposer:
+    """Session-wide NuOp decomposer with a warm cache."""
+    return NuOpDecomposer(seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic random generator for individual tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> np.random.Generator:
+    """Deterministic random generator shared across a session."""
+    return np.random.default_rng(99)

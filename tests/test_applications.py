@@ -1,0 +1,156 @@
+"""Tests for the application benchmark generators (QV, QAOA, FH, QFT)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    fermi_hubbard_circuit,
+    fh_suite,
+    fh_unitaries,
+    fourier_state_preparation,
+    qaoa_maxcut_circuit,
+    qaoa_suite,
+    qft_benchmark_circuit,
+    qft_circuit,
+    qft_target_value,
+    qft_unitaries,
+    qv_circuit,
+    qv_suite,
+    random_maxcut_edges,
+    random_su4_unitaries,
+    random_zz_unitaries,
+    unitary_ensembles,
+)
+from repro.gates.unitary import is_unitary
+from repro.metrics.hop import ideal_heavy_output_probability
+from repro.metrics.success import success_rate
+from repro.simulators.statevector import ideal_probabilities
+
+
+class TestQuantumVolume:
+    def test_structure(self):
+        circuit = qv_circuit(4, rng=np.random.default_rng(0))
+        assert circuit.num_qubits == 4
+        # n layers of floor(n/2) SU(4) blocks.
+        assert circuit.num_two_qubit_gates() == 4 * 2
+        assert all(op.gate.name == "su4" for op in circuit)
+
+    def test_odd_width_leaves_one_qubit_idle_per_layer(self):
+        circuit = qv_circuit(5, rng=np.random.default_rng(1))
+        assert circuit.num_two_qubit_gates() == 5 * 2
+
+    def test_custom_depth(self):
+        circuit = qv_circuit(4, depth=2, rng=np.random.default_rng(2))
+        assert circuit.num_two_qubit_gates() == 4
+
+    def test_suite_is_deterministic_per_seed(self):
+        a = qv_suite(3, 2, seed=5)
+        b = qv_suite(3, 2, seed=5)
+        for circuit_a, circuit_b in zip(a, b):
+            assert np.allclose(circuit_a.to_unitary(), circuit_b.to_unitary())
+
+    def test_ideal_heavy_output_probability_is_high(self):
+        # Random circuits asymptotically give ~0.85; even small ones exceed 2/3.
+        values = [
+            ideal_heavy_output_probability(ideal_probabilities(c))
+            for c in qv_suite(4, 3, seed=3)
+        ]
+        assert np.mean(values) > 2 / 3
+
+    def test_raw_unitary_ensemble(self):
+        unitaries = random_su4_unitaries(5, seed=1)
+        assert len(unitaries) == 5
+        assert all(is_unitary(u) for u in unitaries)
+
+
+class TestQAOA:
+    def test_structure_and_edge_count(self):
+        circuit = qaoa_maxcut_circuit(6, rng=np.random.default_rng(0))
+        counts = circuit.count_ops()
+        assert counts["h"] == 6
+        assert counts["rx"] == 6
+        assert counts["rzz"] >= 5  # ~0.75 * n, at least a spanning path
+
+    def test_explicit_edges_and_angles(self):
+        circuit = qaoa_maxcut_circuit(3, edges=[(0, 1), (1, 2)], gamma=0.5, beta=0.25)
+        rzz_ops = [op for op in circuit if op.gate.name == "rzz"]
+        assert len(rzz_ops) == 2
+        assert all(op.gate.params == (0.5,) for op in rzz_ops)
+
+    def test_random_edges_valid(self):
+        edges = random_maxcut_edges(5, np.random.default_rng(3))
+        assert all(0 <= a < b < 5 for a, b in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_suite_size(self):
+        assert len(qaoa_suite(4, 3, seed=0)) == 3
+
+    def test_zz_unitary_ensemble(self):
+        assert all(is_unitary(u) for u in random_zz_unitaries(4, seed=0))
+
+
+class TestFermiHubbard:
+    def test_operation_counts_scale_with_size(self):
+        circuit = fermi_hubbard_circuit(8)
+        counts = circuit.count_ops()
+        hops = counts.get("xx_plus_yy", 0)
+        zzs = counts.get("rzz", 0)
+        # ~4n hopping terms and ~2n interaction terms (paper Section VI).
+        assert 2 * 8 <= hops <= 4 * 8
+        assert 8 <= zzs <= 2 * 8
+        assert counts.get("x", 0) == 4  # initial half-filling layer
+
+    def test_trotter_steps_multiply_depth(self):
+        one = fermi_hubbard_circuit(6, trotter_steps=1).num_two_qubit_gates()
+        two = fermi_hubbard_circuit(6, trotter_steps=2).num_two_qubit_gates()
+        assert two == 2 * one
+
+    def test_initial_layer_optional(self):
+        circuit = fermi_hubbard_circuit(6, initial_x_layer=False)
+        assert "x" not in circuit.count_ops()
+
+    def test_suite_and_unitaries(self):
+        assert len(fh_suite(6, 2, seed=1)) == 2
+        assert all(is_unitary(u) for u in fh_unitaries(6, seed=1))
+
+
+class TestQFT:
+    def test_gate_counts(self):
+        n = 5
+        circuit = qft_circuit(n)
+        counts = circuit.count_ops()
+        assert counts["h"] == n
+        assert counts["cphase"] == n * (n - 1) // 2
+
+    def test_final_swaps_option(self):
+        circuit = qft_circuit(4, include_final_swaps=True)
+        assert circuit.count_ops().get("swap", 0) == 2
+
+    def test_benchmark_has_unit_ideal_success(self):
+        for n in (3, 4):
+            target = qft_target_value(n)
+            circuit = qft_benchmark_circuit(n, target)
+            ideal = ideal_probabilities(circuit)
+            assert success_rate(ideal, target) == pytest.approx(1.0, abs=1e-9)
+
+    def test_preparation_uses_only_single_qubit_gates(self):
+        preparation = fourier_state_preparation(4, 5)
+        assert preparation.num_two_qubit_gates() == 0
+
+    def test_value_range_checked(self):
+        with pytest.raises(ValueError):
+            fourier_state_preparation(3, 8)
+
+    def test_qft_unitary_ensemble(self):
+        unitaries = qft_unitaries(5)
+        assert len(unitaries) == 4
+        assert all(is_unitary(u) for u in unitaries)
+
+
+class TestEnsembles:
+    def test_unitary_ensembles_keys_and_types(self):
+        ensembles = unitary_ensembles(3, seed=0)
+        assert set(ensembles) == {"qv", "qaoa", "qft", "fh", "swap"}
+        for unitaries in ensembles.values():
+            assert all(u.shape == (4, 4) for u in unitaries)
+            assert all(is_unitary(u) for u in unitaries)

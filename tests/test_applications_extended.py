@@ -1,0 +1,224 @@
+"""Tests for the extended application workloads (beyond the paper's four)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.adder import (
+    adder_expected_index,
+    adder_suite,
+    ripple_carry_adder_circuit,
+)
+from repro.applications.bernstein_vazirani import (
+    bernstein_vazirani_circuit,
+    bv_success_probability,
+    bv_suite,
+    secret_from_probabilities,
+)
+from repro.applications.ghz import (
+    ghz_circuit,
+    ghz_ideal_probabilities,
+    ghz_suite,
+    linear_cluster_circuit,
+)
+from repro.applications.registry import application_registry, build_suite, paper_applications
+from repro.applications.vqe import (
+    excitation_preserving_ansatz,
+    hardware_efficient_ansatz,
+    tfim_trotter_circuit,
+    vqe_suite,
+)
+from repro.simulators.statevector import ideal_probabilities, simulate_statevector
+
+
+class TestGHZ:
+    def test_chain_output_distribution(self):
+        probabilities = ideal_probabilities(ghz_circuit(4))
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[-1] == pytest.approx(0.5)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_ladder_matches_chain_distribution(self):
+        chain = ideal_probabilities(ghz_circuit(5, ladder=False))
+        ladder = ideal_probabilities(ghz_circuit(5, ladder=True))
+        np.testing.assert_allclose(chain, ladder, atol=1e-9)
+
+    def test_ladder_is_shallower_for_wide_circuits(self):
+        assert ghz_circuit(8, ladder=True).two_qubit_depth() < ghz_circuit(8).two_qubit_depth()
+
+    def test_ideal_probabilities_helper(self):
+        np.testing.assert_allclose(
+            ghz_ideal_probabilities(3), ideal_probabilities(ghz_circuit(3)), atol=1e-9
+        )
+
+    def test_two_qubit_gate_count(self):
+        assert ghz_circuit(6).num_two_qubit_gates() == 5
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(1)
+
+    def test_suite_mix(self):
+        circuits = ghz_suite(4, num_circuits=4, seed=1)
+        assert len(circuits) == 4
+        assert all(c.num_qubits == 4 for c in circuits)
+
+
+class TestCluster:
+    def test_all_two_qubit_gates_are_cz(self):
+        circuit = linear_cluster_circuit(5)
+        counts = circuit.count_ops()
+        assert counts["cz"] == 4
+        assert counts["h"] == 5
+
+    def test_uniform_marginal(self):
+        # Each qubit of a cluster state is maximally mixed: the output
+        # distribution over any single qubit is uniform.
+        probabilities = ideal_probabilities(linear_cluster_circuit(3))
+        first_qubit_one = probabilities[4:].sum()
+        assert first_qubit_one == pytest.approx(0.5)
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            linear_cluster_circuit(1)
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [[1], [1, 0, 1], [0, 1, 1, 0, 1]])
+    def test_recovers_secret_noiselessly(self, secret):
+        circuit = bernstein_vazirani_circuit(secret)
+        probabilities = ideal_probabilities(circuit)
+        assert secret_from_probabilities(probabilities, len(secret)) == list(secret)
+        assert bv_success_probability(probabilities, secret) == pytest.approx(1.0)
+
+    def test_two_qubit_count_equals_hamming_weight(self):
+        secret = [1, 0, 1, 1]
+        assert bernstein_vazirani_circuit(secret).num_two_qubit_gates() == 3
+
+    def test_rejects_bad_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit([])
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit([0, 2])
+
+    def test_suite_secrets_nonzero(self):
+        for circuit in bv_suite(4, num_circuits=5, seed=3):
+            assert circuit.num_two_qubit_gates() >= 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_success_probability_always_one_ideally(self, secret):
+        if not any(secret):
+            secret[0] = 1
+        probabilities = ideal_probabilities(bernstein_vazirani_circuit(secret))
+        assert bv_success_probability(probabilities, secret) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestVQEAnsatze:
+    def test_hardware_efficient_structure(self):
+        circuit = hardware_efficient_ansatz(4, num_layers=2, rng=np.random.default_rng(0))
+        counts = circuit.count_ops()
+        assert counts["ry"] == 4 * 3
+        assert counts["rz"] == 4 * 3
+        assert counts["cz"] == 3 * 2
+
+    def test_parameter_count_validation(self):
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(3, num_layers=1, parameters=[0.1, 0.2])
+
+    def test_entanglement_patterns(self):
+        linear = hardware_efficient_ansatz(4, 1, entanglement="linear", rng=np.random.default_rng(1))
+        circular = hardware_efficient_ansatz(4, 1, entanglement="circular", rng=np.random.default_rng(1))
+        assert circular.num_two_qubit_gates() == linear.num_two_qubit_gates() + 1
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(4, 1, entanglement="all-to-all")
+
+    def test_excitation_preserving_conserves_excitations(self):
+        circuit = excitation_preserving_ansatz(4, num_layers=2, rng=np.random.default_rng(2))
+        state = simulate_statevector(circuit)
+        probabilities = np.abs(state) ** 2
+        # Initial half filling has 2 excitations; every populated basis
+        # state must keep that Hamming weight.
+        for index, probability in enumerate(probabilities):
+            if probability > 1e-9:
+                assert bin(index).count("1") == 2
+
+    def test_tfim_gate_counts(self):
+        circuit = tfim_trotter_circuit(5, trotter_steps=3)
+        counts = circuit.count_ops()
+        assert counts["rzz"] == 4 * 3
+        assert counts["rx"] == 5 * 3
+        assert counts["h"] == 5
+
+    def test_vqe_suite_and_unknown_ansatz(self):
+        assert len(vqe_suite(3, 2, seed=0)) == 2
+        with pytest.raises(ValueError):
+            vqe_suite(3, 1, ansatz="qaoa")
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(1)
+        with pytest.raises(ValueError):
+            excitation_preserving_ansatz(1)
+        with pytest.raises(ValueError):
+            tfim_trotter_circuit(1)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("num_bits,a,b", [(1, 1, 1), (2, 1, 2), (2, 3, 3), (3, 5, 6)])
+    def test_adds_correctly(self, num_bits, a, b):
+        circuit = ripple_carry_adder_circuit(num_bits, a, b)
+        probabilities = ideal_probabilities(circuit)
+        expected = adder_expected_index(num_bits, a, b)
+        assert probabilities[expected] == pytest.approx(1.0, abs=1e-7)
+
+    def test_rejects_out_of_range_inputs(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder_circuit(2, 4, 0)
+        with pytest.raises(ValueError):
+            ripple_carry_adder_circuit(0, 0, 0)
+
+    def test_only_one_and_two_qubit_gates(self):
+        circuit = ripple_carry_adder_circuit(2, 2, 1)
+        assert all(len(op.qubits) <= 2 for op in circuit)
+
+    def test_suite(self):
+        circuits = adder_suite(2, num_circuits=3, seed=7)
+        assert len(circuits) == 3
+        assert all(c.num_qubits == 6 for c in circuits)
+
+    @given(
+        num_bits=st.integers(min_value=1, max_value=3),
+        a=st.integers(min_value=0, max_value=7),
+        b=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_adder_property(self, num_bits, a, b):
+        limit = 2**num_bits
+        a %= limit
+        b %= limit
+        circuit = ripple_carry_adder_circuit(num_bits, a, b)
+        probabilities = ideal_probabilities(circuit)
+        assert probabilities[adder_expected_index(num_bits, a, b)] == pytest.approx(1.0, abs=1e-7)
+
+
+class TestRegistry:
+    def test_paper_applications(self):
+        assert set(paper_applications()) == {"qv", "qaoa", "fh", "qft"}
+
+    def test_registry_builds_every_application(self):
+        registry = application_registry()
+        for name in registry:
+            circuits = build_suite(name, num_qubits=4, num_circuits=1, seed=0)
+            assert circuits, name
+            assert all(len(op.qubits) <= 2 for op in circuits[0]), name
+
+    def test_metrics_are_known_names(self):
+        allowed = {"HOP", "XED", "XEB", "success_rate"}
+        for spec in application_registry().values():
+            assert spec.recommended_metric in allowed
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(ValueError):
+            build_suite("teleportation", 3)

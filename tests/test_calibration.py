@@ -1,0 +1,95 @@
+"""Tests for the calibration-overhead model and tradeoff analysis (Section IX)."""
+
+import pytest
+
+from repro.calibration.model import (
+    CalibrationModel,
+    calibration_savings_factor,
+    continuous_family_equivalent_types,
+)
+from repro.calibration.tradeoff import (
+    diminishing_returns_size,
+    reliability_improvement,
+    tradeoff_curve,
+)
+
+
+class TestCalibrationModel:
+    def test_circuit_count_scales_linearly(self):
+        model = CalibrationModel()
+        base = model.num_calibration_circuits(1, 10)
+        assert model.num_calibration_circuits(2, 10) == 2 * base
+        assert model.num_calibration_circuits(1, 20) == 2 * base
+        assert model.num_calibration_circuits(0, 10) == 0
+
+    def test_negative_counts_rejected(self):
+        model = CalibrationModel()
+        with pytest.raises(ValueError):
+            model.num_calibration_circuits(-1, 5)
+        with pytest.raises(ValueError):
+            model.calibration_time_hours(-2)
+
+    def test_paper_scale_order_of_magnitude(self):
+        """~1e7 circuits to calibrate 10 gate types on a 54-qubit device (Figure 11a)."""
+        model = CalibrationModel()
+        circuits = model.circuits_for_device(10, 54)
+        assert 3e6 < circuits < 3e7
+
+    def test_thousand_qubit_device_needs_nearly_a_billion_circuits(self):
+        model = CalibrationModel()
+        circuits = model.circuits_for_device(300, 1000)
+        assert circuits > 1e8
+
+    def test_calibration_time_is_linear_in_types(self):
+        model = CalibrationModel()
+        assert model.calibration_time_hours(4) - model.calibration_time_hours(3) == pytest.approx(
+            model.hours_per_gate_type
+        )
+        assert model.calibration_time_hours(0) == pytest.approx(model.base_hours)
+
+    def test_continuous_family_equivalent_types(self):
+        assert continuous_family_equivalent_types() == 361
+        assert continuous_family_equivalent_types(10, 1) == 10
+
+    def test_savings_factor_is_about_two_orders_of_magnitude(self):
+        """The paper's headline: 4-8 types save ~100x calibration vs the continuous family."""
+        model = CalibrationModel()
+        for num_types in (4, 8):
+            factor = calibration_savings_factor(model, num_types)
+            assert 40 <= factor <= 400
+
+    def test_savings_factor_validation(self):
+        with pytest.raises(ValueError):
+            calibration_savings_factor(CalibrationModel(), 0)
+
+
+class TestTradeoffAnalysis:
+    def make_points(self):
+        reliability = {
+            2: {"qv": 0.66},
+            4: {"qv": 0.70},
+            6: {"qv": 0.71},
+            8: {"qv": 0.712},
+        }
+        baseline = {"qv": 0.65}
+        return tradeoff_curve(reliability, baseline)
+
+    def test_reliability_improvement(self):
+        assert reliability_improvement(0.5, 0.6) == pytest.approx(0.2)
+        assert reliability_improvement(0.0, 0.6) == 0.0
+
+    def test_tradeoff_curve_structure(self):
+        points = self.make_points()
+        assert [p.num_gate_types for p in points] == [2, 4, 6, 8]
+        assert points[0].calibration_hours < points[-1].calibration_hours
+        assert points[0].calibration_circuits < points[-1].calibration_circuits
+        assert points[1].reliability_improvement["qv"] == pytest.approx((0.70 - 0.65) / 0.65)
+
+    def test_diminishing_returns_sweet_spot(self):
+        points = self.make_points()
+        sweet_spot = diminishing_returns_size(points, "qv", tolerance=0.02)
+        assert sweet_spot in (4, 6)
+
+    def test_diminishing_returns_requires_points(self):
+        with pytest.raises(ValueError):
+            diminishing_returns_size([], "qv")

@@ -1,0 +1,192 @@
+"""Tests for calibration drift and recalibration scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration.drift import (
+    DriftModel,
+    DriftParameters,
+    drift_model_for_instruction_set,
+)
+from repro.calibration.model import CalibrationModel
+from repro.calibration.scheduler import (
+    NeverPolicy,
+    PeriodicPolicy,
+    ThresholdPolicy,
+    compare_policies,
+    hours_to_recalibrate,
+    simulate_schedule,
+    sustainable_gate_type_count,
+)
+
+
+def small_model(seed: int = 3, **kwargs) -> DriftModel:
+    floors = {
+        ((0, 1), "cz"): 0.006,
+        ((0, 1), "fsim(0.785398,0.000000)"): 0.005,
+        ((1, 2), "cz"): 0.008,
+    }
+    return DriftModel(floors, seed=seed, **kwargs)
+
+
+class TestDriftParameters:
+    def test_rejects_negative_volatility(self):
+        with pytest.raises(ValueError):
+            DriftParameters(volatility_per_hour=-0.1)
+
+    def test_rejects_degradation_below_one(self):
+        with pytest.raises(ValueError):
+            DriftParameters(max_degradation_factor=0.5)
+
+
+class TestDriftModel:
+    def test_starts_at_floor(self):
+        model = small_model()
+        assert model.mean_degradation() == pytest.approx(1.0)
+        assert model.error_rate((0, 1), "cz") == pytest.approx(0.006)
+
+    def test_rejects_empty_and_bad_floors(self):
+        with pytest.raises(ValueError):
+            DriftModel({})
+        with pytest.raises(ValueError):
+            DriftModel({((0, 1), "cz"): 1.5})
+
+    def test_drift_degrades_on_average(self):
+        model = small_model()
+        model.advance(72.0)
+        assert model.mean_degradation() > 1.0
+        assert model.elapsed_hours == pytest.approx(72.0)
+
+    def test_degradation_capped(self):
+        model = small_model(parameters=DriftParameters(drift_bias_per_hour=1.0))
+        model.advance(200.0)
+        assert model.worst_degradation() <= 10.0 + 1e-9
+
+    def test_error_rates_stay_above_floor(self):
+        model = small_model()
+        model.advance(48.0)
+        for key, gate in model.gates.items():
+            assert gate.current_error_rate >= gate.floor_error_rate - 1e-12
+
+    def test_calibrate_resets(self):
+        model = small_model()
+        model.advance(48.0)
+        count = model.calibrate()
+        assert count == 3
+        assert model.mean_degradation() == pytest.approx(1.0)
+
+    def test_partial_calibration(self):
+        model = small_model(parameters=DriftParameters(drift_bias_per_hour=0.3, volatility_per_hour=0.0))
+        model.advance(24.0)
+        model.calibrate([((0, 1), "cz")])
+        assert model.gates[((0, 1), "cz")].degradation_factor == pytest.approx(1.0)
+        assert model.gates[((1, 2), "cz")].degradation_factor > 1.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            small_model().advance(-1.0)
+
+    def test_deterministic_for_fixed_seed(self):
+        a, b = small_model(seed=5), small_model(seed=5)
+        a.advance(24.0)
+        b.advance(24.0)
+        assert a.snapshot() == b.snapshot()
+
+    def test_stale_gates_detection(self):
+        model = small_model(parameters=DriftParameters(drift_bias_per_hour=0.5, volatility_per_hour=0.0))
+        model.advance(10.0)
+        assert set(model.stale_gates(1.5)) == set(model.gates)
+        assert model.stale_gates(1e6) == []
+
+    @given(hours=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_error_rates_always_valid_probabilities(self, hours):
+        model = small_model(seed=11)
+        model.advance(hours)
+        for gate in model.gates.values():
+            assert 0.0 < gate.current_error_rate < 1.0
+
+
+class TestDriftFactory:
+    def test_builds_expected_keys(self):
+        model = drift_model_for_instruction_set(4, ["cz", "swap"], seed=2)
+        assert len(model.gates) == 8
+
+    def test_rejects_zero_edges(self):
+        with pytest.raises(ValueError):
+            drift_model_for_instruction_set(0, ["cz"])
+
+
+class TestScheduler:
+    def test_periodic_policy_triggers_on_period(self):
+        policy = PeriodicPolicy(period_hours=24.0)
+        model = small_model()
+        assert policy.gates_to_calibrate(model, 12.0) == []
+        assert set(policy.gates_to_calibrate(model, 24.0)) == set(model.gates)
+
+    def test_threshold_policy_selects_only_stale_gates(self):
+        model = small_model(parameters=DriftParameters(drift_bias_per_hour=0.5, volatility_per_hour=0.0))
+        model.advance(5.0)
+        policy = ThresholdPolicy(degradation_threshold=1.2)
+        assert set(policy.gates_to_calibrate(model, 5.0)) == set(model.gates)
+
+    def test_hours_to_recalibrate(self):
+        calibration = CalibrationModel()
+        keys = [((0, 1), "cz"), ((1, 2), "cz"), ((0, 1), "swap")]
+        hours = hours_to_recalibrate(keys, calibration)
+        assert hours == pytest.approx(calibration.base_hours + 2 * calibration.hours_per_gate_type)
+        assert hours_to_recalibrate([], calibration) == 0.0
+
+    def test_simulation_periodic_vs_never(self):
+        results = compare_policies(
+            lambda: small_model(seed=9),
+            [PeriodicPolicy(period_hours=24.0), NeverPolicy()],
+            horizon_hours=96.0,
+        )
+        periodic, never = results["periodic"], results["never"]
+        assert periodic.mean_error_rate <= never.mean_error_rate + 1e-12
+        assert periodic.calibration_hours > 0.0
+        assert never.calibration_hours == 0.0
+        assert never.num_recalibration_passes == 0
+        assert 0.0 <= periodic.calibration_duty_cycle <= 1.0
+
+    def test_threshold_policy_recalibrates_fewer_gates_than_periodic(self):
+        results = compare_policies(
+            lambda: small_model(seed=9),
+            [PeriodicPolicy(period_hours=12.0), ThresholdPolicy(degradation_threshold=3.0)],
+            horizon_hours=96.0,
+        )
+        assert (
+            results["threshold"].gates_recalibrated
+            <= results["periodic"].gates_recalibrated
+        )
+
+    def test_schedule_result_row(self):
+        result = simulate_schedule(small_model(), NeverPolicy(), horizon_hours=24.0)
+        row = result.as_row()
+        assert row["policy"] == "never"
+        assert row["passes"] == 0
+        assert len(result.error_rate_timeline) == 6
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            simulate_schedule(small_model(), NeverPolicy(), horizon_hours=0.0)
+
+
+class TestSustainableGateTypes:
+    def test_four_hour_budget_supports_one_type(self):
+        # 2h base + 2h per type: a 4-hour daily budget sustains one type,
+        # matching the Google schedule quoted in the paper.
+        assert sustainable_gate_type_count(daily_calibration_budget_hours=4.0) == 1
+
+    def test_larger_budget_supports_more_types(self):
+        assert sustainable_gate_type_count(daily_calibration_budget_hours=18.0) == 8
+
+    def test_infeasible_budget(self):
+        assert sustainable_gate_type_count(daily_calibration_budget_hours=1.0) == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            sustainable_gate_type_count(daily_calibration_budget_hours=0.0)

@@ -1,0 +1,94 @@
+"""Tests for moments, the circuit DAG and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import (
+    CircuitDAG,
+    as_moments,
+    interaction_pairs,
+    moments_to_circuit,
+)
+from repro.circuits import qasm
+from repro.gates.unitary import allclose_up_to_global_phase, random_su4
+
+
+class TestMoments:
+    def test_parallel_gates_share_a_moment(self):
+        circuit = QuantumCircuit(4).h(0).h(1).cz(0, 1).cz(2, 3)
+        moments = as_moments(circuit)
+        assert len(moments) == 2
+        assert len(moments[0]) == 3  # h(0), h(1), cz(2,3)
+        assert len(moments[1]) == 1
+
+    def test_moments_respect_dependencies(self):
+        circuit = QuantumCircuit(2).h(0).cz(0, 1).h(1)
+        moments = as_moments(circuit)
+        assert [len(m) for m in moments] == [1, 1, 1]
+
+    def test_moments_roundtrip_preserves_unitary(self, rng):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cz(0, 1).unitary(random_su4(rng), [1, 2]).rz(0.3, 0)
+        rebuilt = moments_to_circuit(as_moments(circuit), 3)
+        assert allclose_up_to_global_phase(rebuilt.to_unitary(), circuit.to_unitary())
+
+    def test_empty_circuit_has_no_moments(self):
+        assert as_moments(QuantumCircuit(2)) == []
+
+
+class TestCircuitDAG:
+    def test_front_layer_and_successors(self):
+        circuit = QuantumCircuit(3).h(0).cz(0, 1).cz(1, 2)
+        dag = CircuitDAG(circuit)
+        assert dag.front_layer() == [0]
+        assert dag.successors(0) == [1]
+        assert dag.predecessors(2) == [1]
+        assert len(dag) == 3
+
+    def test_topological_layers_match_moments(self):
+        circuit = QuantumCircuit(4).h(0).h(2).cz(0, 1).cz(2, 3).cz(1, 2)
+        dag = CircuitDAG(circuit)
+        layers = dag.topological_layers()
+        assert len(layers) == len(as_moments(circuit))
+
+    def test_critical_path_length(self):
+        circuit = QuantumCircuit(2).h(0).cz(0, 1).h(1).cz(0, 1)
+        assert CircuitDAG(circuit).critical_path_length() == 4
+        assert CircuitDAG(QuantumCircuit(2)).critical_path_length() == 0
+
+    def test_interaction_graph_weights(self):
+        circuit = QuantumCircuit(3).cz(0, 1).cz(0, 1).cz(1, 2)
+        graph = CircuitDAG(circuit).two_qubit_interaction_graph()
+        assert graph.edges[0, 1]["weight"] == 2
+        assert graph.edges[1, 2]["weight"] == 1
+
+    def test_interaction_pairs(self):
+        circuit = QuantumCircuit(3).cz(0, 1).h(2).cz(1, 2)
+        assert interaction_pairs(circuit) == [(0, 1), (1, 2)]
+
+
+class TestQasmSerialisation:
+    def test_roundtrip_named_and_parametric_gates(self):
+        circuit = QuantumCircuit(3, name="serialise_me")
+        circuit.h(0).cz(0, 1).fsim(0.25, 0.5, 1, 2).u3(0.1, 0.2, 0.3, 0).swap(0, 2)
+        text = qasm.dumps(circuit)
+        rebuilt = qasm.loads(text)
+        assert rebuilt.name == "serialise_me"
+        assert rebuilt.num_qubits == 3
+        assert len(rebuilt) == len(circuit)
+        assert allclose_up_to_global_phase(rebuilt.to_unitary(), circuit.to_unitary())
+
+    def test_roundtrip_raw_unitary_gate(self, rng):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_su4(rng), [0, 1], name="su4")
+        rebuilt = qasm.loads(qasm.dumps(circuit))
+        assert allclose_up_to_global_phase(rebuilt.to_unitary(), circuit.to_unitary())
+
+    def test_loads_rejects_missing_header(self):
+        with pytest.raises(ValueError):
+            qasm.loads("qubits 2;\ncz q[0], q[1];")
+
+    def test_loads_rejects_missing_qubit_count(self):
+        with pytest.raises(ValueError):
+            qasm.loads("REPROQASM 1.0;\nname x;\n")

@@ -1,0 +1,99 @@
+"""Tests for the Gate objects of the circuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gate import (
+    Gate,
+    cphase_gate,
+    fsim_gate,
+    gate_from_spec,
+    named_gate,
+    rx_gate,
+    rz_gate,
+    rzz_gate,
+    u3_gate,
+    unitary_gate,
+    xx_plus_yy_gate,
+    xy_gate,
+)
+from repro.gates import standard
+from repro.gates.unitary import random_su4
+
+
+class TestGateConstruction:
+    def test_named_gate_matrix(self):
+        assert np.allclose(named_gate("cz").matrix, standard.CZ)
+        assert named_gate("cz").num_qubits == 2
+        assert named_gate("h").num_qubits == 1
+
+    def test_gate_matrix_is_read_only(self):
+        gate = named_gate("x")
+        with pytest.raises(ValueError):
+            gate.matrix[0, 0] = 5.0
+
+    def test_non_unitary_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("bad", np.array([[1, 0], [0, 2]]))
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("bad", np.ones((2, 3)))
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("bad", np.eye(3))
+
+    def test_parametric_constructors(self):
+        assert fsim_gate(0.3, 0.7).params == (0.3, 0.7)
+        assert xy_gate(1.0).params == (1.0,)
+        assert rz_gate(0.5).name == "rz"
+        assert rzz_gate(0.2).is_two_qubit
+        assert xx_plus_yy_gate(0.2).is_two_qubit
+        assert cphase_gate(0.4).num_qubits == 2
+        assert u3_gate(0.1, 0.2, 0.3).num_qubits == 1
+        assert rx_gate(0.6).num_qubits == 1
+
+    def test_unitary_gate_wraps_arbitrary_matrix(self, rng):
+        matrix = random_su4(rng)
+        gate = unitary_gate(matrix, name="block")
+        assert gate.name == "block"
+        assert np.allclose(gate.matrix, matrix)
+
+
+class TestGateBehaviour:
+    def test_inverse_gate(self):
+        gate = fsim_gate(0.5, 1.0)
+        product = gate.inverse().matrix @ gate.matrix
+        assert np.allclose(product, np.eye(4), atol=1e-9)
+        assert gate.inverse().name.endswith("_dg")
+
+    def test_approx_equal_up_to_phase(self):
+        a = unitary_gate(np.exp(0.3j) * standard.CZ)
+        assert a.approx_equal(named_gate("cz"))
+        assert not a.approx_equal(named_gate("swap"))
+
+    def test_type_key_for_fixed_and_parametric_gates(self):
+        assert named_gate("cz").type_key == "cz"
+        assert xy_gate(np.pi).type_key == "xy(3.141593)"
+        key1 = fsim_gate(np.pi / 2, np.pi / 6).type_key
+        key2 = fsim_gate(np.pi / 2, np.pi / 6).type_key
+        assert key1 == key2
+        assert fsim_gate(0.1, 0.2).type_key != fsim_gate(0.1, 0.3).type_key
+
+
+class TestGateFromSpec:
+    def test_standard_names(self):
+        assert np.allclose(gate_from_spec("swap").matrix, standard.SWAP)
+
+    def test_parametric_names(self):
+        gate = gate_from_spec("fsim", (0.2, 0.4))
+        assert gate.params == (0.2, 0.4)
+
+    def test_standard_gate_with_params_rejected(self):
+        with pytest.raises(ValueError):
+            gate_from_spec("cz", (0.1,))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            gate_from_spec("mystery")

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_paper_scale_flag_parsed(self):
+        args = build_parser().parse_args(["fig6", "--paper-scale"])
+        assert args.paper_scale is True
+
+    def test_design_defaults(self):
+        args = build_parser().parse_args(["design"])
+        assert args.grid == 4
+        assert "qv" in args.applications
+
+    def test_calibration_defaults(self):
+        args = build_parser().parse_args(["calibration"])
+        assert args.gate_types == 4
+        assert args.horizon == pytest.approx(168.0)
+
+
+class TestFastCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "ok" in output and "FAILED" not in output
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "G7" in output and "FullfSim" in output
+
+    def test_fig11a(self, capsys):
+        assert main(["fig11a"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 11a" in output
+        assert "1000q" in output
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        output = capsys.readouterr().out
+        for name in ("qv", "qaoa", "fh", "qft", "adder"):
+            assert name in output
+
+    def test_calibration(self, capsys):
+        code = main([
+            "calibration", "--gate-types", "2", "--edges", "3", "--horizon", "48",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "periodic" in output and "never" in output
+
+    def test_design_small(self, capsys):
+        code = main([
+            "design", "--grid", "3", "--unitaries", "1", "--max-types", "2",
+            "--max-layers", "3", "--applications", "qaoa", "swap",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "knee of the curve" in output

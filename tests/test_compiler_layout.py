@@ -1,0 +1,70 @@
+"""Tests for the placement (layout) pass."""
+
+import pytest
+
+from repro.applications import qv_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.layout import (
+    assign_program_qubits,
+    choose_layout,
+    choose_physical_subset,
+    score_subset,
+)
+from repro.devices.aspen8 import aspen8_device
+from repro.devices.sycamore import sycamore_device
+
+
+class TestSubsetSelection:
+    def test_chosen_subset_is_connected_and_right_size(self):
+        device = sycamore_device()
+        device.register_gate_type("syc")
+        subset = choose_physical_subset(device, 4, ["syc"])
+        assert len(subset) == 4
+        assert device.topology.is_connected_subset(subset)
+
+    def test_subset_prefers_high_fidelity_edges(self):
+        device = aspen8_device()
+        # Scores should favour subsets away from the dead XY edges when XY is
+        # the only gate type considered.
+        good = score_subset(device, [2, 3, 4], ["xy(3.141593)"])
+        bad = score_subset(device, [0, 1, 2], ["xy(3.141593)"])
+        assert good > bad
+
+    def test_score_of_disconnected_subset_is_negative(self):
+        device = sycamore_device()
+        assert score_subset(device, [0, 53]) == -1.0
+
+    def test_impossible_size_raises(self):
+        device = sycamore_device()
+        with pytest.raises(ValueError):
+            choose_physical_subset(device, 55)
+
+
+class TestProgramAssignment:
+    def test_all_program_qubits_assigned_distinct_slots(self):
+        device = sycamore_device()
+        device.register_gate_type("syc")
+        circuit = qv_circuit(4, rng=1)
+        layout = choose_layout(circuit, device, ["syc"])
+        assert sorted(layout.program_to_slot.keys()) == list(range(4))
+        assert len(set(layout.program_to_slot.values())) == 4
+        assert layout.num_slots == 4
+
+    def test_slot_and_physical_lookup(self):
+        device = sycamore_device()
+        device.register_gate_type("syc")
+        circuit = QuantumCircuit(3).cz(0, 1).cz(1, 2)
+        layout = choose_layout(circuit, device)
+        for program_qubit in range(3):
+            slot = layout.slot_of(program_qubit)
+            assert layout.physical_of(program_qubit) == layout.physical_qubits[slot]
+
+    def test_interacting_qubits_placed_close(self):
+        device = sycamore_device()
+        device.register_gate_type("syc")
+        circuit = QuantumCircuit(4).cz(0, 1).cz(0, 1).cz(0, 1).cz(2, 3)
+        placement = assign_program_qubits(circuit, device, choose_physical_subset(device, 4))
+        physical = choose_physical_subset(device, 4)
+        q0 = physical[placement[0]]
+        q1 = physical[placement[1]]
+        assert device.topology.distance(q0, q1) <= 2

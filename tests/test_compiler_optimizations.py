@@ -1,0 +1,218 @@
+"""Tests for the Euler rewriting and gate-cancellation compiler passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.cancellation import (
+    cancel_adjacent_inverses,
+    merge_adjacent_two_qubit_gates,
+    optimize_circuit,
+)
+from repro.compiler.euler import (
+    euler_operations,
+    pulse_cost,
+    rewrite_single_qubit_gates,
+)
+from repro.gates.parametric import u3
+from repro.gates.unitary import allclose_up_to_global_phase, random_unitary
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    return circuit.to_unitary()
+
+
+class TestEulerOperations:
+    @pytest.mark.parametrize("basis", ["zyz", "zxz", "u3"])
+    def test_preserves_unitary(self, basis):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            matrix = random_unitary(2, rng)
+            circuit = QuantumCircuit(1)
+            for operation in euler_operations(matrix, 0, basis=basis):
+                circuit.append_operation(operation)
+            assert allclose_up_to_global_phase(circuit.to_unitary(), matrix, atol=1e-7)
+
+    def test_identity_produces_no_operations(self):
+        assert euler_operations(np.eye(2), 0, basis="zyz") == []
+        assert euler_operations(np.eye(2), 0, basis="u3") == []
+
+    def test_pure_z_rotation_stays_single_gate(self):
+        from repro.gates.parametric import rz
+
+        operations = euler_operations(rz(0.7), 0, basis="zyz")
+        assert len(operations) == 1
+        assert operations[0].gate.name == "rz"
+
+    def test_zxz_uses_at_most_one_physical_pulse(self):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            operations = euler_operations(random_unitary(2, rng), 0, basis="zxz")
+            physical = [op for op in operations if op.gate.name != "rz"]
+            assert len(physical) <= 1
+
+    def test_invalid_basis_and_shape(self):
+        with pytest.raises(ValueError):
+            euler_operations(np.eye(2), 0, basis="xyx")
+        with pytest.raises(ValueError):
+            euler_operations(np.eye(4), 0)
+
+    @given(
+        alpha=st.floats(0.01, 3.0),
+        beta=st.floats(0.01, 6.0),
+        lam=st.floats(0.01, 6.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_zyz_property(self, alpha, beta, lam):
+        matrix = u3(alpha, beta, lam)
+        circuit = QuantumCircuit(1)
+        for operation in euler_operations(matrix, 0, basis="zyz"):
+            circuit.append_operation(operation)
+        assert allclose_up_to_global_phase(circuit.to_unitary(), matrix, atol=1e-6)
+
+
+class TestRewriteCircuit:
+    def _example_circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.u3(0.3, 0.7, 1.1, 1)
+        circuit.cz(0, 1)
+        circuit.rz(0.5, 0)
+        return circuit
+
+    def test_unitary_preserved(self):
+        circuit = self._example_circuit()
+        rewritten = rewrite_single_qubit_gates(circuit, basis="zyz")
+        assert allclose_up_to_global_phase(
+            rewritten.to_unitary(), circuit.to_unitary(), atol=1e-7
+        )
+
+    def test_two_qubit_gates_untouched(self):
+        rewritten = rewrite_single_qubit_gates(self._example_circuit(), basis="zxz")
+        assert rewritten.num_two_qubit_gates() == 1
+
+    def test_pulse_cost_counts(self):
+        cost = pulse_cost(self._example_circuit(), basis="zxz")
+        assert cost.two_qubit_gates == 1
+        assert cost.physical_pulses >= 1
+        assert cost.virtual_z >= 1
+        assert cost.total_error_weight == cost.physical_pulses + cost.two_qubit_gates
+
+    def test_virtual_z_only_circuit_has_zero_physical_pulses(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0)
+        circuit.rz(-1.2, 0)
+        cost = pulse_cost(circuit, basis="zxz")
+        assert cost.physical_pulses == 0
+
+
+class TestCancellation:
+    def test_adjacent_cz_pair_cancels(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.cz(0, 1)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_chain_of_four_cancels_completely(self):
+        circuit = QuantumCircuit(2)
+        for _ in range(4):
+            circuit.cx(0, 1)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_intervening_gate_blocks_cancellation(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.x(0)
+        circuit.cz(0, 1)
+        assert len(cancel_adjacent_inverses(circuit)) == 3
+
+    def test_unrelated_qubit_does_not_block(self):
+        circuit = QuantumCircuit(3)
+        circuit.cz(0, 1)
+        circuit.x(2)
+        circuit.cz(0, 1)
+        result = cancel_adjacent_inverses(circuit)
+        assert result.count_ops() == {"x": 1}
+
+    def test_inverse_rotations_cancel(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.4, 0)
+        circuit.rz(-0.4, 0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_unitary_preserved(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cz(0, 1)
+        circuit.cz(0, 1)
+        circuit.cx(0, 1)
+        original = circuit.to_unitary()
+        cleaned = cancel_adjacent_inverses(circuit)
+        assert allclose_up_to_global_phase(cleaned.to_unitary(), original, atol=1e-8)
+        assert cleaned.num_two_qubit_gates() == 1
+
+
+class TestTwoQubitFusion:
+    def test_fuses_same_pair_run(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.rz(0.3, 0)
+        circuit.cx(0, 1)
+        fused = merge_adjacent_two_qubit_gates(circuit)
+        assert len(fused) == 1
+        assert fused.operations[0].gate.name == "fused_su4"
+        assert allclose_up_to_global_phase(fused.to_unitary(), circuit.to_unitary(), atol=1e-8)
+
+    def test_swapped_qubit_order_is_handled(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        fused = merge_adjacent_two_qubit_gates(circuit)
+        assert allclose_up_to_global_phase(fused.to_unitary(), circuit.to_unitary(), atol=1e-8)
+
+    def test_identity_block_is_dropped(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.cz(0, 1)
+        fused = merge_adjacent_two_qubit_gates(circuit)
+        assert len(fused) == 0
+
+    def test_blocks_end_at_other_pairs(self):
+        circuit = QuantumCircuit(3)
+        circuit.cz(0, 1)
+        circuit.cz(1, 2)
+        fused = merge_adjacent_two_qubit_gates(circuit)
+        assert fused.num_two_qubit_gates() == 2
+
+    def test_single_gate_not_wrapped(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        fused = merge_adjacent_two_qubit_gates(circuit)
+        assert fused.operations[0].gate.name == "cz"
+
+
+class TestOptimizePipeline:
+    def test_pipeline_preserves_unitary_and_reduces_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cz(0, 1)
+        circuit.cz(0, 1)
+        circuit.rz(0.2, 0)
+        circuit.rz(-0.2, 0)
+        circuit.cx(0, 1)
+        optimized = optimize_circuit(circuit)
+        assert optimized.num_two_qubit_gates() == 1
+        assert len(optimized) < len(circuit)
+        assert allclose_up_to_global_phase(
+            optimized.to_unitary(), circuit.to_unitary(), atol=1e-7
+        )
+
+    def test_fusion_option(self):
+        circuit = QuantumCircuit(2)
+        circuit.cz(0, 1)
+        circuit.cx(0, 1)
+        optimized = optimize_circuit(circuit, fuse_two_qubit_blocks=True)
+        assert optimized.num_two_qubit_gates() == 1

@@ -1,0 +1,76 @@
+"""Tests for the analytic KAK/identity baseline ("Cirq-like")."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import (
+    UnsupportedDecompositionError,
+    baseline_counts_for_targets,
+    baseline_gate_count,
+    is_swap_like,
+)
+from repro.gates.parametric import fsim, rzz
+from repro.gates.standard import CZ, SWAP
+from repro.gates.unitary import random_su4
+
+
+class TestBaselineCounts:
+    def test_cz_counts(self, session_rng):
+        assert baseline_gate_count(np.eye(4), "cz").num_two_qubit_gates == 0
+        assert baseline_gate_count(CZ, "cz").num_two_qubit_gates == 1
+        assert baseline_gate_count(rzz(0.3), "cz").num_two_qubit_gates == 2
+        assert baseline_gate_count(random_su4(session_rng), "cz").num_two_qubit_gates == 3
+
+    def test_syc_counts_are_twice_cz(self, session_rng):
+        unitary = random_su4(session_rng)
+        cz = baseline_gate_count(unitary, "cz").num_two_qubit_gates
+        syc = baseline_gate_count(unitary, "syc").num_two_qubit_gates
+        assert syc == 2 * cz
+
+    def test_iswap_generic_count_matches_paper(self, session_rng):
+        # Paper: Cirq needs ~4 iSWAPs for a QV unitary, NuOp needs 3.
+        assert baseline_gate_count(random_su4(session_rng), "iswap").num_two_qubit_gates == 4
+
+    def test_iswap_simple_classes(self):
+        assert baseline_gate_count(CZ, "iswap").num_two_qubit_gates == 2
+        assert baseline_gate_count(SWAP, "iswap").num_two_qubit_gates == 4
+
+    def test_sqrt_iswap_unsupported_for_generic_unitaries(self, session_rng):
+        with pytest.raises(UnsupportedDecompositionError):
+            baseline_gate_count(random_su4(session_rng), "sqrt_iswap")
+        estimate = baseline_gate_count(
+            random_su4(session_rng), "sqrt_iswap", allow_unsupported=True
+        )
+        assert estimate.num_two_qubit_gates == 6
+
+    def test_sqrt_iswap_simple_classes_supported(self):
+        assert baseline_gate_count(rzz(0.3), "sqrt_iswap").num_two_qubit_gates >= 2
+
+    def test_unknown_basis_rejected(self):
+        with pytest.raises(UnsupportedDecompositionError):
+            baseline_gate_count(CZ, "xx_plus_yy")
+
+    def test_nuop_never_worse_than_baseline(self, shared_decomposer, session_rng):
+        """The paper's central Figure 6 claim, spot-checked."""
+        from repro.core.gate_types import google_gate_type
+
+        unitaries = [random_su4(session_rng), rzz(0.7), fsim(0.3, 0.8)]
+        for basis, label in (("cz", "S3"), ("syc", "S1"), ("iswap", "S4")):
+            gate = google_gate_type(label).gate
+            for unitary in unitaries:
+                baseline = baseline_gate_count(unitary, basis).num_two_qubit_gates
+                nuop = shared_decomposer.decompose_exact(unitary, gate=gate).num_layers
+                assert nuop <= baseline
+
+
+class TestHelpers:
+    def test_baseline_counts_for_targets(self, session_rng):
+        unitaries = [random_su4(session_rng) for _ in range(3)]
+        summary = baseline_counts_for_targets(unitaries, "cz")
+        assert summary["mean_gate_count"] == pytest.approx(3.0)
+        assert summary["max_gate_count"] == 3
+
+    def test_is_swap_like(self):
+        assert is_swap_like(SWAP)
+        assert is_swap_like(fsim(np.pi / 2, np.pi))
+        assert not is_swap_like(CZ)

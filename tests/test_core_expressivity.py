@@ -1,0 +1,149 @@
+"""Tests for the expressivity-table / instruction-set design algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.applications.qaoa import random_zz_unitaries
+from repro.applications.qv import random_su4_unitaries
+from repro.calibration.model import CalibrationModel
+from repro.core.expressivity import (
+    CandidateGate,
+    candidate_gate_grid,
+    design_tradeoff_curve,
+    expressivity_table,
+    greedy_instruction_set,
+    knee_of_curve,
+)
+from repro.circuits.gate import named_gate
+from repro.gates.standard import SWAP
+
+
+@pytest.fixture(scope="module")
+def small_table(shared_decomposer):
+    candidates = [
+        CandidateGate("cz", named_gate("cz")),
+        CandidateGate("sqrt_iswap", named_gate("sqrt_iswap")),
+        CandidateGate("swap", named_gate("swap")),
+    ]
+    unitaries = {
+        "qv": random_su4_unitaries(2, seed=1),
+        "qaoa": random_zz_unitaries(2, seed=2),
+        "swap": [SWAP.copy()],
+    }
+    return expressivity_table(unitaries, candidates, decomposer=shared_decomposer, max_layers=4)
+
+
+class TestCandidateGrid:
+    def test_grid_size_excludes_identity_and_adds_swap(self):
+        candidates = candidate_gate_grid(3, 3, include_swap=True)
+        assert len(candidates) == 3 * 3 - 1 + 1
+        assert any(candidate.key == "swap" for candidate in candidates)
+
+    def test_no_swap_option(self):
+        candidates = candidate_gate_grid(3, 3, include_swap=False)
+        assert all(candidate.key != "swap" for candidate in candidates)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            candidate_gate_grid(1, 3)
+
+    def test_candidate_keys_unique(self):
+        candidates = candidate_gate_grid(4, 4)
+        keys = [candidate.key for candidate in candidates]
+        assert len(keys) == len(set(keys))
+
+
+class TestExpressivityTable:
+    def test_counts_shape(self, small_table):
+        assert set(small_table.applications()) == {"qv", "qaoa", "swap"}
+        assert small_table.counts["qv"]["cz"].shape == (2,)
+
+    def test_generic_unitaries_need_three_cz(self, small_table):
+        assert small_table.mean_count("qv", "cz") == pytest.approx(3.0)
+
+    def test_swap_unitary_native_with_swap_gate(self, small_table):
+        assert small_table.mean_count("swap", "swap") == pytest.approx(1.0)
+        assert small_table.mean_count("swap", "cz") == pytest.approx(3.0)
+
+    def test_best_counts_improve_with_more_candidates(self, small_table):
+        single = small_table.best_counts("swap", ["cz"])
+        combined = small_table.best_counts("swap", ["cz", "swap"])
+        assert combined.min() <= single.min()
+        assert np.all(combined <= single)
+
+    def test_selection_cost_monotone_in_selection(self, small_table):
+        cz_only = small_table.selection_cost(["cz"])
+        both = small_table.selection_cost(["cz", "swap"])
+        assert both <= cz_only + 1e-12
+
+    def test_selection_cost_weights(self, small_table):
+        # QAOA (ZZ) unitaries need 2 CZ, QV unitaries need 3; weighting one
+        # workload heavily must move the aggregate cost towards its mean.
+        qaoa_heavy = small_table.selection_cost(["cz"], weights={"swap": 0.1, "qv": 0.1, "qaoa": 10.0})
+        qv_heavy = small_table.selection_cost(["cz"], weights={"swap": 0.1, "qv": 10.0, "qaoa": 0.1})
+        assert qaoa_heavy < qv_heavy
+
+    def test_empty_selection_rejected(self, small_table):
+        with pytest.raises(ValueError):
+            small_table.best_counts("qv", [])
+
+    def test_empty_inputs_rejected(self, shared_decomposer):
+        with pytest.raises(ValueError):
+            expressivity_table({}, [CandidateGate("cz", named_gate("cz"))], shared_decomposer)
+
+
+class TestGreedyDesign:
+    def test_single_type_picks_global_best(self, small_table):
+        design = greedy_instruction_set(small_table, 1)
+        assert design.num_gate_types == 1
+        # Whatever is chosen must be at least as good as every alternative.
+        for key in small_table.candidates:
+            assert design.mean_instruction_count <= small_table.selection_cost([key]) + 1e-9
+
+    def test_larger_sets_never_worse(self, small_table):
+        costs = [
+            greedy_instruction_set(small_table, size).mean_instruction_count
+            for size in (1, 2, 3)
+        ]
+        assert costs[1] <= costs[0] + 1e-9
+        assert costs[2] <= costs[1] + 1e-9
+
+    def test_required_seed_respected(self, small_table):
+        design = greedy_instruction_set(small_table, 2, required=["cz"])
+        assert design.selection[0] == "cz"
+
+    def test_required_unknown_rejected(self, small_table):
+        with pytest.raises(ValueError):
+            greedy_instruction_set(small_table, 2, required=["xx"])
+
+    def test_invalid_sizes(self, small_table):
+        with pytest.raises(ValueError):
+            greedy_instruction_set(small_table, 0)
+        with pytest.raises(ValueError):
+            greedy_instruction_set(small_table, 1, required=["cz", "swap"])
+
+    def test_swap_selected_for_swap_heavy_workload(self, small_table):
+        design = greedy_instruction_set(small_table, 2, weights={"swap": 5.0})
+        assert "swap" in design.selection
+
+
+class TestTradeoffCurve:
+    def test_curve_monotone_and_annotated(self, small_table):
+        designs = design_tradeoff_curve(small_table, max_gate_types=3)
+        assert [design.num_gate_types for design in designs] == [1, 2, 3]
+        costs = [design.mean_instruction_count for design in designs]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+        model = CalibrationModel()
+        for design in designs:
+            assert design.calibration_hours == pytest.approx(
+                model.calibration_time_hours(design.num_gate_types)
+            )
+
+    def test_knee_detection(self, small_table):
+        designs = design_tradeoff_curve(small_table, max_gate_types=3)
+        knee = knee_of_curve(designs, tolerance=0.05)
+        assert 1 <= knee <= 3
+
+    def test_knee_requires_designs(self):
+        with pytest.raises(ValueError):
+            knee_of_curve([])

@@ -1,0 +1,110 @@
+"""Tests for noise-adaptive gate-type selection (the Figure 5 mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import (
+    full_fsim_set,
+    google_instruction_set,
+    rigetti_instruction_set,
+    single_gate_set,
+)
+from repro.core.noise_adaptive import best_gate_type_per_edge, decompose_with_instruction_set
+from repro.gates.parametric import rzz
+from repro.gates.standard import SWAP
+from repro.gates.unitary import random_su4
+
+
+class TestInstructionSetDecomposition:
+    def test_single_type_set_uses_that_type(self, shared_decomposer, session_rng):
+        target = random_su4(session_rng)
+        decomposition = decompose_with_instruction_set(
+            shared_decomposer, target, single_gate_set("S3"), edge_fidelities={"cz": 0.99}
+        )
+        assert decomposition.gate_type_label == "S3"
+        assert all(gate.name in ("cz",) for gate in decomposition.hardware_gates)
+
+    def test_chooses_higher_fidelity_type_when_counts_tie(self, shared_decomposer, session_rng):
+        """With equal expressivity, the calibrated fidelity decides (Figure 5)."""
+        target = random_su4(session_rng)
+        instruction_set = rigetti_instruction_set("R1")  # CZ (S3) and XY(pi) (S4)
+        keys = instruction_set.type_keys()
+        favour_cz = decompose_with_instruction_set(
+            shared_decomposer,
+            target,
+            instruction_set,
+            edge_fidelities={keys[0]: 0.99, keys[1]: 0.90},
+        )
+        favour_xy = decompose_with_instruction_set(
+            shared_decomposer,
+            target,
+            instruction_set,
+            edge_fidelities={keys[0]: 0.90, keys[1]: 0.99},
+        )
+        assert favour_cz.gate_type_label == "S3"
+        assert favour_xy.gate_type_label == "S4"
+
+    def test_expressivity_wins_when_fidelities_equal(self, shared_decomposer):
+        """SWAP-heavy workloads pick the native SWAP when it is in the set (G7)."""
+        decomposition = decompose_with_instruction_set(
+            shared_decomposer,
+            SWAP,
+            google_instruction_set("G7"),
+            edge_fidelities={key: 0.99 for key in google_instruction_set("G7").type_keys()},
+        )
+        assert decomposition.gate_type_label == "SWAP"
+        assert decomposition.num_layers == 1
+
+    def test_overall_fidelity_maximised(self, shared_decomposer, session_rng):
+        target = random_su4(session_rng)
+        instruction_set = google_instruction_set("G3")
+        fidelities = {key: 0.97 for key in instruction_set.type_keys()}
+        chosen = decompose_with_instruction_set(
+            shared_decomposer, target, instruction_set, edge_fidelities=fidelities
+        )
+        # No individual type can achieve a strictly better F_d * F_h.
+        for gate_type in instruction_set.gate_types:
+            candidate = shared_decomposer.decompose_approximate(
+                target, gate=gate_type.gate, gate_fidelity=0.97
+            )
+            assert chosen.overall_fidelity >= candidate.overall_fidelity - 1e-9
+
+    def test_continuous_family_decomposition(self, shared_decomposer, session_rng):
+        target = random_su4(session_rng)
+        decomposition = decompose_with_instruction_set(
+            shared_decomposer,
+            target,
+            full_fsim_set(),
+            edge_fidelities={"*": 0.99},
+        )
+        assert decomposition.num_layers <= 2
+        assert decomposition.hardware_fidelity <= 1.0
+
+    def test_exact_mode(self, shared_decomposer):
+        decomposition = decompose_with_instruction_set(
+            shared_decomposer,
+            rzz(0.4),
+            single_gate_set("S3"),
+            edge_fidelities={"cz": 0.95},
+            approximate=False,
+        )
+        assert decomposition.decomposition_fidelity >= 0.999999
+        assert decomposition.hardware_fidelity == pytest.approx(0.95**2)
+
+
+class TestPerEdgeChoices:
+    def test_best_gate_type_varies_with_edge_fidelities(self, shared_decomposer):
+        """Reproduces the Figure 5 narrative on two Aspen-8 style edges."""
+        instruction_set = rigetti_instruction_set("R1")
+        cz_key, xy_key = instruction_set.type_keys()
+        target = random_su4(np.random.default_rng(5))
+        per_edge = {
+            (2, 3): {cz_key: 0.94, xy_key: 0.70},
+            (3, 4): {cz_key: 0.80, xy_key: 0.95},
+        }
+        choices = best_gate_type_per_edge(
+            shared_decomposer, target, instruction_set, per_edge
+        )
+        assert choices[(2, 3)] == "S3"
+        assert choices[(3, 4)] == "S4"

@@ -1,0 +1,130 @@
+"""Tests for the end-to-end compilation pipeline (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import qaoa_maxcut_circuit, qv_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.instruction_sets import (
+    full_fsim_set,
+    google_instruction_set,
+    rigetti_instruction_set,
+    single_gate_set,
+)
+from repro.core.pipeline import compile_circuit
+from repro.devices.aspen8 import aspen8_device
+from repro.devices.sycamore import sycamore_device
+from repro.metrics.distributions import permute_distribution
+from repro.simulators.statevector import ideal_probabilities
+
+
+@pytest.fixture(scope="module")
+def sycamore():
+    return sycamore_device()
+
+
+@pytest.fixture(scope="module")
+def compiled_qv(shared_decomposer, sycamore):
+    circuit = qv_circuit(3, rng=np.random.default_rng(2))
+    compiled = compile_circuit(
+        circuit, sycamore, google_instruction_set("G3"), decomposer=shared_decomposer
+    )
+    return circuit, compiled
+
+
+class TestCompileCircuit:
+    def test_compiled_gates_belong_to_instruction_set(self, compiled_qv, sycamore):
+        _, compiled = compiled_qv
+        allowed = set(google_instruction_set("G3").type_keys())
+        for operation in compiled.circuit.two_qubit_operations():
+            assert operation.gate.type_key in allowed
+
+    def test_compiled_two_qubit_ops_respect_connectivity(self, compiled_qv, sycamore):
+        _, compiled = compiled_qv
+        for operation in compiled.circuit.two_qubit_operations():
+            a, b = operation.qubits
+            assert sycamore.topology.are_connected(
+                compiled.physical_qubits[a], compiled.physical_qubits[b]
+            )
+
+    def test_compiled_circuit_preserves_semantics(self, compiled_qv):
+        """With near-exact decompositions the compiled output distribution matches the ideal one."""
+        circuit, compiled = compiled_qv
+        ideal = ideal_probabilities(circuit)
+        compiled_probs = ideal_probabilities(compiled.circuit)
+        order = [compiled.final_mapping[q] for q in range(circuit.num_qubits)]
+        realigned = permute_distribution(compiled_probs, order)
+        assert np.allclose(realigned, ideal, atol=0.02)
+
+    def test_bookkeeping_fields(self, compiled_qv):
+        _, compiled = compiled_qv
+        assert compiled.instruction_set_name == "G3"
+        assert compiled.two_qubit_gate_count >= 3
+        assert 0.9 <= compiled.average_decomposition_fidelity <= 1.0
+        assert set(compiled.gate_type_usage) <= {"S1", "S2", "S3", "S4"}
+        assert len(compiled.program_qubit_order()) == 3
+
+    def test_single_type_set_uses_only_that_type(self, shared_decomposer, sycamore):
+        circuit = qaoa_maxcut_circuit(3, rng=np.random.default_rng(4))
+        compiled = compile_circuit(
+            circuit, sycamore, single_gate_set("S1"), decomposer=shared_decomposer
+        )
+        keys = {op.gate.type_key for op in compiled.circuit.two_qubit_operations()}
+        assert keys <= set(single_gate_set("S1").type_keys())
+
+    def test_continuous_family_registers_new_gate_types(self, shared_decomposer):
+        device = sycamore_device()
+        circuit = qaoa_maxcut_circuit(3, rng=np.random.default_rng(5))
+        compiled = compile_circuit(
+            circuit, device, full_fsim_set(), decomposer=shared_decomposer
+        )
+        for operation in compiled.circuit.two_qubit_operations():
+            assert operation.gate.type_key in device.registered_gate_types
+
+    def test_rigetti_compilation_uses_measured_gate_types(self, shared_decomposer):
+        device = aspen8_device()
+        circuit = qaoa_maxcut_circuit(3, rng=np.random.default_rng(6))
+        compiled = compile_circuit(
+            circuit, device, rigetti_instruction_set("R1"), decomposer=shared_decomposer
+        )
+        keys = {op.gate.type_key for op in compiled.circuit.two_qubit_operations()}
+        assert keys <= {"cz", "xy(3.141593)"}
+
+    def test_error_scale_degrades_registered_fidelity(self, shared_decomposer):
+        device = sycamore_device(noise_variation=False)
+        circuit = qaoa_maxcut_circuit(3, rng=np.random.default_rng(7))
+        compile_circuit(
+            circuit,
+            device,
+            full_fsim_set(),
+            decomposer=shared_decomposer,
+            error_scale=2.0,
+        )
+        continuous_keys = [k for k in device.registered_gate_types if k.startswith("fsim")]
+        assert continuous_keys
+        expected_error = 2.0 * device.two_qubit_error_distribution.expected()
+        for key in continuous_keys:
+            rate = 1.0 - device.gate_fidelity(key, device.topology.edges[0])
+            assert rate == pytest.approx(expected_error)
+
+    def test_swap_free_when_program_fits_connectivity(self, shared_decomposer, sycamore):
+        circuit = QuantumCircuit(2).cz(0, 1)
+        compiled = compile_circuit(
+            circuit, sycamore, single_gate_set("S3"), decomposer=shared_decomposer
+        )
+        assert compiled.num_swaps == 0
+
+    def test_merge_single_qubit_flag(self, shared_decomposer, sycamore):
+        circuit = qaoa_maxcut_circuit(3, rng=np.random.default_rng(8))
+        merged = compile_circuit(
+            circuit, sycamore, single_gate_set("S3"), decomposer=shared_decomposer
+        )
+        unmerged = compile_circuit(
+            circuit,
+            sycamore,
+            single_gate_set("S3"),
+            decomposer=shared_decomposer,
+            merge_single_qubit=False,
+        )
+        assert merged.circuit.num_single_qubit_gates() <= unmerged.circuit.num_single_qubit_gates()
+        assert merged.two_qubit_gate_count == unmerged.two_qubit_gate_count

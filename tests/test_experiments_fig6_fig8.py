@@ -1,0 +1,87 @@
+"""Tests for the decomposition-only experiments (Figures 6 and 8)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6 import Figure6Config, run_figure6
+from repro.experiments.fig8 import Figure8Config, run_figure8
+
+
+@pytest.fixture(scope="module")
+def figure6_result(shared_decomposer):
+    config = Figure6Config(unitaries_per_application=2, applications=["qaoa", "qft"], seed=3)
+    return run_figure6(config, decomposer=shared_decomposer)
+
+
+class TestFigure6:
+    def test_rows_cover_all_methods_and_targets(self, figure6_result):
+        methods = {row.method for row in figure6_result.rows}
+        targets = {row.target for row in figure6_result.rows}
+        assert "Cirq" in methods and "NuOp-100%" in methods and "NuOp-95%" in methods
+        assert targets == {"cz", "syc", "iswap", "sqrt_iswap"}
+
+    def test_nuop_never_exceeds_baseline(self, figure6_result):
+        """Figure 6 headline: NuOp matches or beats the Cirq-style baseline."""
+        for target in ("cz", "syc", "iswap"):
+            baseline = figure6_result.mean_count("Cirq", target)
+            nuop = figure6_result.mean_count("NuOp-100%", target)
+            assert nuop <= baseline + 1e-9
+
+    def test_approximation_reduces_counts_monotonically(self, figure6_result):
+        for target in ("cz", "syc"):
+            exact = figure6_result.mean_count("NuOp-100%", target)
+            loose = figure6_result.mean_count("NuOp-95%", target)
+            assert loose <= exact + 1e-9
+
+    def test_decomposition_error_tracked_for_approximate_modes(self, figure6_result):
+        errors = [
+            row.mean_decomposition_error
+            for row in figure6_result.rows
+            if row.method == "NuOp-100%" and row.mean_decomposition_error is not None
+        ]
+        assert errors and max(errors) < 1e-5
+
+    def test_reduction_factor_reported(self, figure6_result):
+        assert figure6_result.reduction_vs_baseline("NuOp-100%") >= 1.0
+        assert "Figure 6" in figure6_result.format_table()
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def figure8_result(self, shared_decomposer):
+        config = Figure8Config(
+            theta_points=3,
+            phi_points=3,
+            unitaries_per_application=2,
+            applications=["qaoa", "swap"],
+            max_layers=4,
+            seed=4,
+        )
+        return run_figure8(config, decomposer=shared_decomposer)
+
+    def test_heatmap_shapes(self, figure8_result):
+        for grid in figure8_result.heatmaps.values():
+            assert grid.shape == (3, 3)
+            assert np.all(grid >= 0)
+
+    def test_identity_corner_is_inexpressive(self, figure8_result):
+        """fSim(0, 0) cannot express entangling operations: the corner count is the penalty value."""
+        qaoa = figure8_result.heatmaps["qaoa"]
+        assert qaoa[0, 0] >= 4
+
+    def test_cz_point_is_expressive_for_qaoa(self, figure8_result):
+        """QAOA ZZ interactions need ~2 gates near the CZ point (theta=0, phi=pi)."""
+        count = figure8_result.count_at("qaoa", 0.0, np.pi)
+        assert count <= 2.5
+
+    def test_swap_point_needs_single_gate_for_swap(self, figure8_result):
+        count = figure8_result.count_at("swap", np.pi / 2, np.pi)
+        assert count == pytest.approx(1.0)
+
+    def test_best_gate_and_s_type_helpers(self, figure8_result):
+        theta, phi, count = figure8_result.best_gate("qaoa")
+        assert 0 <= theta <= np.pi / 2 and 0 <= phi <= np.pi
+        assert count <= 2.5
+        s_counts = figure8_result.s_type_counts("qaoa")
+        assert set(s_counts) == {f"S{i}" for i in range(1, 8)}
+        assert "Figure 8" in figure8_result.format_table("qaoa")

@@ -1,0 +1,148 @@
+"""Integration tests for the heavier experiment drivers (Figures 7, 9, 10, 11).
+
+These use drastically scaled-down configurations so the suite stays fast;
+the benchmark harness under ``benchmarks/`` runs the quick configurations
+and ``paper_scale()`` configurations reproduce the paper's setup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import Figure7Config, run_figure7
+from repro.experiments.fig9 import Figure9Config, run_figure9
+from repro.experiments.fig10 import (
+    Figure10Config,
+    Figure10fConfig,
+    run_figure10,
+    run_figure10f,
+)
+from repro.experiments.fig11 import (
+    Figure11bConfig,
+    run_figure11a,
+    run_figure11b,
+    tradeoff_from_measurements,
+)
+
+
+class TestFigure7:
+    def test_sweep_structure(self, shared_decomposer):
+        config = Figure7Config(
+            error_multipliers=[4.0],
+            qv_qubits=3,
+            qv_circuits=1,
+            qaoa_qubits=3,
+            qaoa_circuits=1,
+            shots=1000,
+            seed=2,
+        )
+        result = run_figure7(config, decomposer=shared_decomposer)
+        assert len(result.points) == 2  # one error point x two applications
+        for point in result.points:
+            assert 0.0 <= point.exact_metric <= 1.0
+            assert 0.0 <= point.approximate_metric <= 1.0
+        assert "Figure 7" in result.format_table()
+        assert result.crossover_multiplier("qv") in (None, 4.0)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self, shared_decomposer):
+        config = Figure9Config(
+            qv_qubits=3,
+            qv_circuits=1,
+            qaoa_qubits=3,
+            qaoa_circuits=1,
+            qft_qubits=3,
+            shots=1000,
+            seed=3,
+            instruction_sets=["S3", "R1"],
+        )
+        return run_figure9(config, decomposer=shared_decomposer)
+
+    def test_all_panels_present(self, result):
+        for study in result.studies():
+            assert set(study.per_set) == {"S3", "R1"}
+            for per_set in study.per_set.values():
+                assert per_set.metric_values
+
+    def test_metrics_in_range(self, result):
+        for study in result.studies():
+            for per_set in study.per_set.values():
+                assert -0.2 <= per_set.mean_metric <= 1.0
+
+    def test_formatting_and_comparison_helpers(self, result):
+        assert "qft" in result.format_table()
+        assert isinstance(result.multi_type_beats_single("qv"), bool)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self, shared_decomposer):
+        config = Figure10Config(
+            app_qubits=3,
+            qv_circuits=1,
+            qaoa_circuits=1,
+            fh_qubits=4,
+            shots=1000,
+            seed=4,
+            trajectories=5,
+            instruction_sets=["S2", "G7"],
+            full_fsim_error_scales=[1.0],
+            include_no_variation_panel=True,
+        )
+        return run_figure10(config, decomposer=shared_decomposer)
+
+    def test_all_panels_present(self, result):
+        for study in result.studies():
+            assert set(study.per_set) == {"S2", "G7"}
+        assert result.qaoa_no_variation is not None
+
+    def test_g7_never_needs_more_gates_than_s2(self, result):
+        for study in result.studies():
+            assert (
+                study.per_set["G7"].mean_two_qubit_count
+                <= study.per_set["S2"].mean_two_qubit_count + 1e-9
+            )
+
+    def test_format_table(self, result):
+        table = result.format_table()
+        assert "qv" in table and "no noise variation" in table
+
+    def test_figure10f_sweep(self, shared_decomposer):
+        config = Figure10fConfig(
+            fh_sizes=[4], error_rates=[0.0036], shots=800, trajectories=5, seed=5
+        )
+        result = run_figure10f(config, decomposer=shared_decomposer)
+        assert len(result.points) == 1
+        point = result.points[0]
+        assert point.num_qubits == 4
+        assert isinstance(result.g7_always_wins(), bool)
+        assert "Fermi-Hubbard" in result.format_table()
+
+
+class TestFigure11:
+    def test_panel_a_scaling(self):
+        result = run_figure11a()
+        assert result.circuits[54][8] == 8 * result.circuits[54][1]
+        assert result.circuits[1000][8] > result.circuits[54][8]
+        assert "calibration circuits" in result.format_table()
+
+    def test_tradeoff_from_measurements(self):
+        points = tradeoff_from_measurements(
+            {"G1": {"qv": 0.68}, "G7": {"qv": 0.72}},
+            baseline={"qv": 0.66},
+        )
+        assert [p.num_gate_types for p in points] == [2, 8]
+        assert points[1].reliability_improvement["qv"] > 0
+
+    def test_panel_b_quick_run(self, shared_decomposer):
+        config = Figure11bConfig.quick()
+        config.figure10_config.app_qubits = 3
+        config.figure10_config.fh_qubits = 4
+        config.figure10_config.qv_circuits = 1
+        config.figure10_config.qaoa_circuits = 1
+        config.figure10_config.shots = 800
+        result = run_figure11b(config, decomposer=shared_decomposer)
+        assert result.points
+        assert result.savings_factor > 10
+        assert "Figure 11b" in result.format_table()

@@ -1,0 +1,47 @@
+"""Tests for the Table I / Table II data modules."""
+
+from repro.experiments.tables import (
+    s_type_parameter_table,
+    table1_identities,
+    table1_rows,
+    table2_rows,
+    verify_s_type_equivalences,
+)
+from repro.gates.unitary import is_unitary
+
+
+class TestTable1:
+    def test_rows_cover_both_vendors_and_statuses(self):
+        rows = table1_rows()
+        vendors = {row.vendor for row in rows}
+        statuses = {row.status for row in rows}
+        assert vendors == {"rigetti", "google"}
+        assert statuses == {"current", "anticipated"}
+
+    def test_every_table1_matrix_is_unitary(self):
+        assert all(is_unitary(row.matrix) for row in table1_rows())
+
+    def test_identities_all_hold(self):
+        assert all(table1_identities().values())
+
+
+class TestTable2:
+    def test_every_instruction_set_present(self):
+        names = {row.name for row in table2_rows()}
+        expected = {f"S{i}" for i in range(1, 8)}
+        expected |= {f"G{i}" for i in range(1, 8)}
+        expected |= {f"R{i}" for i in range(1, 6)}
+        expected |= {"FullXY", "FullfSim"}
+        assert expected <= names
+
+    def test_kinds_and_sizes(self):
+        rows = {row.name: row for row in table2_rows()}
+        assert rows["S1"].kind == "single" and rows["S1"].num_gate_types == 1
+        assert rows["G7"].kind == "multi" and rows["G7"].num_gate_types == 8
+        assert rows["R5"].kind == "multi" and rows["R5"].num_gate_types == 6
+        assert rows["FullfSim"].kind == "continuous"
+
+    def test_s_type_parameters_and_equivalences(self):
+        table = s_type_parameter_table()
+        assert set(table) == {f"S{i}" for i in range(1, 8)}
+        assert all(verify_s_type_equivalences().values())

@@ -1,0 +1,153 @@
+"""Tests for the KAK / Weyl local-equivalence machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import standard
+from repro.gates.kak import (
+    MAGIC_BASIS,
+    gamma_matrix,
+    invariant_distance,
+    is_locally_equivalent,
+    local_invariants,
+    min_cz_count,
+    min_gate_count,
+    min_iswap_count,
+    min_sqrt_iswap_count,
+    weyl_coordinates,
+)
+from repro.gates.parametric import canonical_gate, cphase, fsim, rzz, u3, xy
+from repro.gates.unitary import is_unitary, random_su4, random_unitary
+
+QUARTER = np.pi / 4
+ANGLES = st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False)
+
+
+def random_local(rng) -> np.ndarray:
+    """Random tensor product of single-qubit unitaries."""
+    return np.kron(random_unitary(2, rng), random_unitary(2, rng))
+
+
+class TestMagicBasisAndInvariants:
+    def test_magic_basis_is_unitary(self):
+        assert is_unitary(MAGIC_BASIS)
+
+    def test_gamma_matrix_is_unitary(self, rng):
+        assert is_unitary(gamma_matrix(random_su4(rng)))
+
+    def test_invariants_unchanged_by_local_rotations(self, rng):
+        target = random_su4(rng)
+        dressed = random_local(rng) @ target @ random_local(rng)
+        assert invariant_distance(target, dressed) == pytest.approx(0.0, abs=1e-6)
+
+    def test_invariants_distinguish_different_classes(self):
+        assert invariant_distance(standard.CZ, standard.SWAP) > 0.1
+        assert invariant_distance(standard.CZ, np.eye(4)) > 0.1
+
+    def test_local_invariants_shape(self, rng):
+        e1, e2, e3 = local_invariants(random_su4(rng))
+        assert all(isinstance(v, complex) for v in (e1, e2, e3))
+
+
+class TestLocalEquivalence:
+    def test_known_equivalences(self):
+        assert is_locally_equivalent(standard.CNOT, standard.CZ)
+        assert is_locally_equivalent(standard.ISWAP, xy(np.pi))
+        assert is_locally_equivalent(fsim(np.pi / 2, np.pi), standard.SWAP)
+        assert not is_locally_equivalent(standard.CZ, standard.ISWAP)
+
+    @given(theta=ANGLES)
+    @settings(max_examples=15, deadline=None)
+    def test_xy_half_angle_fsim_equivalence(self, theta):
+        assert is_locally_equivalent(xy(theta), fsim(theta / 2, 0))
+
+    def test_dressing_with_locals_preserves_equivalence(self, rng):
+        target = random_su4(rng)
+        dressed = random_local(rng) @ target @ random_local(rng)
+        assert is_locally_equivalent(target, dressed)
+
+
+class TestWeylCoordinates:
+    @pytest.mark.parametrize(
+        "matrix, expected",
+        [
+            (np.eye(4), (0.0, 0.0, 0.0)),
+            (standard.CZ, (QUARTER, 0.0, 0.0)),
+            (standard.CNOT, (QUARTER, 0.0, 0.0)),
+            (standard.ISWAP, (QUARTER, QUARTER, 0.0)),
+            (standard.SWAP, (QUARTER, QUARTER, QUARTER)),
+            (standard.SQRT_ISWAP, (np.pi / 8, np.pi / 8, 0.0)),
+        ],
+    )
+    def test_known_gate_coordinates(self, matrix, expected):
+        coords = weyl_coordinates(matrix)
+        assert np.allclose(coords, expected, atol=1e-4)
+
+    def test_fsim_coordinates(self):
+        theta, phi = 0.7, 1.1
+        x, y, z = weyl_coordinates(fsim(theta, phi))
+        assert x == pytest.approx(theta / 2, abs=1e-3)
+        assert y == pytest.approx(theta / 2, abs=1e-3)
+        assert abs(z) == pytest.approx(phi / 4, abs=1e-3)
+
+    def test_coordinates_lie_in_chamber(self, rng):
+        for _ in range(3):
+            x, y, z = weyl_coordinates(random_su4(rng))
+            assert QUARTER + 1e-6 >= x >= y >= abs(z) - 1e-6
+
+    def test_coordinates_reject_non_unitary(self):
+        with pytest.raises(ValueError):
+            weyl_coordinates(np.ones((4, 4)))
+
+    def test_canonical_gate_roundtrip(self):
+        coords = (0.61, 0.32, 0.11)
+        recovered = weyl_coordinates(canonical_gate(*coords))
+        assert np.allclose(recovered, coords, atol=1e-3)
+
+
+class TestMinimalGateCounts:
+    def test_cz_counts_for_known_gates(self):
+        assert min_cz_count(np.eye(4)) == 0
+        assert min_cz_count(np.kron(standard.H, standard.X)) == 0
+        assert min_cz_count(standard.CZ) == 1
+        assert min_cz_count(standard.CNOT) == 1
+        assert min_cz_count(rzz(0.3)) == 2
+        assert min_cz_count(standard.ISWAP) == 2
+        assert min_cz_count(standard.SWAP) == 3
+
+    def test_generic_su4_needs_three_cz(self, rng):
+        assert min_cz_count(random_su4(rng)) == 3
+
+    def test_cphase_needs_two_cz(self):
+        assert min_cz_count(cphase(np.pi / 2)) == 2
+
+    def test_iswap_counts(self):
+        assert min_iswap_count(np.eye(4)) == 0
+        assert min_iswap_count(standard.ISWAP) == 1
+        assert min_iswap_count(standard.CZ) == 2
+        assert min_iswap_count(standard.SWAP) == 3
+
+    def test_sqrt_iswap_counts(self):
+        assert min_sqrt_iswap_count(standard.SQRT_ISWAP) == 1
+        assert min_sqrt_iswap_count(standard.ISWAP) == 2
+        assert min_sqrt_iswap_count(standard.CZ) == 2
+        assert min_sqrt_iswap_count(standard.SWAP) == 3
+
+    def test_min_gate_count_dispatch(self, rng):
+        unitary = random_su4(rng)
+        assert min_gate_count(unitary, "cz") == min_cz_count(unitary)
+        assert min_gate_count(standard.SWAP, "iswap") == 3
+        with pytest.raises(ValueError):
+            min_gate_count(unitary, "syc")
+
+    def test_counts_agree_with_nuop(self, rng, shared_decomposer):
+        """The analytic CZ count matches what NuOp actually achieves."""
+        from repro.circuits.gate import named_gate
+
+        cz_gate = named_gate("cz")
+        for target in (standard.SWAP, rzz(0.4), random_su4(rng)):
+            analytic = min_cz_count(target)
+            numerical = shared_decomposer.decompose_exact(target, gate=cz_gate).num_layers
+            assert numerical == analytic

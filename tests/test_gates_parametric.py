@@ -1,0 +1,115 @@
+"""Tests for parametric gate families and the Table I identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import parametric, standard
+from repro.gates.kak import is_locally_equivalent
+from repro.gates.unitary import allclose_up_to_global_phase, is_unitary
+
+ANGLES = st.floats(min_value=-2 * np.pi, max_value=2 * np.pi, allow_nan=False)
+
+
+class TestSingleQubitRotations:
+    @given(theta=ANGLES)
+    @settings(max_examples=30, deadline=None)
+    def test_rotations_are_unitary(self, theta):
+        assert is_unitary(parametric.rx(theta))
+        assert is_unitary(parametric.ry(theta))
+        assert is_unitary(parametric.rz(theta))
+
+    def test_rotation_special_cases(self):
+        assert allclose_up_to_global_phase(parametric.rx(np.pi), standard.X)
+        assert allclose_up_to_global_phase(parametric.ry(np.pi), standard.Y)
+        assert allclose_up_to_global_phase(parametric.rz(np.pi), standard.Z)
+        assert np.allclose(parametric.rz(0.0), np.eye(2))
+
+    @given(a=ANGLES, b=ANGLES)
+    @settings(max_examples=20, deadline=None)
+    def test_rz_composition(self, a, b):
+        assert np.allclose(parametric.rz(a) @ parametric.rz(b), parametric.rz(a + b))
+
+    @given(alpha=ANGLES, beta=ANGLES, lam=ANGLES)
+    @settings(max_examples=30, deadline=None)
+    def test_u3_is_unitary(self, alpha, beta, lam):
+        assert is_unitary(parametric.u3(alpha, beta, lam))
+
+    def test_u3_special_cases(self):
+        assert np.allclose(parametric.u3(0, 0, 0), np.eye(2))
+        assert allclose_up_to_global_phase(
+            parametric.u3(np.pi / 2, 0, np.pi), standard.H
+        )
+
+    def test_phase_gate(self):
+        assert np.allclose(parametric.phase_gate(np.pi), standard.Z)
+        assert np.allclose(parametric.phase_gate(np.pi / 2), standard.S)
+
+
+class TestTwoQubitFamilies:
+    @given(theta=ANGLES, phi=ANGLES)
+    @settings(max_examples=30, deadline=None)
+    def test_fsim_is_unitary(self, theta, phi):
+        assert is_unitary(parametric.fsim(theta, phi))
+
+    @given(theta=ANGLES)
+    @settings(max_examples=30, deadline=None)
+    def test_xy_is_unitary(self, theta):
+        assert is_unitary(parametric.xy(theta))
+
+    def test_fsim_special_cases(self):
+        assert np.allclose(parametric.fsim(0, 0), np.eye(4))
+        assert is_locally_equivalent(parametric.fsim(0, np.pi), standard.CZ)
+        assert is_locally_equivalent(parametric.fsim(np.pi / 2, 0), standard.ISWAP)
+        assert is_locally_equivalent(parametric.fsim(np.pi / 4, 0), standard.SQRT_ISWAP)
+
+    def test_xy_fsim_identity_from_table1(self):
+        # XY(theta) = fSim(theta/2, 0) up to single-qubit rotations.
+        for theta in (0.3, 1.1, 2.2, np.pi):
+            assert is_locally_equivalent(parametric.xy(theta), parametric.fsim(theta / 2, 0))
+
+    def test_xy_pi_is_iswap_class(self):
+        assert is_locally_equivalent(parametric.xy(np.pi), standard.ISWAP)
+
+    def test_cphase_identities(self):
+        assert np.allclose(parametric.cphase(np.pi), standard.CZ)
+        assert is_locally_equivalent(parametric.cphase(1.0), parametric.fsim(0, 1.0))
+
+    def test_rzz_is_diagonal_and_unitary(self):
+        matrix = parametric.rzz(0.37)
+        assert is_unitary(matrix)
+        assert np.allclose(matrix, np.diag(np.diagonal(matrix)))
+
+    def test_rzz_special_angle_is_local(self):
+        # exp(-i pi/2 ZZ) is Z(x)Z up to global phase, i.e. non-entangling.
+        assert is_locally_equivalent(parametric.rzz(np.pi / 2), np.eye(4))
+
+    def test_rxx_plus_ryy_matches_xy_class(self):
+        beta = 0.73
+        assert is_locally_equivalent(
+            parametric.rxx_plus_ryy(beta), parametric.xy(2 * beta)
+        )
+
+    def test_canonical_gate_special_points(self):
+        assert np.allclose(parametric.canonical_gate(0, 0, 0), np.eye(4))
+        assert is_locally_equivalent(
+            parametric.canonical_gate(np.pi / 4, 0, 0), standard.CZ
+        )
+        assert is_locally_equivalent(
+            parametric.canonical_gate(np.pi / 4, np.pi / 4, 0), standard.ISWAP
+        )
+        assert is_locally_equivalent(
+            parametric.canonical_gate(np.pi / 4, np.pi / 4, np.pi / 4), standard.SWAP
+        )
+
+    @given(theta=ANGLES, phi=ANGLES)
+    @settings(max_examples=20, deadline=None)
+    def test_fsim_phi_only_affects_11_phase(self, theta, phi):
+        matrix = parametric.fsim(theta, phi)
+        assert matrix[0, 0] == pytest.approx(1.0)
+        assert abs(matrix[3, 3]) == pytest.approx(1.0)
+        assert matrix[3, 3] == pytest.approx(np.exp(-1j * phi))
+
+    def test_controlled_rz_alias(self):
+        assert np.allclose(parametric.controlled_rz(0.5), parametric.cphase(0.5))

@@ -1,0 +1,75 @@
+"""Tests for the fixed gate matrices."""
+
+import numpy as np
+import pytest
+
+from repro.gates import standard
+from repro.gates.standard import STANDARD_GATES, standard_gate
+from repro.gates.unitary import is_unitary
+
+
+class TestStandardGateMatrices:
+    def test_every_standard_gate_is_unitary(self):
+        for name, matrix in STANDARD_GATES.items():
+            assert is_unitary(matrix), f"{name} is not unitary"
+
+    def test_pauli_algebra(self):
+        assert np.allclose(standard.X @ standard.X, np.eye(2))
+        assert np.allclose(standard.Y @ standard.Y, np.eye(2))
+        assert np.allclose(standard.Z @ standard.Z, np.eye(2))
+        assert np.allclose(standard.X @ standard.Y, 1j * standard.Z)
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(standard.H @ standard.H, np.eye(2))
+
+    def test_s_and_t_relations(self):
+        assert np.allclose(standard.S @ standard.S, standard.Z)
+        assert np.allclose(standard.T @ standard.T, standard.S)
+        assert np.allclose(standard.S @ standard.SDG, np.eye(2))
+        assert np.allclose(standard.T @ standard.TDG, np.eye(2))
+
+    def test_sx_squares_to_x(self):
+        assert np.allclose(standard.SX @ standard.SX, standard.X)
+
+    def test_cz_matrix(self):
+        assert np.allclose(standard.CZ, np.diag([1, 1, 1, -1]))
+
+    def test_cnot_action_on_basis_states(self):
+        # |10> -> |11>, |11> -> |10>, |0x> unchanged.
+        assert np.allclose(standard.CNOT @ np.eye(4)[:, 2], np.eye(4)[:, 3])
+        assert np.allclose(standard.CNOT @ np.eye(4)[:, 3], np.eye(4)[:, 2])
+        assert np.allclose(standard.CNOT @ np.eye(4)[:, 0], np.eye(4)[:, 0])
+        assert np.allclose(standard.CNOT @ np.eye(4)[:, 1], np.eye(4)[:, 1])
+
+    def test_swap_exchanges_basis_states(self):
+        assert np.allclose(standard.SWAP @ np.eye(4)[:, 1], np.eye(4)[:, 2])
+        assert np.allclose(standard.SWAP @ np.eye(4)[:, 2], np.eye(4)[:, 1])
+
+    def test_iswap_adds_phase_on_exchange(self):
+        assert np.allclose(standard.ISWAP @ np.eye(4)[:, 1], 1j * np.eye(4)[:, 2])
+
+    def test_sqrt_iswap_squares_to_iswap(self):
+        assert np.allclose(standard.SQRT_ISWAP @ standard.SQRT_ISWAP, standard.ISWAP)
+
+    def test_syc_matches_fsim_parameters(self):
+        from repro.gates.parametric import fsim
+
+        assert np.allclose(standard.SYC, fsim(np.pi / 2, np.pi / 6))
+
+
+class TestStandardGateLookup:
+    def test_lookup_is_case_insensitive(self):
+        assert np.allclose(standard_gate("CZ"), standard.CZ)
+        assert np.allclose(standard_gate("Swap"), standard.SWAP)
+
+    def test_lookup_returns_copy(self):
+        matrix = standard_gate("x")
+        matrix[0, 0] = 99.0
+        assert np.allclose(standard.X, [[0, 1], [1, 0]])
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            standard_gate("not_a_gate")
+
+    def test_cx_alias_matches_cnot(self):
+        assert np.allclose(standard_gate("cx"), standard_gate("cnot"))

@@ -1,0 +1,83 @@
+"""End-to-end integration tests exercising the whole stack together."""
+
+import numpy as np
+import pytest
+
+from repro.applications import qaoa_maxcut_circuit, qft_benchmark_circuit, qft_target_value
+from repro.core.instruction_sets import (
+    google_instruction_set,
+    rigetti_instruction_set,
+    single_gate_set,
+)
+from repro.core.pipeline import compile_circuit
+from repro.devices.aspen8 import aspen8_device
+from repro.devices.sycamore import sycamore_device
+from repro.experiments.runner import SimulationOptions, simulate_compiled
+from repro.metrics.success import success_rate
+from repro.metrics.xeb import cross_entropy_difference
+from repro.simulators.statevector import ideal_probabilities
+
+
+class TestEndToEndSycamore:
+    def test_qft_success_rate_reasonable_and_multiset_helps_counts(self, shared_decomposer):
+        device = sycamore_device()
+        target = qft_target_value(3)
+        circuit = qft_benchmark_circuit(3, target)
+
+        compiled_single = compile_circuit(
+            circuit, device, single_gate_set("S1"), decomposer=shared_decomposer
+        )
+        compiled_multi = compile_circuit(
+            circuit, device, google_instruction_set("G7"), decomposer=shared_decomposer
+        )
+        assert compiled_multi.two_qubit_gate_count <= compiled_single.two_qubit_gate_count
+
+        options = SimulationOptions(shots=2000, seed=1)
+        measured = simulate_compiled(compiled_multi, device, options)
+        value = success_rate(measured, target)
+        assert 0.5 < value <= 1.0
+
+    def test_noise_hurts_compared_to_ideal(self, shared_decomposer):
+        device = sycamore_device()
+        circuit = qaoa_maxcut_circuit(3, rng=np.random.default_rng(3))
+        compiled = compile_circuit(
+            circuit, device, google_instruction_set("G3"), decomposer=shared_decomposer
+        )
+        measured = simulate_compiled(compiled, device, SimulationOptions(shots=3000, seed=2))
+        ideal = ideal_probabilities(circuit)
+        xed = cross_entropy_difference(measured, ideal)
+        assert xed < 1.0
+        assert xed > -0.2
+
+
+class TestEndToEndAspen:
+    def test_rigetti_pipeline_runs_and_respects_connectivity(self, shared_decomposer):
+        device = aspen8_device()
+        circuit = qaoa_maxcut_circuit(4, rng=np.random.default_rng(9))
+        compiled = compile_circuit(
+            circuit, device, rigetti_instruction_set("R5"), decomposer=shared_decomposer
+        )
+        for operation in compiled.circuit.two_qubit_operations():
+            a, b = operation.qubits
+            assert device.topology.are_connected(
+                compiled.physical_qubits[a], compiled.physical_qubits[b]
+            )
+        measured = simulate_compiled(compiled, device, SimulationOptions(shots=1500, seed=4))
+        assert measured.sum() == pytest.approx(1.0)
+
+    def test_native_swap_set_uses_swap_when_routing(self, shared_decomposer):
+        """R5/G7 include the hardware SWAP, so routed SWAPs stay one instruction."""
+        device = aspen8_device()
+        # A 5-qubit ring segment forces at least one routing SWAP for a
+        # long-range interaction.
+        from repro.circuits.circuit import QuantumCircuit
+
+        circuit = QuantumCircuit(5)
+        for a in range(5):
+            for b in range(a + 1, 5):
+                circuit.rzz(0.4, a, b)
+        compiled = compile_circuit(
+            circuit, device, rigetti_instruction_set("R5"), decomposer=shared_decomposer
+        )
+        if compiled.num_swaps > 0:
+            assert compiled.gate_type_usage.get("SWAP", 0) >= compiled.num_swaps

@@ -1,0 +1,139 @@
+"""Tests for the application reliability metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.distributions import (
+    cross_entropy,
+    hellinger_fidelity,
+    kl_divergence,
+    permute_distribution,
+    total_variation_distance,
+    uniform_distribution,
+    validate_distribution,
+)
+from repro.metrics.hop import (
+    heavy_output_probability,
+    heavy_output_set,
+    ideal_heavy_output_probability,
+    passes_quantum_volume_threshold,
+)
+from repro.metrics.success import success_rate
+from repro.metrics.xeb import (
+    cross_entropy_difference,
+    linear_xeb_fidelity,
+    normalized_linear_xeb_fidelity,
+)
+
+distributions = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=4, max_size=4
+).map(lambda values: np.array(values) / np.sum(values))
+
+
+class TestDistributionHelpers:
+    def test_validate_normalises(self):
+        assert np.allclose(validate_distribution([2.0, 2.0]), [0.5, 0.5])
+
+    def test_validate_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            validate_distribution([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            validate_distribution([-0.5, 1.5])
+        with pytest.raises(ValueError):
+            validate_distribution([0.0, 0.0])
+
+    def test_tvd_and_hellinger_extremes(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert total_variation_distance(p, q) == pytest.approx(1.0)
+        assert total_variation_distance(p, p) == pytest.approx(0.0)
+        assert hellinger_fidelity(p, q) == pytest.approx(0.0)
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+
+    def test_kl_and_cross_entropy(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.9, 0.1])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+        assert kl_divergence(p, q) > 0
+        assert cross_entropy(p, p) == pytest.approx(np.log(2))
+
+    @given(p=distributions, q=distributions)
+    @settings(max_examples=25, deadline=None)
+    def test_tvd_bounds_and_symmetry(self, p, q):
+        d = total_variation_distance(p, q)
+        assert 0 <= d <= 1
+        assert d == pytest.approx(total_variation_distance(q, p))
+
+    def test_permute_distribution_swaps_qubits(self):
+        # Distribution concentrated on |01> (qubit0=0, qubit1=1).
+        probs = np.array([0.0, 1.0, 0.0, 0.0])
+        swapped = permute_distribution(probs, [1, 0])
+        assert swapped[2] == pytest.approx(1.0)
+
+    def test_permute_distribution_validates(self):
+        with pytest.raises(ValueError):
+            permute_distribution(np.ones(4) / 4, [0, 0])
+
+    def test_uniform_distribution(self):
+        assert np.allclose(uniform_distribution(3), 1 / 8)
+
+
+class TestHeavyOutputProbability:
+    def test_heavy_set_above_median(self):
+        ideal = np.array([0.4, 0.3, 0.2, 0.1])
+        heavy = heavy_output_set(ideal)
+        assert heavy == {0, 1}
+
+    def test_perfect_and_uniform_executions(self):
+        ideal = np.array([0.4, 0.3, 0.2, 0.1])
+        assert heavy_output_probability(ideal, ideal) == pytest.approx(0.7)
+        assert heavy_output_probability(np.ones(4) / 4, ideal) == pytest.approx(0.5)
+        assert ideal_heavy_output_probability(ideal) == pytest.approx(0.7)
+
+    def test_threshold_check(self):
+        assert passes_quantum_volume_threshold([0.7, 0.75])
+        assert not passes_quantum_volume_threshold([0.5, 0.6])
+        with pytest.raises(ValueError):
+            passes_quantum_volume_threshold([])
+
+
+class TestCrossEntropyMetrics:
+    def test_xed_limits(self):
+        ideal = np.array([0.5, 0.25, 0.15, 0.1])
+        assert cross_entropy_difference(ideal, ideal) == pytest.approx(1.0)
+        assert cross_entropy_difference(np.ones(4) / 4, ideal) == pytest.approx(0.0, abs=1e-12)
+
+    def test_xed_degrades_with_mixing(self):
+        ideal = np.array([0.5, 0.25, 0.15, 0.1])
+        half_mixed = 0.5 * ideal + 0.5 * np.ones(4) / 4
+        value = cross_entropy_difference(half_mixed, ideal)
+        assert 0.0 < value < 1.0
+
+    def test_xed_of_flat_ideal_distribution_is_zero(self):
+        flat = np.ones(4) / 4
+        assert cross_entropy_difference(flat, flat) == 0.0
+
+    def test_linear_xeb_limits(self):
+        ideal = np.array([0.5, 0.25, 0.15, 0.1])
+        assert linear_xeb_fidelity(np.ones(4) / 4, ideal) == pytest.approx(0.0, abs=1e-12)
+        assert linear_xeb_fidelity(ideal, ideal) > 0.0
+
+    def test_normalized_linear_xeb(self):
+        ideal = np.array([0.5, 0.25, 0.15, 0.1])
+        assert normalized_linear_xeb_fidelity(ideal, ideal) == pytest.approx(1.0)
+        assert normalized_linear_xeb_fidelity(np.ones(4) / 4, ideal) == pytest.approx(0.0, abs=1e-12)
+        mixed = 0.7 * ideal + 0.3 * np.ones(4) / 4
+        assert 0.6 < normalized_linear_xeb_fidelity(mixed, ideal) < 0.8
+
+
+class TestSuccessRate:
+    def test_single_and_multiple_outcomes(self):
+        measured = np.array([0.1, 0.6, 0.2, 0.1])
+        assert success_rate(measured, 1) == pytest.approx(0.6)
+        assert success_rate(measured, [1, 2]) == pytest.approx(0.8)
+
+    def test_out_of_range_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            success_rate(np.ones(4) / 4, 7)

@@ -1,0 +1,135 @@
+"""Tests for readout-error mitigation and the synthetic device factories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.ghz import ghz_circuit
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import single_gate_set
+from repro.core.pipeline import compile_circuit
+from repro.devices.synthetic import device_family, synthetic_device
+from repro.simulators.readout_mitigation import (
+    ReadoutMitigator,
+    apply_confusion,
+    confusion_matrix,
+    mitigate_probabilities,
+    single_qubit_confusion,
+)
+from repro.simulators.statevector import ideal_probabilities
+
+
+class TestConfusionMatrix:
+    def test_single_qubit_columns_are_distributions(self):
+        matrix = single_qubit_confusion(0.05, asymmetry=0.4)
+        np.testing.assert_allclose(matrix.sum(axis=0), [1.0, 1.0])
+        assert matrix[1, 0] == pytest.approx(0.05 * 0.6)
+        assert matrix[0, 1] == pytest.approx(0.05 * 1.4)
+
+    def test_rejects_bad_error_rate(self):
+        with pytest.raises(ValueError):
+            single_qubit_confusion(0.6)
+        with pytest.raises(ValueError):
+            single_qubit_confusion(0.4, asymmetry=2.0)
+
+    def test_multi_qubit_shape_and_columns(self):
+        matrix = confusion_matrix([0.02, 0.05, 0.01])
+        assert matrix.shape == (8, 8)
+        np.testing.assert_allclose(matrix.sum(axis=0), np.ones(8), atol=1e-12)
+
+    def test_zero_error_is_identity(self):
+        np.testing.assert_allclose(confusion_matrix([0.0, 0.0]), np.eye(4))
+
+    def test_empty_register_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([])
+
+
+class TestMitigation:
+    def test_forward_then_mitigate_recovers_distribution(self):
+        true = np.array([0.5, 0.0, 0.0, 0.5])
+        errors = [0.03, 0.06]
+        measured = apply_confusion(true, errors)
+        assert measured[1] > 0.0  # readout error leaks probability
+        for method in ("inverse", "least_squares"):
+            recovered = mitigate_probabilities(measured, errors, method=method)
+            np.testing.assert_allclose(recovered, true, atol=1e-9)
+
+    def test_mitigated_output_is_a_distribution(self):
+        rng = np.random.default_rng(4)
+        raw = rng.random(8)
+        raw /= raw.sum()
+        noisy = apply_confusion(raw, [0.05, 0.02, 0.08])
+        # Add shot noise so inversion would go slightly negative.
+        noisy = noisy + rng.normal(0.0, 0.01, size=8)
+        noisy = np.clip(noisy, 0, None)
+        noisy /= noisy.sum()
+        recovered = mitigate_probabilities(noisy, [0.05, 0.02, 0.08])
+        assert np.all(recovered >= 0.0)
+        assert recovered.sum() == pytest.approx(1.0)
+
+    def test_unknown_method_and_bad_size(self):
+        with pytest.raises(ValueError):
+            mitigate_probabilities(np.ones(4) / 4, [0.01, 0.01], method="bayes")
+        with pytest.raises(ValueError):
+            mitigate_probabilities(np.ones(4) / 4, [0.01])
+
+    @given(error=st.floats(min_value=0.0, max_value=0.2))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, error):
+        true = np.array([0.25, 0.25, 0.25, 0.25])
+        measured = apply_confusion(true, [error, error])
+        recovered = mitigate_probabilities(measured, [error, error], method="inverse")
+        np.testing.assert_allclose(recovered, true, atol=1e-8)
+
+    def test_mitigator_for_device(self):
+        device = synthetic_device(4, readout_error=0.03, seed=1)
+        mitigator = ReadoutMitigator.for_device(device, [0, 1, 2])
+        assert len(mitigator.readout_errors) == 3
+        assert 0.9 < mitigator.expected_assignment_fidelity() < 1.0
+        ideal = ideal_probabilities(ghz_circuit(3))
+        measured = apply_confusion(ideal, mitigator.readout_errors)
+        recovered = mitigator.mitigate(measured)
+        np.testing.assert_allclose(recovered, ideal, atol=1e-7)
+
+
+class TestSyntheticDevices:
+    def test_line_ring_grid_edge_counts(self):
+        assert synthetic_device(6, "line").topology.graph.number_of_edges() == 5
+        assert synthetic_device(6, "ring").topology.graph.number_of_edges() == 6
+        grid = synthetic_device(6, "grid")
+        assert grid.topology.graph.number_of_edges() == 7  # 2x3 grid
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            synthetic_device(1)
+        with pytest.raises(ValueError):
+            synthetic_device(4, topology_kind="star")
+
+    def test_noise_statistics_applied(self):
+        device = synthetic_device(5, mean_two_qubit_error=0.01, readout_error=0.02, seed=3)
+        device.register_gate_type("cz")
+        rates = [1.0 - f for f in device.edge_fidelities("cz").values()]
+        assert all(0.0 < rate < 0.2 for rate in rates)
+        assert device.noise_model.readout_error[0] == pytest.approx(0.02)
+
+    def test_noise_variation_flag(self):
+        uniform = synthetic_device(5, noise_variation=False, seed=2)
+        uniform.register_gate_type("cz")
+        rates = set(round(1.0 - f, 9) for f in uniform.edge_fidelities("cz").values())
+        assert len(rates) == 1
+
+    def test_device_family_sizes(self):
+        family = device_family([4, 9], topology_kind="grid")
+        assert set(family) == {4, 9}
+        assert family[9].topology.graph.number_of_nodes() == 9
+
+    def test_compile_on_synthetic_device(self, shared_decomposer):
+        device = synthetic_device(5, "line", seed=5)
+        circuit = ghz_circuit(4)
+        compiled = compile_circuit(
+            circuit, device, single_gate_set("S3"), decomposer=shared_decomposer
+        )
+        assert compiled.two_qubit_gate_count >= 3
+        assert set(compiled.physical_qubits) <= set(device.topology.graph.nodes)

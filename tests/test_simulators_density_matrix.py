@@ -1,0 +1,160 @@
+"""Tests for the density-matrix and trajectory simulators and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates.unitary import random_su4
+from repro.simulators.density_matrix import DensityMatrixSimulator, apply_channel_to_rho
+from repro.simulators.noise import depolarizing_channel
+from repro.simulators.noise_model import NoiseModel
+from repro.simulators.sampling import Counts, apply_readout_error, sample_counts
+from repro.simulators.statevector import ideal_probabilities, simulate_statevector
+from repro.simulators.trajectory import TrajectorySimulator
+from repro.simulators.estimator import (
+    circuit_duration,
+    circuit_gate_fidelity,
+    decoherence_factor,
+    estimate_circuit_fidelity,
+)
+
+
+def bell_circuit() -> QuantumCircuit:
+    return QuantumCircuit(2).h(0).cx(0, 1)
+
+
+def noisy_model(num_qubits: int = 2, error: float = 0.05) -> NoiseModel:
+    return NoiseModel.uniform(num_qubits, two_qubit_error=error, single_qubit_error=0.002)
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_simulation_matches_statevector(self, rng):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).unitary(random_su4(rng), [0, 1]).cz(1, 2)
+        result = DensityMatrixSimulator().run(circuit)
+        assert np.allclose(result.probabilities(), ideal_probabilities(circuit), atol=1e-9)
+        assert result.purity() == pytest.approx(1.0)
+
+    def test_noise_reduces_purity_and_fidelity(self):
+        circuit = bell_circuit()
+        result = DensityMatrixSimulator(noisy_model()).run(circuit)
+        assert result.purity() < 0.999
+        fidelity = result.fidelity_with_state(simulate_statevector(circuit))
+        assert 0.5 < fidelity < 1.0
+
+    def test_stronger_noise_gives_lower_fidelity(self):
+        circuit = bell_circuit()
+        weak = DensityMatrixSimulator(noisy_model(error=0.01)).run(circuit)
+        strong = DensityMatrixSimulator(noisy_model(error=0.10)).run(circuit)
+        ideal = simulate_statevector(circuit)
+        assert strong.fidelity_with_state(ideal) < weak.fidelity_with_state(ideal)
+
+    def test_physical_qubit_mapping_changes_noise_lookup(self):
+        model = noisy_model(4, error=0.001)
+        model.set_two_qubit_error_rate("cx", (2, 3), 0.2)
+        circuit = bell_circuit()
+        good = DensityMatrixSimulator(model).run(circuit, physical_qubits=[0, 1])
+        bad = DensityMatrixSimulator(model).run(circuit, physical_qubits=[2, 3])
+        ideal = simulate_statevector(circuit)
+        assert bad.fidelity_with_state(ideal) < good.fidelity_with_state(ideal)
+
+    def test_custom_initial_state(self):
+        circuit = QuantumCircuit(1).x(0)
+        result = DensityMatrixSimulator().run(
+            circuit, initial_state=np.array([0, 1], dtype=complex)
+        )
+        assert result.probabilities()[0] == pytest.approx(1.0)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator().run(QuantumCircuit(13))
+
+    def test_apply_channel_preserves_trace(self, rng):
+        rho = np.outer(*(2 * [np.array([0.6, 0.8j, 0, 0])]))
+        rho = np.outer(np.array([0.6, 0.8j, 0, 0]), np.array([0.6, 0.8j, 0, 0]).conj())
+        channel = depolarizing_channel(0.2, 1)
+        updated = apply_channel_to_rho(rho, channel, [1], 2)
+        assert np.trace(updated) == pytest.approx(np.trace(rho))
+
+
+class TestTrajectorySimulator:
+    def test_trajectory_matches_density_matrix(self):
+        circuit = bell_circuit()
+        model = noisy_model(error=0.08)
+        dm_probs = DensityMatrixSimulator(model).run(circuit).probabilities()
+        traj_probs = TrajectorySimulator(model, num_trajectories=400, seed=3).run(circuit)
+        assert np.allclose(traj_probs, dm_probs, atol=0.05)
+
+    def test_noiseless_trajectory_is_deterministic(self):
+        circuit = bell_circuit()
+        probs = TrajectorySimulator(None, num_trajectories=3, seed=1).run(circuit)
+        assert np.allclose(probs, ideal_probabilities(circuit))
+
+    def test_run_states_returns_normalised_states(self):
+        circuit = bell_circuit()
+        states = TrajectorySimulator(noisy_model(), num_trajectories=5, seed=2).run_states(circuit)
+        assert len(states) == 5
+        for state in states:
+            assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_counts_total_and_distribution(self):
+        probs = np.array([0.5, 0.0, 0.0, 0.5])
+        counts = sample_counts(probs, 2000, rng=np.random.default_rng(0))
+        assert counts.shots == 2000
+        assert counts.probability(0) == pytest.approx(0.5, abs=0.06)
+        assert counts.probability(1) == 0.0
+
+    def test_counts_helpers(self):
+        counts = Counts(num_qubits=2, counts={0: 30, 3: 70})
+        assert counts.most_common(1) == [3]
+        assert counts.to_bitstring_dict() == {"00": 30, "11": 70}
+        assert counts.to_probability_vector()[3] == pytest.approx(0.7)
+        assert counts[3] == 70
+        assert set(iter(counts)) == {0, 3}
+
+    def test_readout_error_mixes_distribution(self):
+        probs = np.array([1.0, 0.0, 0.0, 0.0])
+        flipped = apply_readout_error(probs, [0.1, 0.2])
+        assert flipped[0] == pytest.approx(0.9 * 0.8)
+        assert flipped[1] == pytest.approx(0.9 * 0.2)
+        assert flipped[2] == pytest.approx(0.1 * 0.8)
+        assert flipped[3] == pytest.approx(0.1 * 0.2)
+        assert flipped.sum() == pytest.approx(1.0)
+
+    def test_readout_error_length_validated(self):
+        with pytest.raises(ValueError):
+            apply_readout_error(np.ones(4) / 4, [0.1])
+
+    def test_sampling_with_readout_error(self):
+        probs = np.array([1.0, 0.0])
+        counts = sample_counts(probs, 5000, rng=np.random.default_rng(1), readout_error=[0.2])
+        assert counts.probability(1) == pytest.approx(0.2, abs=0.03)
+
+
+class TestEstimator:
+    def test_gate_fidelity_product(self):
+        model = noisy_model(error=0.01)
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        expected = (1 - 0.01) ** 2
+        assert circuit_gate_fidelity(circuit, model) == pytest.approx(expected)
+
+    def test_duration_accumulates_over_moments(self):
+        model = noisy_model()
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        duration = circuit_duration(circuit, model)
+        assert duration == pytest.approx(model.single_qubit_duration + model.two_qubit_duration)
+
+    def test_decoherence_factor_below_one(self):
+        model = noisy_model()
+        circuit = bell_circuit()
+        factor = decoherence_factor(circuit, model)
+        assert 0.0 < factor < 1.0
+
+    def test_estimate_combines_terms(self):
+        model = noisy_model()
+        circuit = bell_circuit()
+        full = estimate_circuit_fidelity(circuit, model)
+        gates_only = estimate_circuit_fidelity(circuit, model, include_decoherence=False)
+        assert full <= gates_only <= 1.0

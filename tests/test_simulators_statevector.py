@@ -1,0 +1,97 @@
+"""Tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates import standard
+from repro.gates.unitary import embed_unitary, random_su4, random_unitary
+from repro.simulators.statevector import (
+    apply_gate,
+    expectation_value,
+    ideal_probabilities,
+    probabilities,
+    simulate_statevector,
+    state_fidelity,
+    zero_state,
+)
+
+
+class TestApplyGate:
+    def test_apply_gate_matches_embedded_unitary(self, rng):
+        for _ in range(3):
+            num_qubits = 4
+            state = random_unitary(2**num_qubits, rng)[:, 0]
+            gate = random_su4(rng)
+            qubits = list(rng.choice(num_qubits, size=2, replace=False))
+            via_apply = apply_gate(state, gate, qubits, num_qubits)
+            via_embed = embed_unitary(gate, qubits, num_qubits) @ state
+            assert np.allclose(via_apply, via_embed)
+
+    def test_apply_single_qubit_gate(self):
+        state = zero_state(2)
+        result = apply_gate(state, standard.X, [1], 2)
+        assert np.allclose(result, np.eye(4)[:, 1])
+        result = apply_gate(state, standard.X, [0], 2)
+        assert np.allclose(result, np.eye(4)[:, 2])
+
+    def test_apply_gate_preserves_norm(self, rng):
+        state = random_unitary(8, rng)[:, 0]
+        result = apply_gate(state, random_su4(rng), [0, 2], 3)
+        assert np.linalg.norm(result) == pytest.approx(1.0)
+
+
+class TestSimulation:
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        state = simulate_statevector(circuit)
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_ghz_probabilities(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        probs = ideal_probabilities(circuit)
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[7] == pytest.approx(0.5)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_custom_initial_state(self):
+        circuit = QuantumCircuit(1).x(0)
+        state = simulate_statevector(circuit, initial_state=np.array([0, 1], dtype=complex))
+        assert np.allclose(state, [1, 0])
+
+    def test_initial_state_dimension_checked(self):
+        with pytest.raises(ValueError):
+            simulate_statevector(QuantumCircuit(2), initial_state=np.ones(3))
+
+    def test_simulation_matches_circuit_unitary(self, rng):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).unitary(random_su4(rng), [0, 2]).cz(1, 2).rz(0.3, 0)
+        state = simulate_statevector(circuit)
+        assert np.allclose(state, circuit.to_unitary()[:, 0])
+
+
+class TestHelpers:
+    def test_probabilities_normalise(self):
+        probs = probabilities(np.array([1.0, 1.0j]))
+        assert np.allclose(probs, [0.5, 0.5])
+
+    def test_probabilities_reject_zero_state(self):
+        with pytest.raises(ValueError):
+            probabilities(np.zeros(4))
+
+    def test_expectation_value_of_pauli_z(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        assert expectation_value(plus, standard.Z) == pytest.approx(0.0, abs=1e-12)
+        assert expectation_value(np.array([1, 0]), standard.Z) == pytest.approx(1.0)
+
+    @given(phase=st.floats(min_value=0, max_value=2 * np.pi, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_state_fidelity_ignores_global_phase(self, phase):
+        state = np.array([0.6, 0.8j])
+        assert state_fidelity(state, np.exp(1j * phase) * state) == pytest.approx(1.0)
+
+    def test_state_fidelity_orthogonal_states(self):
+        assert state_fidelity(np.array([1, 0]), np.array([0, 1])) == pytest.approx(0.0)

@@ -1,0 +1,166 @@
+"""Tests for the text visualization primitives and figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig11 import Figure11aConfig, run_figure11a
+from repro.experiments.runner import InstructionSetResult, StudyResult
+from repro.calibration.tradeoff import TradeoffPoint
+from repro.visualization import (
+    bar_chart,
+    heatmap,
+    histogram,
+    line_plot,
+    render_figure11a,
+    render_study,
+    render_table,
+    render_tradeoff,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_contains_every_label_and_value(self):
+        chart = bar_chart({"S1": 0.5, "G7": 0.75})
+        assert "S1" in chart and "G7" in chart
+        assert "0.500" in chart and "0.750" in chart
+
+    def test_bar_length_proportional_to_value(self):
+        chart = bar_chart({"small": 1.0, "large": 2.0}, width=20)
+        small_line, large_line = chart.splitlines()[:2]
+        assert large_line.count("#") == 2 * small_line.count("#")
+
+    def test_reference_marker_present(self):
+        chart = bar_chart({"a": 0.9}, reference=2.0 / 3.0)
+        assert "|" in chart
+        assert "threshold" in chart
+
+    def test_empty_input(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values_do_not_crash(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart
+
+
+class TestHeatmap:
+    def test_shape_and_labels(self):
+        grid = np.arange(6, dtype=float).reshape(2, 3)
+        text = heatmap(grid, row_labels=["r0", "r1"], column_labels=["c0", "c1", "c2"])
+        assert "r0" in text and "c2" in text
+        # header + separator + two data rows
+        assert len(text.splitlines()) == 4
+
+    def test_title_included(self):
+        text = heatmap(np.zeros((2, 2)), title="my title")
+        assert text.splitlines()[0] == "my title"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(3))
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 2)), row_labels=["only-one"])
+
+    def test_constant_grid(self):
+        text = heatmap(np.ones((3, 3)))
+        assert "1.00" in text
+
+    def test_invert_changes_shading(self):
+        grid = np.array([[0.0, 10.0]])
+        normal = heatmap(grid, shaded=True, invert=False)
+        inverted = heatmap(grid, shaded=True, invert=True)
+        assert normal != inverted
+
+
+class TestSparklineAndHistogram:
+    def test_sparkline_length(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_monotone_shades(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_histogram_counts_sum(self):
+        values = [0.1, 0.2, 0.3, 0.4, 0.9]
+        text = histogram(values, bins=3, title="errors")
+        assert "errors" in text
+        assert len(text.splitlines()) == 4
+
+    def test_histogram_empty(self):
+        assert histogram([]) == "(no data)"
+
+
+class TestLinePlot:
+    def test_basic_plot_contains_legend_and_axes(self):
+        text = line_plot([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}, x_label="types")
+        assert "legend" in text
+        assert "types" in text
+
+    def test_log_scale(self):
+        text = line_plot([1, 10, 100], {"circuits": [1e3, 1e6, 1e9]}, logy=True)
+        assert "1e+09" in text or "1e+9" in text or "1e+0" in text
+
+    def test_empty(self):
+        assert line_plot([], {}) == "(no data)"
+
+    def test_single_point(self):
+        text = line_plot([5.0], {"s": [2.0]})
+        assert "legend" in text
+
+
+class TestRenderTable:
+    def test_column_alignment_and_order(self):
+        rows = [{"name": "S1", "value": 0.5}, {"name": "G7", "value": 0.75}]
+        table = render_table(rows)
+        lines = table.splitlines()
+        assert lines[0].strip().startswith("name")
+        assert len(lines) == 4
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        table = render_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+
+def _fake_study() -> StudyResult:
+    study = StudyResult(application="qv", metric_name="HOP")
+    for name, value, count in (("S1", 0.62, 7.0), ("G7", 0.71, 4.0)):
+        result = InstructionSetResult(instruction_set=name, metric_name="HOP")
+        result.metric_values = [value]
+        result.two_qubit_counts = [int(count)]
+        study.per_set[name] = result
+    return study
+
+
+class TestFigureRenderers:
+    def test_render_study_includes_counts_and_threshold(self):
+        text = render_study(_fake_study(), reference=2.0 / 3.0)
+        assert "qv (HOP)" in text
+        assert "S1" in text and "G7" in text
+        assert "instruction counts" in text
+
+    def test_render_figure11a(self):
+        result = run_figure11a(Figure11aConfig(device_qubits=[2, 54], gate_type_counts=[1, 4, 16]))
+        text = render_figure11a(result)
+        assert "Figure 11a" in text
+        assert "54q" in text
+
+    def test_render_tradeoff(self):
+        points = [
+            TradeoffPoint(2, 6.0, 1000, {"QV": 0.01}),
+            TradeoffPoint(8, 18.0, 4000, {"QV": 0.09}),
+        ]
+        text = render_tradeoff(points)
+        assert "#types" in text
+        assert "Figure 11b" in text
+
+    def test_render_tradeoff_empty(self):
+        assert render_tradeoff([]) == "(no tradeoff points)"
