@@ -1,0 +1,138 @@
+"""Content hashing for circuits, gates and instruction sets.
+
+The experiment engine (:mod:`repro.experiments.engine`) and the
+compilation cache (:mod:`repro.core.pipeline`) need stable, cheap keys for
+"have I seen this exact compilation problem before?".  Python's built-in
+``hash`` is unsuitable: :class:`~repro.circuits.circuit.QuantumCircuit` is
+mutable, gate matrices are numpy arrays, and hash randomisation would make
+keys differ between processes.  This module derives SHA-256 digests from
+the *content* that determines compilation and simulation behaviour:
+
+* a gate hashes its unitary matrix (the authoritative representation --
+  two gates with equal matrices but different construction paths collide
+  on purpose) plus its type key,
+* a circuit hashes its qubit count and the ordered operation list,
+* an instruction set hashes its member gate types (or continuous family).
+
+Digests are hex strings, safe to combine into tuple cache keys and to
+compare across worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.circuits.gate import Gate
+    from repro.core.instruction_sets import InstructionSet
+
+_FLOAT_DECIMALS = 12
+"""Floats are rounded before hashing so keys built from equal values match
+even when one copy went through a float32 round-trip or a ``0.0`` vs
+``-0.0`` normalisation."""
+
+
+def _update_with_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    """Feed a numpy array into a digest in a dtype/shape-stable way."""
+    canonical = np.ascontiguousarray(np.round(np.asarray(array, dtype=complex), _FLOAT_DECIMALS))
+    canonical = canonical + 0.0  # collapse -0.0 to +0.0 in both components
+    digest.update(str(canonical.shape).encode())
+    digest.update(canonical.tobytes())
+
+
+def _update_with_scalars(digest: "hashlib._Hash", values: Iterable[object]) -> None:
+    """Feed a flat sequence of simple scalars (str/int/float/bool/None) into a digest."""
+    for value in values:
+        if isinstance(value, float):
+            rendered = f"f:{round(value, _FLOAT_DECIMALS)!r}"
+        else:
+            rendered = f"{type(value).__name__}:{value!r}"
+        digest.update(rendered.encode())
+        digest.update(b"\x1f")
+
+
+def hash_scalars(*values: object) -> str:
+    """Digest of a flat sequence of simple scalars (helper for composite keys)."""
+    digest = hashlib.sha256()
+    _update_with_scalars(digest, values)
+    return digest.hexdigest()
+
+
+def hash_mapping(mapping: Mapping[object, object]) -> str:
+    """Order-insensitive digest of a mapping with scalar keys and values.
+
+    Nested mappings (e.g. per-edge, per-gate-type error-rate tables) are
+    supported one level deep, which covers every calibration table in the
+    noise model.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(mapping, key=repr):
+        value = mapping[key]
+        _update_with_scalars(digest, (key,))
+        if isinstance(value, Mapping):
+            digest.update(hash_mapping(value).encode())
+        else:
+            _update_with_scalars(digest, (value,))
+    return digest.hexdigest()
+
+
+def gate_fingerprint(gate: "Gate") -> str:
+    """Content digest of a gate: its type key and unitary matrix."""
+    digest = hashlib.sha256()
+    _update_with_scalars(digest, (gate.type_key,))
+    _update_with_array(digest, gate.matrix)
+    return digest.hexdigest()
+
+
+def circuit_fingerprint(circuit: "QuantumCircuit") -> str:
+    """Content digest of a circuit.
+
+    Covers the qubit count and the ordered operation list (gate matrices +
+    qubit tuples).  The circuit *name* is deliberately excluded: two
+    circuits with identical operations compile identically, and experiment
+    drivers routinely rename circuits per instruction set.
+    """
+    digest = hashlib.sha256()
+    _update_with_scalars(digest, ("circuit", circuit.num_qubits, len(circuit)))
+    for operation in circuit:
+        _update_with_scalars(digest, operation.qubits)
+        _update_with_scalars(digest, (operation.gate.type_key,))
+        _update_with_array(digest, operation.gate.matrix)
+    return digest.hexdigest()
+
+
+def instruction_set_fingerprint(instruction_set: "InstructionSet") -> str:
+    """Content digest of an instruction set.
+
+    Discrete sets hash their member gate types (label, calibration key and
+    unitary); continuous sets hash the family name.  The set name is
+    included because the compiled circuit records it and error-scale
+    bookkeeping is keyed by it (the scaled ``FullfSim-2x`` variants share
+    gate content but must not share cache entries with ``FullfSim`` when
+    compiled at a different error scale -- the scale itself is part of the
+    compilation cache key, and the name disambiguates result labelling).
+    """
+    digest = hashlib.sha256()
+    _update_with_scalars(
+        digest,
+        ("instruction_set", instruction_set.name, instruction_set.vendor,
+         instruction_set.continuous_family),
+    )
+    for gate_type in instruction_set.gate_types:
+        _update_with_scalars(digest, (gate_type.label, gate_type.type_key))
+        _update_with_array(digest, gate_type.gate.matrix)
+    return digest.hexdigest()
+
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def array_fingerprint(array: ArrayLike) -> str:
+    """Digest of a bare numeric array (used for ideal-distribution caching)."""
+    digest = hashlib.sha256()
+    _update_with_array(digest, np.asarray(array))
+    return digest.hexdigest()

@@ -30,8 +30,18 @@ from repro.visualization import render_figure8, render_figure9, render_figure10,
 from repro.visualization.text import render_table
 
 
-def _scale(config_class, paper_scale: bool):
-    return config_class.paper_scale() if paper_scale else config_class.quick()
+def _scale(config_class, paper_scale: bool, workers: Optional[int] = None):
+    config = config_class.paper_scale() if paper_scale else config_class.quick()
+    if workers is not None:
+        if hasattr(config, "workers"):
+            config.workers = workers
+        else:
+            print(
+                f"warning: --workers has no effect on {config_class.__name__} "
+                "(this experiment runs no engine studies)",
+                file=sys.stderr,
+            )
+    return config
 
 
 # ---------------------------------------------------------------------------
@@ -74,21 +84,21 @@ def _cmd_table2(args: argparse.Namespace) -> str:
 def _cmd_fig6(args: argparse.Namespace) -> str:
     from repro.experiments.fig6 import Figure6Config, run_figure6
 
-    result = run_figure6(_scale(Figure6Config, args.paper_scale))
+    result = run_figure6(_scale(Figure6Config, args.paper_scale, workers=getattr(args, 'workers', None)))
     return result.format_table()
 
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
     from repro.experiments.fig7 import Figure7Config, run_figure7
 
-    result = run_figure7(_scale(Figure7Config, args.paper_scale))
+    result = run_figure7(_scale(Figure7Config, args.paper_scale, workers=getattr(args, 'workers', None)))
     return result.format_table()
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
     from repro.experiments.fig8 import Figure8Config, run_figure8
 
-    config = _scale(Figure8Config, args.paper_scale)
+    config = _scale(Figure8Config, args.paper_scale, workers=getattr(args, "workers", None))
     result = run_figure8(config)
     return render_figure8(result)
 
@@ -96,21 +106,21 @@ def _cmd_fig8(args: argparse.Namespace) -> str:
 def _cmd_fig9(args: argparse.Namespace) -> str:
     from repro.experiments.fig9 import Figure9Config, run_figure9
 
-    result = run_figure9(_scale(Figure9Config, args.paper_scale))
+    result = run_figure9(_scale(Figure9Config, args.paper_scale, workers=getattr(args, 'workers', None)))
     return render_figure9(result) + "\n\n" + result.format_table()
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
     from repro.experiments.fig10 import Figure10Config, run_figure10
 
-    result = run_figure10(_scale(Figure10Config, args.paper_scale))
+    result = run_figure10(_scale(Figure10Config, args.paper_scale, workers=getattr(args, 'workers', None)))
     return render_figure10(result) + "\n\n" + result.format_table()
 
 
 def _cmd_fig10f(args: argparse.Namespace) -> str:
     from repro.experiments.fig10 import Figure10fConfig, run_figure10f
 
-    result = run_figure10f(_scale(Figure10fConfig, args.paper_scale))
+    result = run_figure10f(_scale(Figure10fConfig, args.paper_scale, workers=getattr(args, 'workers', None)))
     return result.format_table()
 
 
@@ -128,6 +138,9 @@ def _cmd_fig11b(args: argparse.Namespace) -> str:
         from repro.experiments.fig10 import Figure10Config
 
         config = Figure11bConfig(figure10_config=Figure10Config.paper_scale())
+    workers = getattr(args, "workers", None)
+    if workers is not None and config.figure10_config is not None:
+        config.figure10_config.workers = workers
     return run_figure11b(config).format_table()
 
 
@@ -241,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--paper-scale",
             action="store_true",
             help="run the full paper-scale configuration (slow) instead of the quick one",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="experiment-engine worker pool size (1 = serial, 0 = all cores); "
+            "results are bit-identical for every value",
         )
 
     design = subparsers.add_parser("design", help="greedy instruction-set design")

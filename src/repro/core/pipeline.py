@@ -10,6 +10,8 @@ usage, swap counts and estimated fidelities.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -17,6 +19,11 @@ import numpy as np
 
 from repro.circuits.circuit import Operation, QuantumCircuit
 from repro.circuits.gate import named_gate
+from repro.circuits.hashing import (
+    circuit_fingerprint,
+    hash_scalars,
+    instruction_set_fingerprint,
+)
 from repro.compiler.layout import Layout
 from repro.compiler.onequbit import merge_single_qubit_gates
 from repro.compiler.passes import map_and_route
@@ -209,3 +216,175 @@ def compile_circuit(
         decomposition_fidelities=fidelities,
         estimated_hardware_fidelity=hardware_estimate,
     )
+
+
+# ---------------------------------------------------------------------------
+# Compilation caching
+# ---------------------------------------------------------------------------
+
+
+def _decomposer_fingerprint(decomposer: NuOpDecomposer) -> str:
+    """Digest of the decomposer configuration (its cache never changes results)."""
+    return hash_scalars(
+        "decomposer",
+        decomposer.max_layers,
+        decomposer.restarts,
+        decomposer.confirmation_restarts,
+        decomposer.maxiter,
+        decomposer.exact_threshold,
+        decomposer.seed,
+    )
+
+
+@dataclass
+class _CacheEntry:
+    """A cached compilation result plus the side effects to replay on a hit."""
+
+    compiled: CompiledCircuit
+    emitted_type_keys: List[str]
+
+
+class CompilationCache:
+    """Keyed cache around :func:`compile_circuit`.
+
+    Keys combine content digests of the circuit, the instruction set, the
+    device calibration state and the decomposer configuration with the
+    scalar compilation options, so a hit is only possible when the cached
+    call would have produced a bit-identical result.
+
+    ``compile_circuit`` has a side effect the cache must preserve: it
+    registers calibration data for gate types the device has not seen yet,
+    consuming the device's calibration RNG.  On a hit the cache *replays*
+    those registrations (the instruction set's own types, then the gate
+    types emitted by the decomposition, in the same order the original
+    call used), so a warm-cache run leaves the device in exactly the state
+    a cold run would -- the property the determinism test suite pins down.
+
+    The cache is thread-safe and bounded (FIFO eviction); the experiment
+    engine shares one process-global instance across studies so ideal
+    sweep workloads (same circuits, many error scales) reuse work.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple, _CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Current hit/miss/size counters (for benchmark reporting)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def _get(self, key: Tuple) -> Optional[_CacheEntry]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+            return entry
+
+    def _put(self, key: Tuple, entry: _CacheEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+
+_GLOBAL_COMPILATION_CACHE = CompilationCache()
+
+
+def global_compilation_cache() -> CompilationCache:
+    """The process-wide compilation cache used when no explicit cache is given."""
+    return _GLOBAL_COMPILATION_CACHE
+
+
+def compile_circuit_cached(
+    circuit: QuantumCircuit,
+    device: Device,
+    instruction_set: InstructionSet,
+    decomposer: Optional[NuOpDecomposer] = None,
+    approximate: bool = True,
+    use_noise_adaptivity: bool = True,
+    merge_single_qubit: bool = True,
+    layout: Optional[Layout] = None,
+    error_scale: float = 1.0,
+    max_layers: Optional[int] = None,
+    cache: Optional[CompilationCache] = None,
+) -> CompiledCircuit:
+    """Drop-in replacement for :func:`compile_circuit` backed by a cache.
+
+    Identical signature and semantics; results are returned from ``cache``
+    (default: the process-global cache) when the exact same compilation has
+    been performed before against a device in the same calibration state.
+    Callers must treat the returned :class:`CompiledCircuit` as immutable.
+    Calls with an explicit ``layout`` bypass the cache: pinned layouts are
+    used by experiments that deliberately compare instruction sets on
+    identical placements, and caching them would need the layout content in
+    the key for little gain.
+    """
+    decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+    if layout is not None:
+        return compile_circuit(
+            circuit,
+            device,
+            instruction_set,
+            decomposer=decomposer,
+            approximate=approximate,
+            use_noise_adaptivity=use_noise_adaptivity,
+            merge_single_qubit=merge_single_qubit,
+            layout=layout,
+            error_scale=error_scale,
+            max_layers=max_layers,
+        )
+    cache = cache if cache is not None else _GLOBAL_COMPILATION_CACHE
+    key = (
+        circuit_fingerprint(circuit),
+        device.calibration_fingerprint(),
+        instruction_set_fingerprint(instruction_set),
+        _decomposer_fingerprint(decomposer),
+        bool(approximate),
+        bool(use_noise_adaptivity),
+        bool(merge_single_qubit),
+        float(error_scale),
+        max_layers,
+    )
+    entry = cache._get(key)
+    if entry is not None:
+        # Replay the calibration registrations of the original call so the
+        # device RNG advances exactly as it did on the cold path.
+        if not instruction_set.is_continuous:
+            device.ensure_gate_types(instruction_set.type_keys(), scale=error_scale)
+        device.ensure_gate_types(entry.emitted_type_keys, scale=error_scale)
+        return entry.compiled
+
+    compiled = compile_circuit(
+        circuit,
+        device,
+        instruction_set,
+        decomposer=decomposer,
+        approximate=approximate,
+        use_noise_adaptivity=use_noise_adaptivity,
+        merge_single_qubit=merge_single_qubit,
+        layout=None,
+        error_scale=error_scale,
+        max_layers=max_layers,
+    )
+    # merge_single_qubit only rewrites single-qubit runs, so the two-qubit
+    # type keys of the merged circuit equal the keys compile_circuit
+    # registered from the pre-merge decomposition.
+    emitted = sorted({op.gate.type_key for op in compiled.circuit if op.is_two_qubit})
+    cache._put(key, _CacheEntry(compiled=compiled, emitted_type_keys=emitted))
+    return compiled

@@ -85,6 +85,7 @@ class Device:
         self.noise_model = noise_model
         self.two_qubit_error_distribution = two_qubit_error_distribution
         self.noise_variation = noise_variation
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._registered_types: Dict[str, float] = {}
 
@@ -126,6 +127,53 @@ class Device:
         for type_key in type_keys:
             if type_key not in self._registered_types:
                 self.register_gate_type(type_key, scale=scale)
+
+    def calibration_fingerprint(self) -> str:
+        """Digest of everything about this device that affects compilation.
+
+        Two devices with equal fingerprints produce identical compilation
+        results *and* identical future calibration samples: the digest
+        covers the device identity (name, seed, noise-variation flag, error
+        distribution), the set of already-registered gate types with their
+        error scales (which pins down how many samples the calibration RNG
+        has drawn), and the full calibration tables of the noise model.
+        The compilation cache (:mod:`repro.core.pipeline`) uses this as the
+        device component of its keys, so cache entries are shared across
+        runs exactly when the device state genuinely matches.
+        """
+        from repro.circuits.hashing import hash_mapping, hash_scalars
+
+        model = self.noise_model
+        distribution = self.two_qubit_error_distribution
+        return hash_scalars(
+            "device",
+            self.name,
+            self.seed,
+            self.noise_variation,
+            self.topology.num_qubits,
+            repr(sorted(tuple(edge) for edge in self.topology.edges)),
+            distribution.kind,
+            distribution.mean,
+            distribution.std,
+            distribution.minimum,
+            distribution.maximum,
+            hash_mapping(dict(sorted(self._registered_types.items()))),
+            hash_mapping(model.single_qubit_error),
+            hash_mapping(model.two_qubit_error),
+            hash_mapping(model.t1),
+            hash_mapping(model.t2),
+            hash_mapping(model.readout_error),
+            hash_mapping(model.gate_durations),
+            model.default_single_qubit_error,
+            model.default_two_qubit_error,
+            model.default_t1,
+            model.default_t2,
+            model.default_readout_error,
+            model.single_qubit_duration,
+            model.two_qubit_duration,
+            model.include_thermal_relaxation,
+            model.include_idle_noise,
+        )
 
     def gate_fidelity(self, type_key: str, edge: Sequence[int]) -> float:
         """Calibrated fidelity of ``type_key`` on ``edge`` (1 - error rate)."""

@@ -11,7 +11,17 @@ from repro.experiments.runner import (
     InstructionSetResult,
     StudyResult,
     run_instruction_set_study,
+    run_instruction_set_study_reference,
     simulate_compiled,
+)
+from repro.experiments.engine import (
+    ExperimentJob,
+    StudyPlan,
+    clear_experiment_caches,
+    ideal_distribution_cached,
+    resolve_workers,
+    run_parallel,
+    run_study,
 )
 from repro.experiments.fig6 import Figure6Config, Figure6Result, run_figure6
 from repro.experiments.fig7 import Figure7Config, Figure7Result, run_figure7
@@ -41,7 +51,15 @@ __all__ = [
     "InstructionSetResult",
     "StudyResult",
     "run_instruction_set_study",
+    "run_instruction_set_study_reference",
     "simulate_compiled",
+    "ExperimentJob",
+    "StudyPlan",
+    "clear_experiment_caches",
+    "ideal_distribution_cached",
+    "resolve_workers",
+    "run_parallel",
+    "run_study",
     "Figure6Config",
     "Figure6Result",
     "run_figure6",

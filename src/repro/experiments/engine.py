@@ -1,0 +1,387 @@
+"""Parallel experiment execution engine.
+
+Every headline result of the paper (Figures 6-11) is produced by the same
+ensemble workflow: compile every application circuit under every candidate
+instruction set (optionally at several error scales), simulate the
+compiled circuit noisily, and score the measured distribution against the
+ideal one.  The legacy :func:`repro.experiments.runner.run_instruction_set_study`
+executed that workflow as a fully serial double loop; this module turns it
+into an explicit job graph executed by a configurable worker pool.
+
+Architecture
+------------
+
+A study decomposes into a small DAG per ``(circuit, instruction set,
+error scale)`` combination:
+
+* an **ideal node** per circuit (noiseless output distribution) -- shared
+  by every instruction set and error scale, served from a process-global
+  content-addressed cache;
+* a **compile node** per job -- served from the global
+  :class:`~repro.core.pipeline.CompilationCache`;
+* a **simulate node** per job, depending on the compile node and the
+  device calibration state;
+* a **score node** per job, depending on the simulate and ideal nodes;
+* a **merge node** folding scored jobs into a :class:`StudyResult`.
+
+Determinism is the design constraint that shapes the schedule.  The
+device samples calibration data for gate types *lazily*, from a private
+RNG, in the order compilations first request them; reordering compile
+nodes would therefore change the sampled noise and the study's numbers.
+Compile nodes consequently execute serially in canonical order (the order
+the legacy double loop used), which is cheap because they are backed by
+the compilation cache.  Simulate/score nodes are *pure*: they read the
+device calibration but never advance any shared RNG (each job seeds its
+own generator from ``SimulationOptions.seed``), so they run concurrently
+on the worker pool, and the merge node folds results in canonical job
+order regardless of completion order.  ``workers=1`` and ``workers=N``
+are bit-identical, and both are bit-identical to the legacy serial loop
+-- the property ``tests/test_engine_determinism.py`` pins down.
+
+Workers default to processes (simulation is dominated by small-matrix
+numpy kernels that hold the GIL); the engine transparently falls back to
+threads, and then to inline execution, when the platform cannot spawn or
+feed a process pool (e.g. non-picklable ad-hoc device objects).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import threading
+import warnings
+from collections import OrderedDict
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.hashing import circuit_fingerprint
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import InstructionSet
+from repro.core.pipeline import (
+    CompilationCache,
+    CompiledCircuit,
+    compile_circuit_cached,
+    global_compilation_cache,
+)
+from repro.devices.device import Device
+from repro.experiments.runner import (
+    InstructionSetResult,
+    MetricFunction,
+    SimulationOptions,
+    StudyResult,
+    simulate_compiled,
+)
+from repro.simulators.statevector import ideal_probabilities
+
+# ---------------------------------------------------------------------------
+# Ideal-distribution cache (shared across instruction sets, sweeps, studies)
+# ---------------------------------------------------------------------------
+
+_IDEAL_CACHE: "OrderedDict[str, np.ndarray]" = OrderedDict()
+_IDEAL_CACHE_LOCK = threading.Lock()
+_IDEAL_CACHE_STATS = {"hits": 0, "misses": 0}
+_IDEAL_CACHE_MAX_ENTRIES = 1024
+"""FIFO bound: distinct wide circuits would otherwise accumulate
+2^n-sized vectors for the process lifetime."""
+
+
+def ideal_distribution_cached(circuit: QuantumCircuit) -> np.ndarray:
+    """Noiseless output distribution of ``circuit``, content-addressed.
+
+    The legacy runner recomputed ideal probability vectors once per study;
+    sweeps that revisit the same circuits (error-scale sweeps, calibration
+    studies, repeated benchmark runs) paid the exponential-cost statevector
+    simulation again each time.  This cache keys on the circuit *content*
+    so every study in the process shares one vector per distinct circuit.
+    """
+    key = circuit_fingerprint(circuit)
+    with _IDEAL_CACHE_LOCK:
+        cached = _IDEAL_CACHE.get(key)
+        if cached is not None:
+            _IDEAL_CACHE_STATS["hits"] += 1
+            return cached
+        _IDEAL_CACHE_STATS["misses"] += 1
+    value = ideal_probabilities(circuit)
+    value.setflags(write=False)
+    with _IDEAL_CACHE_LOCK:
+        _IDEAL_CACHE[key] = value
+        while len(_IDEAL_CACHE) > _IDEAL_CACHE_MAX_ENTRIES:
+            _IDEAL_CACHE.popitem(last=False)
+    return value
+
+
+def ideal_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the ideal-distribution cache."""
+    with _IDEAL_CACHE_LOCK:
+        return {
+            "hits": _IDEAL_CACHE_STATS["hits"],
+            "misses": _IDEAL_CACHE_STATS["misses"],
+            "entries": len(_IDEAL_CACHE),
+        }
+
+
+def clear_experiment_caches() -> None:
+    """Reset the ideal-distribution cache and the global compilation cache.
+
+    Used by determinism tests and benchmarks that need a guaranteed cold
+    start; production callers normally never need it.
+    """
+    with _IDEAL_CACHE_LOCK:
+        _IDEAL_CACHE.clear()
+        _IDEAL_CACHE_STATS["hits"] = 0
+        _IDEAL_CACHE_STATS["misses"] = 0
+    global_compilation_cache().clear()
+
+
+# ---------------------------------------------------------------------------
+# Job graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One (instruction set, circuit, error scale) unit of study work."""
+
+    set_name: str
+    circuit_index: int
+    error_scale: float = 1.0
+
+
+@dataclass
+class StudyPlan:
+    """The job graph of one instruction-set study, in canonical order.
+
+    Canonical order is instruction sets in catalogue order, circuits in
+    ensemble order -- exactly the iteration order of the legacy serial
+    loop.  Compile nodes run serially in this order (see the module
+    docstring for why); the merge step also folds job results in this
+    order so the :class:`StudyResult` is independent of completion order.
+    """
+
+    set_names: List[str]
+    num_circuits: int
+    error_scales: Dict[str, float] = field(default_factory=dict)
+
+    def jobs(self) -> List[ExperimentJob]:
+        """Every job of the study, in canonical (deterministic) order."""
+        return [
+            ExperimentJob(
+                set_name=name,
+                circuit_index=index,
+                error_scale=self.error_scales.get(name, 1.0),
+            )
+            for name in self.set_names
+            for index in range(self.num_circuits)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.set_names) * self.num_circuits
+
+
+_EXECUTOR_FAILURES = (BrokenExecutor, pickle.PicklingError, TypeError, OSError)
+"""Exceptions that mean the *pool* failed (broken process, unpicklable
+payload, fork refusal) rather than the task itself.  Only these trigger
+the thread/inline fallbacks; other task errors propagate immediately
+instead of re-running the whole workload on a slower executor.
+``TypeError``/``OSError`` stay in the tuple because CPython reports many
+unpicklable payloads as bare ``TypeError`` and fork refusal as
+``OSError`` -- a task genuinely raising one of these is re-run, so the
+fallback emits a warning (never silent) and eventually re-raises."""
+
+
+def _warn_executor_fallback(executor_name: str, error: BaseException) -> None:
+    warnings.warn(
+        f"experiment-engine {executor_name} failed ({type(error).__name__}: {error}); "
+        "falling back to a slower executor and re-running the affected jobs",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``--workers`` value: ``None``/1 serial, 0 = all cores."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return workers
+
+
+def _simulate_job(
+    compiled: CompiledCircuit, device: Device, options: SimulationOptions
+) -> np.ndarray:
+    """Worker entry point: noisy measured distribution of one compiled job.
+
+    Module-level so process pools can pickle it by reference.  Pure: seeds
+    its own RNG from ``options`` and never mutates shared state.
+    """
+    return simulate_compiled(compiled, device, options)
+
+
+def run_parallel(
+    function: Callable,
+    argument_tuples: Sequence[Tuple],
+    workers: Optional[int] = 1,
+) -> List[object]:
+    """Apply ``function`` to argument tuples on a worker pool, preserving order.
+
+    Generic fan-out helper for experiment drivers whose jobs do not touch
+    shared mutable state (e.g. the Figure 6 decomposition cells).  Results
+    are returned in input order, so output is independent of scheduling;
+    ``function`` must be module-level (picklable) for process execution.
+    Falls back to threads, then to inline execution, when a process pool
+    is unavailable.
+    """
+    effective = resolve_workers(workers)
+    if effective <= 1 or len(argument_tuples) <= 1:
+        return [function(*arguments) for arguments in argument_tuples]
+    for executor_class in (ProcessPoolExecutor, ThreadPoolExecutor):
+        try:
+            with executor_class(max_workers=effective) as pool:
+                futures = [pool.submit(function, *arguments) for arguments in argument_tuples]
+                return [future.result() for future in futures]
+        except _EXECUTOR_FAILURES as error:
+            _warn_executor_fallback(executor_class.__name__, error)
+            continue
+    return [function(*arguments) for arguments in argument_tuples]
+
+
+# ---------------------------------------------------------------------------
+# Study execution
+# ---------------------------------------------------------------------------
+
+
+def run_study(
+    application: str,
+    circuits: Sequence[QuantumCircuit],
+    metric_name: str,
+    metric: MetricFunction,
+    device_factory: Callable[[], Device],
+    instruction_sets: Dict[str, InstructionSet],
+    decomposer: Optional[NuOpDecomposer] = None,
+    options: Optional[SimulationOptions] = None,
+    approximate: bool = True,
+    use_noise_adaptivity: bool = True,
+    error_scales: Optional[Dict[str, float]] = None,
+    ideal_override: Optional[Callable[[QuantumCircuit], np.ndarray]] = None,
+    workers: Optional[int] = 1,
+    compilation_cache: Optional[CompilationCache] = None,
+) -> StudyResult:
+    """Execute an instruction-set study on the engine.
+
+    Same contract as the legacy
+    :func:`repro.experiments.runner.run_instruction_set_study` (which now
+    delegates here), plus:
+
+    workers:
+        Size of the simulation worker pool.  ``None``/1 runs everything
+        inline; ``0`` uses every CPU core.  Output is bit-identical for
+        every value.
+    compilation_cache:
+        Cache for compile nodes (default: the process-global cache).
+    """
+    decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+    options = options or SimulationOptions()
+    error_scales = error_scales or {}
+    device = device_factory()
+    effective_workers = resolve_workers(workers)
+
+    plan = StudyPlan(
+        set_names=list(instruction_sets),
+        num_circuits=len(circuits),
+        error_scales=dict(error_scales),
+    )
+    jobs = plan.jobs()
+
+    # Ideal nodes: one per circuit, shared by every set and error scale.
+    if ideal_override is not None:
+        ideal_by_index = [ideal_override(circuit) for circuit in circuits]
+    else:
+        ideal_by_index = [ideal_distribution_cached(circuit) for circuit in circuits]
+
+    # Compile nodes: serial, canonical order (device RNG determinism).
+    # Simulate nodes: submitted to the pool as soon as their compile node
+    # finishes, so simulation overlaps the remaining compilations.
+    pool: Optional[Executor] = None
+    if effective_workers > 1 and len(jobs) > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=effective_workers)
+        except Exception:
+            try:
+                pool = ThreadPoolExecutor(max_workers=effective_workers)
+            except Exception:
+                pool = None
+
+    compiled: Dict[ExperimentJob, CompiledCircuit] = {}
+    futures = {}
+    try:
+        for job in jobs:
+            compiled[job] = compile_circuit_cached(
+                circuits[job.circuit_index],
+                device,
+                instruction_sets[job.set_name],
+                decomposer=decomposer,
+                approximate=approximate,
+                use_noise_adaptivity=use_noise_adaptivity,
+                error_scale=job.error_scale,
+                cache=compilation_cache,
+            )
+            if pool is not None:
+                # Ship a deep-copied device snapshot: it already holds
+                # calibration for every gate type this job can touch, and
+                # copying in the main thread keeps later compilations from
+                # mutating the device while the pool's feeder thread is
+                # still pickling it (or, in the thread fallback, while a
+                # worker is reading it).
+                futures[job] = pool.submit(
+                    _simulate_job, compiled[job], copy.deepcopy(device), options
+                )
+
+        measured: Dict[ExperimentJob, np.ndarray] = {}
+        if pool is not None:
+            try:
+                for job in jobs:
+                    measured[job] = futures[job].result()
+            except _EXECUTOR_FAILURES as error:
+                # Pool died (unpicklable payload, broken process): recompute
+                # inline.  Simulation is pure, so results are unchanged.
+                _warn_executor_fallback(type(pool).__name__, error)
+                measured = {}
+        if len(measured) != len(jobs):
+            measured = {
+                job: _simulate_job(compiled[job], device, options) for job in jobs
+            }
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    # Score + merge, in canonical order.
+    study = StudyResult(application=application, metric_name=metric_name)
+    for set_name in plan.set_names:
+        result = InstructionSetResult(instruction_set=set_name, metric_name=metric_name)
+        for index in range(plan.num_circuits):
+            job = ExperimentJob(
+                set_name=set_name,
+                circuit_index=index,
+                error_scale=plan.error_scales.get(set_name, 1.0),
+            )
+            value = metric(measured[job], ideal_by_index[index])
+            job_compiled = compiled[job]
+            result.metric_values.append(float(value))
+            result.two_qubit_counts.append(job_compiled.two_qubit_gate_count)
+            result.swap_counts.append(job_compiled.num_swaps)
+            for label, count in job_compiled.gate_type_usage.items():
+                result.gate_type_usage[label] = result.gate_type_usage.get(label, 0) + count
+        study.per_set[set_name] = result
+    return study

@@ -57,6 +57,7 @@ class Figure10Config:
     instruction_sets: Optional[List[str]] = None
     full_fsim_error_scales: List[float] = field(default_factory=lambda: [1.0, 2.0])
     include_no_variation_panel: bool = True
+    workers: int = 1
 
     @classmethod
     def quick(cls) -> "Figure10Config":
@@ -155,6 +156,7 @@ def run_figure10(
         decomposer=decomposer,
         options=options,
         error_scales=error_scales,
+        workers=config.workers,
     )
     qaoa_circuits = qaoa_suite(config.app_qubits, config.qaoa_circuits, seed=config.seed + 1)
     qaoa_study = run_instruction_set_study(
@@ -167,6 +169,7 @@ def run_figure10(
         decomposer=decomposer,
         options=options,
         error_scales=error_scales,
+        workers=config.workers,
     )
     target = qft_target_value(config.app_qubits)
     qft_study = run_instruction_set_study(
@@ -179,6 +182,7 @@ def run_figure10(
         decomposer=decomposer,
         options=options,
         error_scales=error_scales,
+        workers=config.workers,
     )
     fh_study = run_instruction_set_study(
         "fh",
@@ -190,6 +194,7 @@ def run_figure10(
         decomposer=decomposer,
         options=options,
         error_scales=error_scales,
+        workers=config.workers,
     )
     no_variation_study = None
     if config.include_no_variation_panel:
@@ -204,6 +209,7 @@ def run_figure10(
             options=options,
             use_noise_adaptivity=False,
             error_scales=error_scales,
+            workers=config.workers,
         )
     return Figure10Result(
         qv=qv_study,
@@ -228,6 +234,7 @@ class Figure10fConfig:
     shots: int = 2000
     trajectories: int = 15
     seed: int = 17
+    workers: int = 1
 
     @classmethod
     def quick(cls) -> "Figure10fConfig":
@@ -312,6 +319,7 @@ def run_figure10f(
                 instruction_sets,
                 decomposer=decomposer,
                 options=options,
+                workers=config.workers,
             )
             result.points.append(
                 Figure10fPoint(

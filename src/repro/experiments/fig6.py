@@ -49,6 +49,7 @@ class Figure6Config:
     unitaries_per_application: int = 8
     applications: List[str] = field(default_factory=lambda: ["qv", "qaoa", "qft"])
     seed: int = 6
+    workers: int = 1
 
     @classmethod
     def quick(cls) -> "Figure6Config":
@@ -128,61 +129,90 @@ def _target_gate(name: str) -> Gate:
     return named_gate(name)
 
 
+def _figure6_cell(
+    application: str,
+    target_name: str,
+    unitaries: List[np.ndarray],
+    decomposer: NuOpDecomposer,
+) -> List[Figure6Row]:
+    """All rows of one (application, target gate) cell of Figure 6.
+
+    Module-level so the experiment engine's worker pool can dispatch cells
+    to processes; each cell is self-contained (the decomposer's fidelity
+    profiles for one cell are keyed by that cell's unitaries and target,
+    so cells share no work and parallelise cleanly).
+    """
+    gate = _target_gate(target_name)
+    rows: List[Figure6Row] = []
+
+    # Analytic baseline ("Cirq").
+    baseline_counts = []
+    supported = True
+    for unitary in unitaries:
+        try:
+            baseline_counts.append(
+                baseline_gate_count(unitary, target_name).num_two_qubit_gates
+            )
+        except UnsupportedDecompositionError:
+            supported = False
+            break
+    rows.append(
+        Figure6Row(
+            method="Cirq",
+            target=target_name,
+            application=application,
+            mean_gate_count=float(np.mean(baseline_counts)) if supported else None,
+        )
+    )
+
+    # NuOp variants.
+    for method, hardware_fidelity in NUOP_FIDELITY_VARIANTS.items():
+        counts = []
+        errors = []
+        for unitary in unitaries:
+            if hardware_fidelity >= 1.0:
+                decomposition = decomposer.decompose_exact(unitary, gate=gate)
+            else:
+                decomposition = decomposer.decompose_for_threshold(
+                    unitary, gate=gate, hardware_fidelity_target=hardware_fidelity
+                )
+            counts.append(decomposition.num_layers)
+            errors.append(1.0 - decomposition.decomposition_fidelity)
+        rows.append(
+            Figure6Row(
+                method=method,
+                target=target_name,
+                application=application,
+                mean_gate_count=float(np.mean(counts)),
+                mean_decomposition_error=float(np.mean(errors)),
+            )
+        )
+    return rows
+
+
 def run_figure6(
     config: Optional[Figure6Config] = None,
     decomposer: Optional[NuOpDecomposer] = None,
 ) -> Figure6Result:
-    """Run the Figure 6 comparison and return per-cell averages."""
+    """Run the Figure 6 comparison and return per-cell averages.
+
+    The (application, target gate) cells are independent jobs dispatched
+    through the experiment engine's worker pool (``config.workers``); cell
+    results are merged in canonical order, so output is identical for any
+    worker count.
+    """
+    from repro.experiments.engine import run_parallel
+
     config = config or Figure6Config.quick()
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
     ensembles = unitary_ensembles(config.unitaries_per_application, seed=config.seed)
     result = Figure6Result()
 
-    for application in config.applications:
-        unitaries = ensembles[application]
-        for target_name in TARGET_GATES:
-            gate = _target_gate(target_name)
-
-            # Analytic baseline ("Cirq").
-            baseline_counts = []
-            supported = True
-            for unitary in unitaries:
-                try:
-                    baseline_counts.append(
-                        baseline_gate_count(unitary, target_name).num_two_qubit_gates
-                    )
-                except UnsupportedDecompositionError:
-                    supported = False
-                    break
-            result.rows.append(
-                Figure6Row(
-                    method="Cirq",
-                    target=target_name,
-                    application=application,
-                    mean_gate_count=float(np.mean(baseline_counts)) if supported else None,
-                )
-            )
-
-            # NuOp variants.
-            for method, hardware_fidelity in NUOP_FIDELITY_VARIANTS.items():
-                counts = []
-                errors = []
-                for unitary in unitaries:
-                    if hardware_fidelity >= 1.0:
-                        decomposition = decomposer.decompose_exact(unitary, gate=gate)
-                    else:
-                        decomposition = decomposer.decompose_for_threshold(
-                            unitary, gate=gate, hardware_fidelity_target=hardware_fidelity
-                        )
-                    counts.append(decomposition.num_layers)
-                    errors.append(1.0 - decomposition.decomposition_fidelity)
-                result.rows.append(
-                    Figure6Row(
-                        method=method,
-                        target=target_name,
-                        application=application,
-                        mean_gate_count=float(np.mean(counts)),
-                        mean_decomposition_error=float(np.mean(errors)),
-                    )
-                )
+    cells = [
+        (application, target_name, ensembles[application], decomposer)
+        for application in config.applications
+        for target_name in TARGET_GATES
+    ]
+    for rows in run_parallel(_figure6_cell, cells, workers=config.workers):
+        result.rows.extend(rows)
     return result

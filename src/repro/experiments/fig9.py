@@ -38,6 +38,7 @@ class Figure9Config:
     shots: int = 3000
     seed: int = 9
     instruction_sets: Optional[List[str]] = None
+    workers: int = 1
 
     @classmethod
     def quick(cls) -> "Figure9Config":
@@ -114,6 +115,7 @@ def run_figure9(
         instruction_sets,
         decomposer=decomposer,
         options=options,
+        workers=config.workers,
     )
     qaoa_study = run_instruction_set_study(
         "qaoa",
@@ -124,6 +126,7 @@ def run_figure9(
         instruction_sets,
         decomposer=decomposer,
         options=options,
+        workers=config.workers,
     )
     target = qft_target_value(config.qft_qubits)
     qft_study = run_instruction_set_study(
@@ -135,5 +138,6 @@ def run_figure9(
         instruction_sets,
         decomposer=decomposer,
         options=options,
+        workers=config.workers,
     )
     return Figure9Result(qv=qv_study, qaoa=qaoa_study, qft=qft_study)

@@ -150,14 +150,62 @@ def run_instruction_set_study(
     use_noise_adaptivity: bool = True,
     error_scales: Optional[Dict[str, float]] = None,
     ideal_override: Optional[Callable[[QuantumCircuit], np.ndarray]] = None,
+    workers: Optional[int] = 1,
 ) -> StudyResult:
     """Compile + simulate + score every circuit under every instruction set.
+
+    Thin compatibility wrapper over the experiment engine
+    (:func:`repro.experiments.engine.run_study`): same signature as the
+    original serial implementation (retained below as
+    :func:`run_instruction_set_study_reference`) plus a ``workers`` knob
+    for the simulation worker pool.  Results are bit-identical to the
+    reference implementation for every worker count.
 
     A single device instance is shared by all instruction sets so that every
     set sees the *same* sampled calibration data (as on a real device), and
     a single decomposer instance is shared so fidelity profiles are reused.
     ``error_scales`` optionally maps instruction-set names to error-rate
     multipliers (used for the scaled FullfSim variants of Figure 10).
+    """
+    from repro.experiments.engine import run_study
+
+    return run_study(
+        application,
+        circuits,
+        metric_name,
+        metric,
+        device_factory,
+        instruction_sets,
+        decomposer=decomposer,
+        options=options,
+        approximate=approximate,
+        use_noise_adaptivity=use_noise_adaptivity,
+        error_scales=error_scales,
+        ideal_override=ideal_override,
+        workers=workers,
+    )
+
+
+def run_instruction_set_study_reference(
+    application: str,
+    circuits: Sequence[QuantumCircuit],
+    metric_name: str,
+    metric: MetricFunction,
+    device_factory: Callable[[], Device],
+    instruction_sets: Dict[str, InstructionSet],
+    decomposer: Optional[NuOpDecomposer] = None,
+    options: Optional[SimulationOptions] = None,
+    approximate: bool = True,
+    use_noise_adaptivity: bool = True,
+    error_scales: Optional[Dict[str, float]] = None,
+    ideal_override: Optional[Callable[[QuantumCircuit], np.ndarray]] = None,
+) -> StudyResult:
+    """The original serial double loop, kept as the engine's ground truth.
+
+    ``tests/test_engine_determinism.py`` asserts the engine reproduces this
+    implementation bit-for-bit (including the device's lazily sampled
+    calibration data, which depends on compilation order).  Do not optimise
+    this function; its simplicity is the point.
     """
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
     options = options or SimulationOptions()

@@ -48,6 +48,42 @@ def apply_gate(
     return tensor.reshape(-1)
 
 
+def zero_states(num_trajectories: int, num_qubits: int) -> np.ndarray:
+    """Return a ``(T, 2^n)`` stack of ``|0...0>`` statevectors."""
+    states = np.zeros((int(num_trajectories), 2**num_qubits), dtype=complex)
+    states[:, 0] = 1.0
+    return states
+
+
+def apply_gate_batch(
+    states: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a k-qubit gate to every statevector in a ``(T, 2^n)`` stack.
+
+    Batched counterpart of :func:`apply_gate`: one tensor contraction
+    advances all ``T`` states at once, which is what makes the trajectory
+    simulator's Monte-Carlo loop a stack of numpy kernels instead of a
+    Python loop over trajectories.
+    """
+    qubits = list(qubits)
+    k = len(qubits)
+    batch = states.shape[0]
+    tensor = states.reshape((batch,) + (2,) * num_qubits)
+    gate_tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    # Qubit q lives on tensor axis q + 1 (axis 0 is the batch axis).
+    tensor = np.tensordot(
+        gate_tensor, tensor, axes=(list(range(k, 2 * k)), [q + 1 for q in qubits])
+    )
+    # Axes now: gate output axes (one per target qubit), batch, remaining qubits.
+    current_order: list = qubits + ["batch"] + [q for q in range(num_qubits) if q not in qubits]
+    inverse = [current_order.index("batch")] + [current_order.index(q) for q in range(num_qubits)]
+    tensor = np.transpose(tensor, inverse)
+    return tensor.reshape(batch, -1)
+
+
 def simulate_statevector(
     circuit: QuantumCircuit, initial_state: Optional[np.ndarray] = None
 ) -> np.ndarray:

@@ -5,6 +5,15 @@ Fermi-Hubbard benchmarks of Figure 10f) noise is unravelled into
 stochastic trajectories: each trajectory keeps a pure statevector and
 samples one Kraus branch per error channel.  Averaging the output
 distributions of many trajectories converges to the density-matrix result.
+
+The simulator is *vectorised over trajectories*: all ``T`` trajectories of
+one circuit advance together as a single stacked ``(T, 2^n)`` array, so
+every gate application and every Kraus-branch evaluation is one numpy
+tensor contraction instead of a Python loop over trajectories.  Branch
+*selection* is the only per-trajectory decision, and it is sampled in bulk
+(one uniform draw per trajectory per stochastic channel), so results are
+deterministic for a fixed seed regardless of how the surrounding
+experiment engine schedules work.
 """
 
 from __future__ import annotations
@@ -17,7 +26,18 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import as_moments
 from repro.simulators.noise import KrausChannel
 from repro.simulators.noise_model import NoiseModel
-from repro.simulators.statevector import apply_gate, zero_state
+from repro.simulators.statevector import (
+    apply_gate,
+    apply_gate_batch,
+    zero_state,
+    zero_states,
+)
+
+_BRANCH_STORAGE_LIMIT = 1 << 22
+"""Max complex elements of pre-computed Kraus branches kept in memory at
+once; beyond it the batched channel application recomputes the chosen
+branch instead of storing every candidate (trades FLOPs for memory on
+wide states such as the 20-qubit Fermi-Hubbard runs)."""
 
 
 def _apply_channel_stochastically(
@@ -45,6 +65,58 @@ def _apply_channel_stochastically(
     choice = rng.choice(len(branches), p=probabilities)
     branch = branches[choice]
     return branch / np.linalg.norm(branch)
+
+
+def _apply_channel_batch(
+    states: np.ndarray,
+    channel: KrausChannel,
+    qubits: Sequence[int],
+    num_qubits: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample one Kraus branch per trajectory and apply it, batched.
+
+    Branch weights are ``||K_k |psi_t>||^2``; each trajectory draws its
+    branch from its own weight distribution using a single bulk uniform
+    sample, then the chosen branches are applied group-by-group (one
+    batched gate application per distinct chosen operator).
+    """
+    operators = channel.operators
+    if len(operators) == 1:
+        return apply_gate_batch(states, operators[0], qubits, num_qubits)
+
+    num_branches = len(operators)
+    num_trajectories = states.shape[0]
+    keep_branches = num_branches * states.size <= _BRANCH_STORAGE_LIMIT
+    branches: List[Optional[np.ndarray]] = [None] * num_branches
+    weights = np.empty((num_branches, num_trajectories))
+    for index, operator in enumerate(operators):
+        branch = apply_gate_batch(states, operator, qubits, num_qubits)
+        weights[index] = np.einsum("ti,ti->t", branch, branch.conj()).real
+        if keep_branches:
+            branches[index] = branch
+
+    totals = weights.sum(axis=0)
+    if np.any(totals <= 0):
+        raise RuntimeError("channel produced zero total probability")
+    cumulative = np.cumsum(weights / totals, axis=0)
+    draws = rng.random(num_trajectories)
+    choices = np.minimum(
+        (draws[None, :] >= cumulative).sum(axis=0), num_branches - 1
+    )
+
+    output = np.empty_like(states)
+    for index in range(num_branches):
+        mask = choices == index
+        if not np.any(mask):
+            continue
+        if branches[index] is not None:
+            chosen = branches[index][mask]
+        else:
+            chosen = apply_gate_batch(states[mask], operators[index], qubits, num_qubits)
+        norms = np.sqrt(np.einsum("ti,ti->t", chosen, chosen.conj()).real)
+        output[mask] = chosen / norms[:, None]
+    return output
 
 
 class TrajectorySimulator:
@@ -101,6 +173,43 @@ class TrajectorySimulator:
                         )
         return state
 
+    def _run_batch(
+        self,
+        circuit: QuantumCircuit,
+        physical_qubits: Sequence[int],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advance all trajectories together; returns the ``(T, 2^n)`` final states."""
+        n = circuit.num_qubits
+        states = zero_states(self.num_trajectories, n)
+        for moment in as_moments(circuit):
+            busy = set()
+            duration = 0.0
+            if self.noise_model is not None:
+                duration = max(
+                    (self.noise_model.operation_duration(op) for op in moment),
+                    default=0.0,
+                )
+            for operation in moment:
+                busy.update(operation.qubits)
+                states = apply_gate_batch(states, operation.gate.matrix, operation.qubits, n)
+                if self.noise_model is not None:
+                    for channel, qubits in self.noise_model.error_channels_for_operation(
+                        operation, physical_qubits
+                    ):
+                        states = _apply_channel_batch(states, channel, qubits, n, rng)
+            if self.noise_model is not None and duration > 0:
+                for qubit in range(n):
+                    if qubit in busy:
+                        continue
+                    idle = self.noise_model.idle_channel(
+                        qubit, physical_qubits[qubit], duration
+                    )
+                    if idle is not None:
+                        channel, qubits = idle
+                        states = _apply_channel_batch(states, channel, qubits, n, rng)
+        return states
+
     def run(
         self,
         circuit: QuantumCircuit,
@@ -111,11 +220,8 @@ class TrajectorySimulator:
         if physical_qubits is None:
             physical_qubits = list(range(n))
         rng = np.random.default_rng(self.seed)
-        accumulated = np.zeros(2**n)
-        for _ in range(self.num_trajectories):
-            state = self.run_single_trajectory(circuit, physical_qubits, rng)
-            accumulated += np.abs(state) ** 2
-        return accumulated / self.num_trajectories
+        states = self._run_batch(circuit, physical_qubits, rng)
+        return np.mean(np.abs(states) ** 2, axis=0)
 
     def run_states(
         self,
@@ -127,7 +233,5 @@ class TrajectorySimulator:
         if physical_qubits is None:
             physical_qubits = list(range(n))
         rng = np.random.default_rng(self.seed)
-        return [
-            self.run_single_trajectory(circuit, physical_qubits, rng)
-            for _ in range(self.num_trajectories)
-        ]
+        states = self._run_batch(circuit, physical_qubits, rng)
+        return [np.array(state) for state in states]

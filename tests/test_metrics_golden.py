@@ -1,0 +1,141 @@
+"""Golden-value tests for the metrics layer.
+
+Each test evaluates a metric on a distribution whose value can be computed
+by hand (uniform, delta, GHZ) and asserts the exact expected number, so a
+regression in any metric shows up as a concrete wrong value rather than a
+drifting statistical test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.hop import (
+    heavy_output_probability,
+    heavy_output_set,
+    ideal_heavy_output_probability,
+)
+from repro.metrics.xeb import (
+    cross_entropy_difference,
+    linear_xeb_fidelity,
+    normalized_linear_xeb_fidelity,
+)
+
+
+def uniform(num_qubits: int) -> np.ndarray:
+    dim = 2**num_qubits
+    return np.full(dim, 1.0 / dim)
+
+
+def delta(num_qubits: int, outcome: int = 0) -> np.ndarray:
+    dim = 2**num_qubits
+    distribution = np.zeros(dim)
+    distribution[outcome] = 1.0
+    return distribution
+
+
+def ghz(num_qubits: int) -> np.ndarray:
+    """Ideal GHZ output: half the mass on |0...0>, half on |1...1>."""
+    dim = 2**num_qubits
+    distribution = np.zeros(dim)
+    distribution[0] = 0.5
+    distribution[dim - 1] = 0.5
+    return distribution
+
+
+class TestLinearXeb:
+    def test_uniform_measured_uniform_ideal_is_zero(self):
+        # F = D * sum(1/D * 1/D) - 1 = D * D/D^2 - 1 = 0, for any size.
+        for n in (1, 2, 3, 4):
+            assert linear_xeb_fidelity(uniform(n), uniform(n)) == pytest.approx(0.0)
+
+    def test_delta_measured_delta_ideal_is_dim_minus_one(self):
+        # F = D * 1 - 1 = D - 1.
+        for n in (1, 2, 3):
+            assert linear_xeb_fidelity(delta(n), delta(n)) == pytest.approx(2**n - 1)
+
+    def test_uniform_measured_delta_ideal_is_zero(self):
+        # F = D * (1/D) * 1 - 1 = 0: a depolarised execution scores zero.
+        assert linear_xeb_fidelity(uniform(3), delta(3)) == pytest.approx(0.0)
+
+    def test_disjoint_delta_measured_is_minus_one(self):
+        # Measured mass entirely off the ideal support: F = -1.
+        assert linear_xeb_fidelity(delta(2, outcome=3), delta(2, outcome=0)) == pytest.approx(-1.0)
+
+    def test_ghz_measured_ghz_ideal(self):
+        # F = D * (0.25 + 0.25) - 1 = D/2 - 1.
+        for n in (2, 3, 4):
+            assert linear_xeb_fidelity(ghz(n), ghz(n)) == pytest.approx(2**n / 2 - 1)
+
+    def test_normalized_xeb_is_one_for_perfect_execution(self):
+        for ideal in (ghz(3), delta(3)):
+            assert normalized_linear_xeb_fidelity(ideal, ideal) == pytest.approx(1.0)
+
+    def test_normalized_xeb_is_zero_for_depolarised_execution(self):
+        assert normalized_linear_xeb_fidelity(uniform(3), ghz(3)) == pytest.approx(0.0)
+
+    def test_normalized_xeb_guard_on_uniform_ideal(self):
+        # Ideal self-XEB of the uniform distribution is 0; the guarded
+        # normalisation returns 0 instead of dividing by zero.
+        assert normalized_linear_xeb_fidelity(delta(2), uniform(2)) == 0.0
+
+    def test_ghz_half_mass_measured(self):
+        # Measured puts 0.5 on |0..0> and spreads 0.5 uniformly, so
+        # sum(p_m * p_i) = (0.5 + 0.5/D)*0.5 + (0.5/D)*0.5 = 1/4 + 1/(2D)
+        # and F = D/4 - 1/2.
+        for n in (2, 3):
+            dim = 2**n
+            measured = np.full(dim, 0.5 / dim)
+            measured[0] += 0.5
+            expected = dim / 4 - 0.5
+            assert linear_xeb_fidelity(measured, ghz(n)) == pytest.approx(expected)
+
+
+class TestHeavyOutputProbability:
+    def test_uniform_ideal_has_empty_heavy_set(self):
+        # Every outcome sits exactly at the median; none is strictly above.
+        assert heavy_output_set(uniform(3)) == set()
+        assert heavy_output_probability(uniform(3), uniform(3)) == pytest.approx(0.0)
+
+    def test_delta_ideal_heavy_set_is_the_peak(self):
+        assert heavy_output_set(delta(3, outcome=5)) == {5}
+        assert heavy_output_probability(delta(3, outcome=5), delta(3, outcome=5)) == pytest.approx(1.0)
+        # Uniform measured places 1/D mass on the single heavy outcome.
+        assert heavy_output_probability(uniform(3), delta(3, outcome=5)) == pytest.approx(1 / 8)
+
+    def test_ghz_ideal_heavy_set(self):
+        # Median of (0.5, 0, ..., 0, 0.5) is 0 for n >= 2: heavy set is the
+        # two GHZ outcomes.
+        for n in (2, 3, 4):
+            dim = 2**n
+            assert heavy_output_set(ghz(n)) == {0, dim - 1}
+            assert ideal_heavy_output_probability(ghz(n)) == pytest.approx(1.0)
+            assert heavy_output_probability(uniform(n), ghz(n)) == pytest.approx(2 / dim)
+
+    def test_measured_half_on_heavy_set(self):
+        measured = np.array([0.25, 0.25, 0.25, 0.25])
+        ideal = np.array([0.5, 0.0, 0.0, 0.5])
+        assert heavy_output_probability(measured, ideal) == pytest.approx(0.5)
+
+
+class TestCrossEntropyDifference:
+    def test_perfect_execution_scores_one(self):
+        ideal = np.array([0.5, 0.25, 0.125, 0.125])
+        assert cross_entropy_difference(ideal, ideal) == pytest.approx(1.0)
+
+    def test_depolarised_execution_scores_zero(self):
+        ideal = np.array([0.5, 0.25, 0.125, 0.125])
+        assert cross_entropy_difference(uniform(2), ideal) == pytest.approx(0.0)
+
+    def test_uniform_ideal_guard(self):
+        # H(uniform, ideal) == H(ideal, ideal) when the ideal is uniform;
+        # the guarded denominator returns 0.
+        assert cross_entropy_difference(delta(2), uniform(2)) == 0.0
+
+    def test_halfway_mixture_scores_half(self):
+        # XED is linear in the measured distribution, so an equal mixture
+        # of the ideal and the uniform distribution scores exactly 0.5.
+        ideal = np.array([0.5, 0.25, 0.125, 0.125])
+        mixture = 0.5 * ideal + 0.5 * uniform(2)
+        assert cross_entropy_difference(mixture, ideal) == pytest.approx(0.5)

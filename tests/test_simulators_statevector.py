@@ -10,13 +10,42 @@ from repro.gates import standard
 from repro.gates.unitary import embed_unitary, random_su4, random_unitary
 from repro.simulators.statevector import (
     apply_gate,
+    apply_gate_batch,
     expectation_value,
     ideal_probabilities,
     probabilities,
     simulate_statevector,
     state_fidelity,
     zero_state,
+    zero_states,
 )
+
+
+def _explicit_two_qubit_operator(gate: np.ndarray, qubits, num_qubits: int) -> np.ndarray:
+    """Full 2^n x 2^n operator built entry-by-entry from first principles.
+
+    Independent of :func:`embed_unitary` (whose own tests use library
+    conventions): each matrix element is computed by reading the target
+    qubits' bits out of the column index, applying the 4x4 gate, and
+    writing the result bits into the row index.  Qubit 0 is the most
+    significant bit of a basis index (library convention).
+    """
+    a, b = qubits
+    dim = 2**num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    for column in range(dim):
+        bit_a = (column >> (num_qubits - 1 - a)) & 1
+        bit_b = (column >> (num_qubits - 1 - b)) & 1
+        gate_column = 2 * bit_a + bit_b
+        for gate_row in range(4):
+            new_a, new_b = gate_row >> 1, gate_row & 1
+            row = column
+            row &= ~(1 << (num_qubits - 1 - a))
+            row &= ~(1 << (num_qubits - 1 - b))
+            row |= new_a << (num_qubits - 1 - a)
+            row |= new_b << (num_qubits - 1 - b)
+            full[row, column] += gate[gate_row, gate_column]
+    return full
 
 
 class TestApplyGate:
@@ -41,6 +70,60 @@ class TestApplyGate:
         state = random_unitary(8, rng)[:, 0]
         result = apply_gate(state, random_su4(rng), [0, 2], 3)
         assert np.linalg.norm(result) == pytest.approx(1.0)
+
+
+class TestApplyGateQubitOrderings:
+    """Regression tests against explicit Kronecker-style construction.
+
+    ``apply_gate``'s tensor-contraction axis bookkeeping is easy to break
+    for reversed and non-adjacent qubit orderings; each case below checks
+    a 3- or 4-qubit state against a full operator built bit-by-bit.
+    """
+
+    CASES = [
+        (3, (0, 1)),  # adjacent, in order
+        (3, (1, 0)),  # adjacent, reversed
+        (3, (0, 2)),  # non-adjacent, in order
+        (3, (2, 0)),  # non-adjacent, reversed
+        (4, (1, 3)),  # non-adjacent, in order
+        (4, (3, 1)),  # non-adjacent, reversed
+        (4, (3, 0)),  # endpoints, reversed
+        (4, (2, 1)),  # adjacent, reversed, interior
+    ]
+
+    @pytest.mark.parametrize("num_qubits,qubits", CASES)
+    def test_random_su4_on_ordering(self, num_qubits, qubits, rng):
+        gate = random_su4(rng)
+        state = random_unitary(2**num_qubits, rng)[:, 0]
+        expected = _explicit_two_qubit_operator(gate, qubits, num_qubits) @ state
+        assert np.allclose(apply_gate(state, gate, qubits, num_qubits), expected)
+
+    @pytest.mark.parametrize("num_qubits,qubits", CASES)
+    def test_cx_asymmetry_detected(self, num_qubits, qubits, rng):
+        """CX is order-sensitive, so swapped qubit arguments must differ."""
+        gate = np.asarray(standard.CNOT, dtype=complex)
+        state = random_unitary(2**num_qubits, rng)[:, 0]
+        expected = _explicit_two_qubit_operator(gate, qubits, num_qubits) @ state
+        result = apply_gate(state, gate, qubits, num_qubits)
+        assert np.allclose(result, expected)
+        flipped = apply_gate(state, gate, qubits[::-1], num_qubits)
+        assert not np.allclose(result, flipped)
+
+    @pytest.mark.parametrize("num_qubits,qubits", CASES)
+    def test_batch_matches_per_state_loop(self, num_qubits, qubits, rng):
+        gate = random_su4(rng)
+        states = np.stack([random_unitary(2**num_qubits, rng)[:, 0] for _ in range(5)])
+        batched = apply_gate_batch(states, gate, qubits, num_qubits)
+        looped = np.stack(
+            [apply_gate(state, gate, qubits, num_qubits) for state in states]
+        )
+        assert np.allclose(batched, looped)
+
+    def test_zero_states_stack(self):
+        states = zero_states(4, 3)
+        assert states.shape == (4, 8)
+        assert np.allclose(states[:, 0], 1.0)
+        assert np.allclose(states[:, 1:], 0.0)
 
 
 class TestSimulation:
