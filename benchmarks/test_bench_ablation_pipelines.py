@@ -1,0 +1,69 @@
+"""Compilation ablation by pipeline selection.
+
+Pre-PassManager, comparing compiler variants meant forking code paths
+(flags threaded through the monolith).  Now an ablation is a registry
+lookup: compile the same workload under several named pipelines and
+compare the hardware cost of the outputs.  This benchmark sweeps the
+registered pipelines over a routed QAOA workload and prints the gate
+budget each one produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.applications import qaoa_maxcut_circuit
+from repro.core.instruction_sets import google_instruction_set
+from repro.core.pipeline import compile_circuit
+from repro.devices.synthetic import synthetic_device
+
+PIPELINES = ("default", "no-merge", "optimized", "fused", "euler-zxz", "scheduled")
+
+
+def test_bench_pipeline_ablation(run_once, bench_decomposer):
+    circuit = qaoa_maxcut_circuit(4, rng=np.random.default_rng(12))
+    instruction_set = google_instruction_set("G3")
+
+    def sweep():
+        results = {}
+        for name in PIPELINES:
+            compiled = compile_circuit(
+                circuit,
+                synthetic_device(6, "line", seed=19),
+                instruction_set,
+                decomposer=bench_decomposer,
+                pipeline=name,
+            )
+            results[name] = compiled
+        return results
+
+    results = run_once(sweep)
+    print()
+    for name, compiled in results.items():
+        timings = ", ".join(
+            f"{pass_name}={duration * 1e3:.1f}ms"
+            for pass_name, duration in compiled.pass_timings.items()
+        )
+        schedule = (
+            f" duration={compiled.schedule_duration:.0f}ns"
+            if compiled.schedule_duration is not None
+            else ""
+        )
+        print(
+            f"  {name:>15}: 2q={compiled.two_qubit_gate_count:>2} "
+            f"1q={compiled.circuit.num_single_qubit_gates():>3}{schedule}  [{timings}]"
+        )
+
+    # Device-mapping is shared, so the 2Q budget can only shrink under
+    # cleanup passes; single-qubit merging must never increase 1Q count.
+    assert (
+        results["optimized"].two_qubit_gate_count
+        <= results["default"].two_qubit_gate_count
+    )
+    assert (
+        results["default"].circuit.num_single_qubit_gates()
+        <= results["no-merge"].circuit.num_single_qubit_gates()
+    )
+    assert results["scheduled"].schedule_duration > 0.0
+    # Every pipeline records where its compile time went.
+    assert all(compiled.pass_timings for compiled in results.values())

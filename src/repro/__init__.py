@@ -15,7 +15,8 @@ Subpackages
 ``repro.devices``
     Topologies plus the Rigetti Aspen-8 and Google Sycamore device models.
 ``repro.compiler``
-    Layout, routing, scheduling and single-qubit optimisation passes.
+    PassManager pipeline architecture: layout, routing, scheduling and
+    peephole optimisation passes composed into named pipelines.
 ``repro.core``
     NuOp -- the paper's contribution: template-based numerical gate
     decomposition, noise-adaptive gate-type selection, instruction-set
@@ -27,7 +28,9 @@ Subpackages
 ``repro.calibration``
     Calibration-overhead model and expressivity/calibration tradeoffs.
 ``repro.experiments``
-    One driver per paper table/figure.
+    One driver per paper table/figure, on a parallel execution engine.
+``repro.caching``
+    Persistent on-disk compilation cache (cross-process warm starts).
 """
 
 __version__ = "1.0.0"

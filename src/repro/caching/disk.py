@@ -1,0 +1,314 @@
+"""Persistent on-disk compilation cache (the disk tier).
+
+The in-memory :class:`~repro.core.pipeline.CompilationCache` dies with the
+process, so every fresh CLI invocation, CI job or worker re-pays the full
+NuOp compilation cost.  On single-CPU hosts that cost dominates study wall
+time; this module makes it a one-time cost per *machine* instead of per
+process.
+
+Design:
+
+* **Content-addressed.** Entries are keyed by the same tuple the memory
+  tier uses -- circuit, device-calibration, instruction-set, decomposer
+  and pipeline-config fingerprints plus the scalar compile options
+  (:func:`repro.core.pipeline.compilation_cache_key`) -- folded into one
+  SHA-256 digest that names the entry file.  A hit is only possible when
+  the cached call would have produced a bit-identical result.
+* **Versioned schema.** Entries live under ``<root>/v<N>/`` and embed the
+  schema version plus the full key; bumping
+  :data:`DISK_CACHE_SCHEMA_VERSION` orphans old trees instead of
+  mis-reading them, and any corrupt, truncated or foreign file is treated
+  as a miss (and deleted best-effort), never an error.
+* **Atomic writes.** Entries are pickled to a unique temporary file in the
+  target directory and ``os.replace``-d into place, so concurrent
+  processes see either no file or a complete one.
+* **Layered, not invasive.** ``compile_circuit_cached`` checks memory ->
+  disk -> compile; a disk hit is promoted to memory, a compile populates
+  both.  The tier is inert unless configured -- via the
+  ``REPRO_CACHE_DIR`` environment variable, the CLI ``--cache-dir`` flag
+  or :func:`configure_disk_cache` -- so default test/library behaviour is
+  unchanged.
+
+Cache-hit *side-effect replay* (re-registering gate-type calibration so
+the device RNG advances exactly as on a cold compile) is handled by the
+caller in :mod:`repro.core.pipeline`; this module stores the emitted type
+keys the replay needs alongside the compiled result.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.hashing import hash_scalars
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from repro.core.pipeline import CompiledCircuit
+
+DISK_CACHE_SCHEMA_VERSION = 1
+"""Bump whenever the pickled payload layout or key composition changes."""
+
+_PICKLE_PROTOCOL = 4
+
+
+def cache_key_digest(key: Tuple) -> str:
+    """Fold a compilation-cache key tuple into one hex digest (the file name).
+
+    Key components are digests and plain scalars, so
+    :func:`repro.circuits.hashing.hash_scalars` renders them stably across
+    processes and platforms; the leading namespace label keeps this digest
+    family from colliding with other key families built over the same
+    scalars.
+    """
+    return hash_scalars("disk-cache-key", DISK_CACHE_SCHEMA_VERSION, *key)
+
+
+@dataclass
+class DiskCacheEntry:
+    """One persisted compilation result plus its replayable side effects."""
+
+    compiled: "CompiledCircuit"
+    emitted_type_keys: List[str]
+
+
+class DiskCompilationCache:
+    """Content-addressed, versioned, atomically-written compilation cache.
+
+    Thread-safe for the statistics counters; file operations rely on the
+    atomicity of ``os.replace`` for cross-process safety.  All I/O errors
+    degrade to cache misses or dropped writes -- a broken cache directory
+    must never break a compilation.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root).expanduser()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def version_dir(self) -> Path:
+        """Directory holding entries of the current schema version."""
+        return self.root / f"v{DISK_CACHE_SCHEMA_VERSION}"
+
+    def _entry_path(self, digest: str) -> Path:
+        # Two-character fan-out keeps directories small at production entry
+        # counts (the git object-store layout).
+        return self.version_dir / digest[:2] / f"{digest}.pkl"
+
+    # -- core operations ----------------------------------------------------
+
+    def get(self, key: Tuple) -> Optional[DiskCacheEntry]:
+        """Load the entry for ``key``, or ``None`` on any kind of miss.
+
+        Mismatched schema versions, corrupt pickles, truncated files and
+        digest collisions with a different key all count as misses;
+        unreadable files are deleted best-effort so they do not fail every
+        future lookup.
+        """
+        path = self._entry_path(cache_key_digest(key))
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self._record(hit=False)
+            return None
+        except Exception:
+            # pickle.load on corrupt/foreign bytes can raise nearly anything
+            # (UnpicklingError, EOFError, TypeError, ImportError, ...); every
+            # unreadable entry is a miss, and deleting it keeps it from
+            # failing every future lookup.
+            self._discard(path)
+            self._record(hit=False)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != DISK_CACHE_SCHEMA_VERSION
+            or payload.get("key") != list(key)
+        ):
+            self._record(hit=False)
+            return None
+        self._record(hit=True)
+        return DiskCacheEntry(
+            compiled=payload["compiled"],
+            emitted_type_keys=list(payload["emitted_type_keys"]),
+        )
+
+    def put(
+        self,
+        key: Tuple,
+        compiled: "CompiledCircuit",
+        emitted_type_keys: Sequence[str],
+    ) -> bool:
+        """Persist a compilation result; returns False when the write failed.
+
+        The payload is pickled to a unique temporary file in the entry's
+        directory and renamed into place, so readers never observe a
+        partial entry and the last concurrent writer wins.
+        """
+        path = self._entry_path(cache_key_digest(key))
+        payload = {
+            "schema": DISK_CACHE_SCHEMA_VERSION,
+            "key": list(key),
+            "compiled": compiled,
+            "emitted_type_keys": list(emitted_type_keys),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=_PICKLE_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                self._discard(Path(temp_name))
+                raise
+        except Exception:
+            # Unpicklable payload members surface as TypeError/AttributeError
+            # rather than PicklingError; a failed cache write must never
+            # break the compilation that produced the result.
+            return False
+        with self._lock:
+            self.writes += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema version; returns the count.
+
+        Also sweeps ``*.tmp`` leftovers from writers killed mid-``put``
+        (they are invisible to lookups but would otherwise accumulate).
+        """
+        removed = 0
+        for entry in sorted(self.version_dir.rglob("*.pkl")):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                continue
+        for orphan in self.version_dir.rglob("*.tmp"):
+            self._discard(orphan)
+        return removed
+
+    # -- reporting ----------------------------------------------------------
+
+    def _footprint(self) -> Tuple[int, int]:
+        """One tree walk returning ``(entry_count, total_bytes)``."""
+        if not self.version_dir.is_dir():
+            return 0, 0
+        count = 0
+        total = 0
+        for entry in self.version_dir.rglob("*.pkl"):
+            count += 1
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+        return count, total
+
+    def entry_count(self) -> int:
+        """Number of persisted entries in the current schema version."""
+        return self._footprint()[0]
+
+    def size_bytes(self) -> int:
+        """Total size of the persisted entries, in bytes."""
+        return self._footprint()[1]
+
+    def stats(self) -> Dict[str, object]:
+        """Counters plus on-disk footprint (for the CLI and benchmarks)."""
+        with self._lock:
+            hits, misses, writes = self.hits, self.misses, self.writes
+        entries, size_bytes = self._footprint()
+        return {
+            "cache_dir": str(self.root),
+            "schema_version": DISK_CACHE_SCHEMA_VERSION,
+            "hits": hits,
+            "misses": misses,
+            "writes": writes,
+            "entries": entries,
+            "size_bytes": size_bytes,
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _record(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Global configuration (env var / CLI flag)
+# ---------------------------------------------------------------------------
+
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+_DISABLED = object()
+_EXPLICIT: Optional[object] = None
+_INSTANCES: Dict[str, DiskCompilationCache] = {}
+_CONFIG_LOCK = threading.Lock()
+
+
+def configure_disk_cache(cache_dir: Optional[str]) -> Optional[DiskCompilationCache]:
+    """Explicitly set (or disable) the process-wide disk cache.
+
+    ``cache_dir=None`` disables the tier even when ``REPRO_CACHE_DIR`` is
+    set; a path enables it there.  Returns the active cache (or ``None``).
+    Use :func:`reset_disk_cache_configuration` to fall back to the
+    environment variable again.
+    """
+    global _EXPLICIT
+    with _CONFIG_LOCK:
+        if cache_dir is None:
+            _EXPLICIT = _DISABLED
+            return None
+        cache = _INSTANCES.setdefault(
+            str(cache_dir), DiskCompilationCache(cache_dir)
+        )
+        _EXPLICIT = cache
+        return cache
+
+
+def reset_disk_cache_configuration() -> None:
+    """Drop any explicit configuration; ``REPRO_CACHE_DIR`` governs again."""
+    global _EXPLICIT
+    with _CONFIG_LOCK:
+        _EXPLICIT = None
+
+
+def get_global_disk_cache() -> Optional[DiskCompilationCache]:
+    """The process-wide disk cache, or ``None`` when the tier is inactive.
+
+    Resolution order: an explicit :func:`configure_disk_cache` call wins
+    (including an explicit disable); otherwise the ``REPRO_CACHE_DIR``
+    environment variable is consulted on every call, so tests and
+    subprocess harnesses can toggle the tier without re-imports.
+    Instances are cached per directory so statistics accumulate.
+    """
+    with _CONFIG_LOCK:
+        if _EXPLICIT is _DISABLED:
+            return None
+        if _EXPLICIT is not None:
+            return _EXPLICIT  # type: ignore[return-value]
+        cache_dir = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+        if not cache_dir:
+            return None
+        return _INSTANCES.setdefault(cache_dir, DiskCompilationCache(cache_dir))

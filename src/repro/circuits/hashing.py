@@ -1,7 +1,10 @@
 """Content hashing for circuits, gates and instruction sets.
 
-The experiment engine (:mod:`repro.experiments.engine`) and the
-compilation cache (:mod:`repro.core.pipeline`) need stable, cheap keys for
+The experiment engine (:mod:`repro.experiments.engine`) and both
+compilation cache tiers (:mod:`repro.core.pipeline` in memory,
+:mod:`repro.caching.disk` on disk -- which additionally folds whole key
+tuples through :func:`hash_scalars`, under a namespace label, to name its
+entry files) need stable, cheap keys for
 "have I seen this exact compilation problem before?".  Python's built-in
 ``hash`` is unsuitable: :class:`~repro.circuits.circuit.QuantumCircuit` is
 mutable, gate matrices are numpy arrays, and hash randomisation would make

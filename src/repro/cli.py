@@ -15,9 +15,15 @@ Every evaluation artefact has a subcommand::
     python -m repro design            # greedy instruction-set design (Section VIII.A)
     python -m repro calibration       # drift + recalibration policy comparison
     python -m repro apps              # list registered application workloads
+    python -m repro pipelines         # list registered compiler pipelines
+    python -m repro cache stats       # persistent compilation-cache counters
+    python -m repro cache clear       # drop every persisted compilation
 
 Each figure subcommand accepts ``--paper-scale`` to run the full
-configuration from the paper instead of the fast default.
+configuration from the paper instead of the fast default, plus
+``--cache-dir`` to enable the persistent disk compilation cache; the
+study subcommands (fig9/fig10/fig10f) also accept ``--pipeline`` to
+select a named compiler pipeline (see ``repro pipelines``).
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ from repro.visualization import render_figure8, render_figure9, render_figure10,
 from repro.visualization.text import render_table
 
 
-def _scale(config_class, paper_scale: bool, workers: Optional[int] = None):
+def _scale(
+    config_class,
+    paper_scale: bool,
+    workers: Optional[int] = None,
+    pipeline: Optional[str] = None,
+):
     config = config_class.paper_scale() if paper_scale else config_class.quick()
     if workers is not None:
         if hasattr(config, "workers"):
@@ -39,6 +50,15 @@ def _scale(config_class, paper_scale: bool, workers: Optional[int] = None):
             print(
                 f"warning: --workers has no effect on {config_class.__name__} "
                 "(this experiment runs no engine studies)",
+                file=sys.stderr,
+            )
+    if pipeline is not None:
+        if hasattr(config, "pipeline"):
+            config.pipeline = pipeline
+        else:
+            print(
+                f"warning: --pipeline has no effect on {config_class.__name__} "
+                "(this experiment does not compile through the pipeline driver)",
                 file=sys.stderr,
             )
     return config
@@ -106,21 +126,21 @@ def _cmd_fig8(args: argparse.Namespace) -> str:
 def _cmd_fig9(args: argparse.Namespace) -> str:
     from repro.experiments.fig9 import Figure9Config, run_figure9
 
-    result = run_figure9(_scale(Figure9Config, args.paper_scale, workers=getattr(args, 'workers', None)))
+    result = run_figure9(_scale(Figure9Config, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None)))
     return render_figure9(result) + "\n\n" + result.format_table()
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
     from repro.experiments.fig10 import Figure10Config, run_figure10
 
-    result = run_figure10(_scale(Figure10Config, args.paper_scale, workers=getattr(args, 'workers', None)))
+    result = run_figure10(_scale(Figure10Config, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None)))
     return render_figure10(result) + "\n\n" + result.format_table()
 
 
 def _cmd_fig10f(args: argparse.Namespace) -> str:
     from repro.experiments.fig10 import Figure10fConfig, run_figure10f
 
-    result = run_figure10f(_scale(Figure10fConfig, args.paper_scale, workers=getattr(args, 'workers', None)))
+    result = run_figure10f(_scale(Figure10fConfig, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None)))
     return result.format_table()
 
 
@@ -201,6 +221,46 @@ def _cmd_calibration(args: argparse.Namespace) -> str:
     )
 
 
+def _resolve_cli_disk_cache(args: argparse.Namespace):
+    """Disk cache addressed by ``--cache-dir`` / ``REPRO_CACHE_DIR`` (or None)."""
+    from repro.caching.disk import DiskCompilationCache, get_global_disk_cache
+
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return DiskCompilationCache(cache_dir)
+    return get_global_disk_cache()
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    cache = _resolve_cli_disk_cache(args)
+    if cache is None:
+        return (
+            "no disk compilation cache configured\n"
+            "(set REPRO_CACHE_DIR or pass --cache-dir to enable the persistent tier)"
+        )
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        return f"cleared {removed} cached compilation(s) from {cache.root}"
+    stats = cache.stats()
+    rows = [{"field": key, "value": value} for key, value in stats.items()]
+    return "Disk compilation cache\n" + render_table(rows)
+
+
+def _cmd_pipelines(args: argparse.Namespace) -> str:
+    from repro.compiler.manager import available_pipelines
+
+    rows = [
+        {
+            "pipeline": name,
+            "passes": " -> ".join(config.passes),
+            "overrides": ", ".join(f"{k}={v}" for k, v in sorted(config.overrides.items())) or "-",
+            "description": config.description,
+        }
+        for name, config in sorted(available_pipelines().items())
+    ]
+    return "Registered compiler pipelines\n" + render_table(rows)
+
+
 def _cmd_apps(args: argparse.Namespace) -> str:
     from repro.applications.registry import application_registry
 
@@ -234,6 +294,8 @@ _FIGURE_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "design": _cmd_design,
     "calibration": _cmd_calibration,
     "apps": _cmd_apps,
+    "cache": _cmd_cache,
+    "pipelines": _cmd_pipelines,
 }
 
 
@@ -262,6 +324,40 @@ def build_parser() -> argparse.ArgumentParser:
             help="experiment-engine worker pool size (1 = serial, 0 = all cores); "
             "results are bit-identical for every value",
         )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="enable the persistent disk compilation cache in this directory "
+            "(overrides the REPRO_CACHE_DIR environment variable)",
+        )
+        if name in ("fig9", "fig10", "fig10f"):
+            from repro.compiler.manager import available_pipelines
+
+            sub.add_argument(
+                "--pipeline",
+                default=None,
+                choices=sorted(available_pipelines()),
+                help="compiler pipeline for the study's compile stage "
+                "(see `repro pipelines`; default: the config's pipeline)",
+            )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent disk compilation cache"
+    )
+    cache.add_argument(
+        "cache_command",
+        choices=("stats", "clear"),
+        help="stats: counters + footprint; clear: delete every cached compilation",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: the REPRO_CACHE_DIR environment variable)",
+    )
+
+    subparsers.add_parser(
+        "pipelines", help="list the registered compiler pipelines and their passes"
+    )
 
     design = subparsers.add_parser("design", help="greedy instruction-set design")
     design.add_argument("--grid", type=int, default=4, help="fSim candidate grid points per axis")
@@ -290,6 +386,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command != "cache" and getattr(args, "cache_dir", None):
+        from repro.caching.disk import configure_disk_cache
+
+        configure_disk_cache(args.cache_dir)
     handler = _FIGURE_COMMANDS[args.command]
     print(handler(args))
     return 0

@@ -1,5 +1,23 @@
-"""Device-mapping compiler passes: placement, routing, scheduling, 1Q merging."""
+"""Compiler: PassManager pipelines plus placement, routing, scheduling, cleanup."""
 
+from repro.compiler.manager import (
+    CancellationPass,
+    CompilerPass,
+    EulerMergePass,
+    LayoutPass,
+    NuOpDecompositionPass,
+    PassContext,
+    PassManager,
+    PipelineConfig,
+    RoutingPass,
+    SchedulingPass,
+    SingleQubitMergePass,
+    TwoQubitFusionPass,
+    available_pipelines,
+    build_pass,
+    register_pipeline,
+    resolve_pipeline,
+)
 from repro.compiler.layout import (
     Layout,
     choose_layout,
@@ -17,6 +35,22 @@ from repro.compiler.onequbit import (
 from repro.compiler.passes import map_and_route
 
 __all__ = [
+    "CancellationPass",
+    "CompilerPass",
+    "EulerMergePass",
+    "LayoutPass",
+    "NuOpDecompositionPass",
+    "PassContext",
+    "PassManager",
+    "PipelineConfig",
+    "RoutingPass",
+    "SchedulingPass",
+    "SingleQubitMergePass",
+    "TwoQubitFusionPass",
+    "available_pipelines",
+    "build_pass",
+    "register_pipeline",
+    "resolve_pipeline",
     "Layout",
     "choose_layout",
     "choose_physical_subset",

@@ -1,13 +1,17 @@
-"""Pass orchestration for the device-mapping stage of the toolflow.
+"""Legacy device-mapping orchestration (superseded by the PassManager).
 
 Figure 1 of the paper splits the compiler into (i) qubit mapping, routing
-and scheduling and (ii) the NuOp gate-decomposition stage.  This module
-orchestrates stage (i); stage (ii) lives in :mod:`repro.core.pipeline`
-which layers NuOp on top of the routed circuit produced here.
+and scheduling and (ii) the NuOp gate-decomposition stage.
+:func:`map_and_route` used to orchestrate stage (i) for the monolithic
+``compile_circuit``; the whole toolflow is now expressed as composable
+passes in :mod:`repro.compiler.manager` (``LayoutPass`` + ``RoutingPass``
+replace this module), and standalone use of :func:`map_and_route` is
+deprecated.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
@@ -26,6 +30,12 @@ def map_and_route(
 ) -> RoutedCircuit:
     """Run placement and routing, returning a routed circuit on device slots.
 
+    .. deprecated::
+        Use the PassManager pipelines instead -- ``compile_circuit`` with a
+        pipeline name, or ``LayoutPass``/``RoutingPass`` from
+        :mod:`repro.compiler.manager` for stage-level control.  This
+        wrapper remains for scripts that only need placement + routing.
+
     Parameters
     ----------
     circuit:
@@ -40,6 +50,12 @@ def map_and_route(
         Optional pre-computed layout (used by experiments that compare
         instruction sets on identical placements).
     """
+    warnings.warn(
+        "map_and_route is deprecated; use compile_circuit with a pipeline name "
+        "or the LayoutPass/RoutingPass passes from repro.compiler.manager",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if layout is None:
         layout = choose_layout(circuit, device, gate_type_keys, candidate_limit)
     return route_circuit(circuit, device, layout, lookahead=lookahead)

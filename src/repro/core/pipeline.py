@@ -1,32 +1,50 @@
 """End-to-end compilation pipeline (Figure 1 of the paper).
 
-``compile_circuit`` chains the device-mapping compiler
-(:mod:`repro.compiler`) with the NuOp decomposition pass
-(:class:`NuOpPass`): layout, routing, per-operation noise-adaptive gate
-decomposition and single-qubit gate merging.  The result carries the
-statistics the experiments report: two-qubit instruction counts, gate-type
-usage, swap counts and estimated fidelities.
+``compile_circuit`` is a thin driver over the PassManager architecture
+(:mod:`repro.compiler.manager`): it resolves a named pipeline (``default``,
+``exact``, ``no-cancellation``, ...), runs its passes over a shared
+:class:`~repro.compiler.manager.PassContext` and packages the result as a
+:class:`CompiledCircuit` carrying the statistics the experiments report --
+two-qubit instruction counts, gate-type usage, swap counts, estimated
+fidelities and per-pass wall times.
+
+The pre-PassManager monolithic implementation is retained verbatim as
+:func:`compile_circuit_reference`; ``tests/test_compiler_passes.py``
+asserts the ``default`` pipeline reproduces it bit-for-bit (including the
+device calibration RNG consumption order).
+
+Two cache tiers back :func:`compile_circuit_cached`:
+
+* a process-local, LRU-bounded :class:`CompilationCache` (memory tier),
+* an optional persistent :class:`~repro.caching.disk.DiskCompilationCache`
+  (disk tier, enabled via ``REPRO_CACHE_DIR`` / ``--cache-dir``) that
+  warm-starts *fresh processes* -- see :mod:`repro.caching.disk`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.circuits.circuit import Operation, QuantumCircuit
-from repro.circuits.gate import named_gate
+from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.hashing import (
     circuit_fingerprint,
     hash_scalars,
     instruction_set_fingerprint,
 )
 from repro.compiler.layout import Layout
+from repro.compiler.manager import (
+    PassContext,
+    PipelineConfig,
+    resolve_pipeline,
+)
 from repro.compiler.onequbit import merge_single_qubit_gates
-from repro.compiler.passes import map_and_route
 from repro.compiler.routing import RoutedCircuit
 from repro.core.decomposer import NuOpDecomposer
 from repro.core.instruction_sets import InstructionSet
@@ -47,6 +65,12 @@ class CompiledCircuit:
     gate_type_usage: Dict[str, int] = field(default_factory=dict)
     decomposition_fidelities: List[float] = field(default_factory=list)
     estimated_hardware_fidelity: float = 1.0
+    pipeline_name: str = "default"
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+    """Per-pass wall times of the compilation that *produced* this object;
+    cache hits return the producing compile's timings, not the hit's."""
+    emitted_gate_types: List[str] = field(default_factory=list)
+    schedule_duration: Optional[float] = None
 
     @property
     def two_qubit_gate_count(self) -> int:
@@ -158,27 +182,105 @@ def compile_circuit(
     layout: Optional[Layout] = None,
     error_scale: float = 1.0,
     max_layers: Optional[int] = None,
+    pipeline: Union[str, PipelineConfig] = "default",
 ) -> CompiledCircuit:
     """Compile an application circuit for a device and instruction set.
 
-    Steps: register calibration data for the instruction set's gate types,
-    choose a layout, route, run NuOp, merge single-qubit gates, and make
-    sure every gate type appearing in the output (relevant for continuous
-    families) has calibration data for the simulator.
+    Thin driver over the PassManager architecture: resolves ``pipeline``
+    (a registry name or an explicit
+    :class:`~repro.compiler.manager.PipelineConfig`), registers calibration
+    data for the instruction set's gate types, runs the pipeline's passes
+    over a shared context and packages the result.  The ``default``
+    pipeline -- layout, routing, NuOp, single-qubit merge -- reproduces
+    :func:`compile_circuit_reference` bit-for-bit.
+
+    Pipeline ``overrides`` (e.g. the ``exact`` pipeline's
+    ``approximate=False``) take precedence over the corresponding keyword
+    arguments; that is what makes selecting a pipeline equivalent to the
+    forked code path it replaces.
 
     ``error_scale`` scales the error rate of any gate type registered
     during this call; the Figure 10a-c "FullfSim at 1.5x/2x/3x error"
     sweeps use it.
     """
+    config = resolve_pipeline(pipeline)
+    options = {
+        "approximate": approximate,
+        "use_noise_adaptivity": use_noise_adaptivity,
+        "error_scale": error_scale,
+        "max_layers": max_layers,
+    }
+    options.update(config.overrides)
+
+    decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+    if not instruction_set.is_continuous:
+        device.ensure_gate_types(
+            instruction_set.type_keys(), scale=float(options["error_scale"])
+        )
+
+    context = PassContext(
+        circuit=circuit,
+        device=device,
+        instruction_set=instruction_set,
+        decomposer=decomposer,
+        approximate=bool(options["approximate"]),
+        use_noise_adaptivity=bool(options["use_noise_adaptivity"]),
+        error_scale=float(options["error_scale"]),
+        max_layers=options["max_layers"],
+        layout=layout,
+    )
+    config.build(merge_single_qubit=merge_single_qubit).run(context)
+
+    return CompiledCircuit(
+        circuit=context.circuit,
+        physical_qubits=context.physical_qubits,
+        initial_mapping=context.initial_mapping,
+        final_mapping=context.final_mapping,
+        instruction_set_name=instruction_set.name,
+        num_swaps=context.num_swaps,
+        gate_type_usage=context.gate_type_usage,
+        decomposition_fidelities=context.decomposition_fidelities,
+        estimated_hardware_fidelity=context.estimated_hardware_fidelity,
+        pipeline_name=config.name,
+        pass_timings=dict(context.pass_timings),
+        emitted_gate_types=list(context.emitted_gate_types),
+        schedule_duration=(
+            context.schedule.total_duration if context.schedule is not None else None
+        ),
+    )
+
+
+def compile_circuit_reference(
+    circuit: QuantumCircuit,
+    device: Device,
+    instruction_set: InstructionSet,
+    decomposer: Optional[NuOpDecomposer] = None,
+    approximate: bool = True,
+    use_noise_adaptivity: bool = True,
+    merge_single_qubit: bool = True,
+    layout: Optional[Layout] = None,
+    error_scale: float = 1.0,
+    max_layers: Optional[int] = None,
+) -> CompiledCircuit:
+    """The pre-PassManager monolithic implementation, kept as ground truth.
+
+    ``tests/test_compiler_passes.py`` asserts the ``default`` pipeline
+    reproduces this function bit-for-bit (compiled operations, mappings,
+    statistics and device calibration RNG consumption).  Do not optimise
+    or restructure it; its stasis is the point.
+    """
+    from repro.compiler.layout import choose_layout
+    from repro.compiler.routing import route_circuit
+
     if not instruction_set.is_continuous:
         device.ensure_gate_types(instruction_set.type_keys(), scale=error_scale)
         scoring_keys = instruction_set.type_keys()
     else:
         scoring_keys = None
 
-    routed: RoutedCircuit = map_and_route(
-        circuit, device, gate_type_keys=scoring_keys, layout=layout
-    )
+    if layout is None:
+        layout = choose_layout(circuit, device, scoring_keys, 200)
+    routed: RoutedCircuit = route_circuit(circuit, device, layout, lookahead=10)
 
     nuop = NuOpPass(
         instruction_set,
@@ -191,8 +293,6 @@ def compile_circuit(
         routed.circuit, device, routed.physical_qubits
     )
 
-    # Continuous families emit freshly-parameterised gates; give them
-    # calibration data so the noise model can simulate them.
     new_keys = sorted(
         {
             op.gate.type_key
@@ -215,6 +315,7 @@ def compile_circuit(
         gate_type_usage=usage,
         decomposition_fidelities=fidelities,
         estimated_hardware_fidelity=hardware_estimate,
+        emitted_gate_types=new_keys,
     )
 
 
@@ -248,9 +349,10 @@ class CompilationCache:
     """Keyed cache around :func:`compile_circuit`.
 
     Keys combine content digests of the circuit, the instruction set, the
-    device calibration state and the decomposer configuration with the
-    scalar compilation options, so a hit is only possible when the cached
-    call would have produced a bit-identical result.
+    device calibration state, the decomposer configuration and the
+    pipeline config with the scalar compilation options, so a hit is only
+    possible when the cached call would have produced a bit-identical
+    result.
 
     ``compile_circuit`` has a side effect the cache must preserve: it
     registers calibration data for gate types the device has not seen yet,
@@ -260,9 +362,12 @@ class CompilationCache:
     call used), so a warm-cache run leaves the device in exactly the state
     a cold run would -- the property the determinism test suite pins down.
 
-    The cache is thread-safe and bounded (FIFO eviction); the experiment
-    engine shares one process-global instance across studies so ideal
-    sweep workloads (same circuits, many error scales) reuse work.
+    The cache is thread-safe and bounded with **LRU eviction** (a hit
+    refreshes the entry's recency); the bound is the ``max_entries``
+    constructor argument, and the process-global instance reads it from
+    the ``REPRO_COMPILE_CACHE_SIZE`` environment variable (default 4096).
+    The experiment engine shares that global instance across studies so
+    ideal sweep workloads (same circuits, many error scales) reuse work.
     """
 
     def __init__(self, max_entries: int = 4096):
@@ -285,13 +390,19 @@ class CompilationCache:
     def stats(self) -> Dict[str, int]:
         """Current hit/miss/size counters (for benchmark reporting)."""
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }
 
     def _get(self, key: Tuple) -> Optional[_CacheEntry]:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
+                self._entries.move_to_end(key)
             else:
                 self.misses += 1
             return entry
@@ -299,16 +410,91 @@ class CompilationCache:
     def _put(self, key: Tuple, entry: _CacheEntry) -> None:
         with self._lock:
             self._entries[key] = entry
+            self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
 
 
-_GLOBAL_COMPILATION_CACHE = CompilationCache()
+def _default_cache_size() -> int:
+    """Global memory-cache bound, configurable via ``REPRO_COMPILE_CACHE_SIZE``."""
+    raw = os.environ.get("REPRO_COMPILE_CACHE_SIZE", "")
+    try:
+        size = int(raw)
+    except ValueError:
+        return 4096
+    return max(size, 1) if raw else 4096
+
+
+_GLOBAL_COMPILATION_CACHE = CompilationCache(max_entries=_default_cache_size())
 
 
 def global_compilation_cache() -> CompilationCache:
     """The process-wide compilation cache used when no explicit cache is given."""
     return _GLOBAL_COMPILATION_CACHE
+
+
+def compilation_cache_key(
+    circuit: QuantumCircuit,
+    device: Device,
+    instruction_set: InstructionSet,
+    decomposer: NuOpDecomposer,
+    approximate: bool,
+    use_noise_adaptivity: bool,
+    merge_single_qubit: bool,
+    error_scale: float,
+    max_layers: Optional[int],
+    pipeline_config: PipelineConfig,
+) -> Tuple:
+    """Content-addressed key shared by the memory and disk cache tiers.
+
+    Every component is a digest or plain scalar, so the tuple is hashable,
+    order-stable and serialisable across processes (the disk tier folds it
+    into a single SHA-256 file name).
+    """
+    return (
+        circuit_fingerprint(circuit),
+        device.calibration_fingerprint(),
+        instruction_set_fingerprint(instruction_set),
+        _decomposer_fingerprint(decomposer),
+        pipeline_config.fingerprint(),
+        bool(approximate),
+        bool(use_noise_adaptivity),
+        bool(merge_single_qubit),
+        float(error_scale),
+        max_layers,
+    )
+
+
+def _stamp_pipeline_name(
+    compiled: CompiledCircuit, pipeline_config: PipelineConfig
+) -> CompiledCircuit:
+    """Relabel a cached result compiled under a content-equal pipeline alias.
+
+    ``default`` and ``no-cancellation`` share fingerprints (and therefore
+    cache entries) on purpose; a hit must still report the pipeline the
+    *caller* selected.  The common same-name path returns the shared
+    object untouched; the alias path gets a shallow copy.
+    """
+    if compiled.pipeline_name == pipeline_config.name:
+        return compiled
+    return dataclasses.replace(compiled, pipeline_name=pipeline_config.name)
+
+
+def _replay_registrations(
+    device: Device,
+    instruction_set: InstructionSet,
+    emitted_type_keys: Sequence[str],
+    error_scale: float,
+) -> None:
+    """Re-run the calibration registrations of the original compilation.
+
+    Keeps the device RNG in exactly the state a cold compile would leave
+    it: instruction-set types first (as the driver registers them), then
+    the gate types the decomposition emitted.
+    """
+    if not instruction_set.is_continuous:
+        device.ensure_gate_types(instruction_set.type_keys(), scale=error_scale)
+    device.ensure_gate_types(list(emitted_type_keys), scale=error_scale)
 
 
 def compile_circuit_cached(
@@ -322,20 +508,31 @@ def compile_circuit_cached(
     layout: Optional[Layout] = None,
     error_scale: float = 1.0,
     max_layers: Optional[int] = None,
+    pipeline: Union[str, PipelineConfig] = "default",
     cache: Optional[CompilationCache] = None,
+    disk_cache: Optional["object"] = None,
 ) -> CompiledCircuit:
-    """Drop-in replacement for :func:`compile_circuit` backed by a cache.
+    """Drop-in replacement for :func:`compile_circuit` backed by cache tiers.
 
-    Identical signature and semantics; results are returned from ``cache``
-    (default: the process-global cache) when the exact same compilation has
-    been performed before against a device in the same calibration state.
+    Identical signature and semantics; lookup order is **memory -> disk ->
+    compile**.  The memory tier defaults to the process-global
+    :class:`CompilationCache`; the disk tier defaults to the globally
+    configured :class:`~repro.caching.disk.DiskCompilationCache` (none
+    unless ``REPRO_CACHE_DIR`` is set or
+    :func:`repro.caching.disk.configure_disk_cache` was called), so a
+    fresh process warm-starts from results persisted by earlier ones.
+    A disk hit is promoted into the memory tier; a compile populates both.
+
     Callers must treat the returned :class:`CompiledCircuit` as immutable.
-    Calls with an explicit ``layout`` bypass the cache: pinned layouts are
+    Calls with an explicit ``layout`` bypass every tier: pinned layouts are
     used by experiments that deliberately compare instruction sets on
     identical placements, and caching them would need the layout content in
     the key for little gain.
     """
+    from repro.caching.disk import get_global_disk_cache
+
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+    pipeline_config = resolve_pipeline(pipeline)
     if layout is not None:
         return compile_circuit(
             circuit,
@@ -348,27 +545,44 @@ def compile_circuit_cached(
             layout=layout,
             error_scale=error_scale,
             max_layers=max_layers,
+            pipeline=pipeline_config,
         )
     cache = cache if cache is not None else _GLOBAL_COMPILATION_CACHE
-    key = (
-        circuit_fingerprint(circuit),
-        device.calibration_fingerprint(),
-        instruction_set_fingerprint(instruction_set),
-        _decomposer_fingerprint(decomposer),
-        bool(approximate),
-        bool(use_noise_adaptivity),
-        bool(merge_single_qubit),
-        float(error_scale),
+    disk = disk_cache if disk_cache is not None else get_global_disk_cache()
+    effective_scale = float(
+        pipeline_config.overrides.get("error_scale", error_scale)
+    )
+    key = compilation_cache_key(
+        circuit,
+        device,
+        instruction_set,
+        decomposer,
+        approximate,
+        use_noise_adaptivity,
+        merge_single_qubit,
+        error_scale,
         max_layers,
+        pipeline_config,
     )
     entry = cache._get(key)
     if entry is not None:
-        # Replay the calibration registrations of the original call so the
-        # device RNG advances exactly as it did on the cold path.
-        if not instruction_set.is_continuous:
-            device.ensure_gate_types(instruction_set.type_keys(), scale=error_scale)
-        device.ensure_gate_types(entry.emitted_type_keys, scale=error_scale)
-        return entry.compiled
+        _replay_registrations(
+            device, instruction_set, entry.emitted_type_keys, effective_scale
+        )
+        return _stamp_pipeline_name(entry.compiled, pipeline_config)
+
+    if disk is not None:
+        stored = disk.get(key)
+        if stored is not None:
+            entry = _CacheEntry(
+                compiled=stored.compiled,
+                emitted_type_keys=list(stored.emitted_type_keys),
+            )
+            cache._put(key, entry)
+            _replay_registrations(
+                device, instruction_set, entry.emitted_type_keys, effective_scale
+            )
+            return _stamp_pipeline_name(entry.compiled, pipeline_config)
 
     compiled = compile_circuit(
         circuit,
@@ -381,10 +595,10 @@ def compile_circuit_cached(
         layout=None,
         error_scale=error_scale,
         max_layers=max_layers,
+        pipeline=pipeline_config,
     )
-    # merge_single_qubit only rewrites single-qubit runs, so the two-qubit
-    # type keys of the merged circuit equal the keys compile_circuit
-    # registered from the pre-merge decomposition.
-    emitted = sorted({op.gate.type_key for op in compiled.circuit if op.is_two_qubit})
+    emitted = list(compiled.emitted_gate_types)
     cache._put(key, _CacheEntry(compiled=compiled, emitted_type_keys=emitted))
+    if disk is not None:
+        disk.put(key, compiled, emitted)
     return compiled

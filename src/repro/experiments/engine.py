@@ -130,17 +130,26 @@ def ideal_cache_stats() -> Dict[str, int]:
         }
 
 
-def clear_experiment_caches() -> None:
+def clear_experiment_caches(include_disk: bool = False) -> None:
     """Reset the ideal-distribution cache and the global compilation cache.
 
     Used by determinism tests and benchmarks that need a guaranteed cold
-    start; production callers normally never need it.
+    start; production callers normally never need it.  ``include_disk``
+    additionally clears the configured persistent disk tier (when one is
+    active); the default leaves it alone because the disk tier exists
+    precisely to survive "cold starts" of new processes.
     """
     with _IDEAL_CACHE_LOCK:
         _IDEAL_CACHE.clear()
         _IDEAL_CACHE_STATS["hits"] = 0
         _IDEAL_CACHE_STATS["misses"] = 0
     global_compilation_cache().clear()
+    if include_disk:
+        from repro.caching.disk import get_global_disk_cache
+
+        disk = get_global_disk_cache()
+        if disk is not None:
+            disk.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -277,6 +286,8 @@ def run_study(
     ideal_override: Optional[Callable[[QuantumCircuit], np.ndarray]] = None,
     workers: Optional[int] = 1,
     compilation_cache: Optional[CompilationCache] = None,
+    pipeline: str = "default",
+    cache_dir: Optional[str] = None,
 ) -> StudyResult:
     """Execute an instruction-set study on the engine.
 
@@ -290,12 +301,25 @@ def run_study(
         every value.
     compilation_cache:
         Cache for compile nodes (default: the process-global cache).
+    pipeline:
+        Named compiler pipeline for the compile nodes (see
+        :func:`repro.compiler.manager.available_pipelines`); ablation
+        studies select e.g. ``"optimized"`` vs ``"no-cancellation"``
+        instead of forking code paths.
+    cache_dir:
+        Directory for the persistent disk cache tier, overriding the
+        global ``REPRO_CACHE_DIR`` configuration for this study only.
     """
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
     options = options or SimulationOptions()
     error_scales = error_scales or {}
     device = device_factory()
     effective_workers = resolve_workers(workers)
+    disk_cache = None
+    if cache_dir is not None:
+        from repro.caching.disk import DiskCompilationCache
+
+        disk_cache = DiskCompilationCache(cache_dir)
 
     plan = StudyPlan(
         set_names=list(instruction_sets),
@@ -335,7 +359,9 @@ def run_study(
                 approximate=approximate,
                 use_noise_adaptivity=use_noise_adaptivity,
                 error_scale=job.error_scale,
+                pipeline=pipeline,
                 cache=compilation_cache,
+                disk_cache=disk_cache,
             )
             if pool is not None:
                 # Ship a deep-copied device snapshot: it already holds

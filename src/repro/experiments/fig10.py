@@ -58,6 +58,7 @@ class Figure10Config:
     full_fsim_error_scales: List[float] = field(default_factory=lambda: [1.0, 2.0])
     include_no_variation_panel: bool = True
     workers: int = 1
+    pipeline: str = "default"
 
     @classmethod
     def quick(cls) -> "Figure10Config":
@@ -157,6 +158,7 @@ def run_figure10(
         options=options,
         error_scales=error_scales,
         workers=config.workers,
+        pipeline=config.pipeline,
     )
     qaoa_circuits = qaoa_suite(config.app_qubits, config.qaoa_circuits, seed=config.seed + 1)
     qaoa_study = run_instruction_set_study(
@@ -170,6 +172,7 @@ def run_figure10(
         options=options,
         error_scales=error_scales,
         workers=config.workers,
+        pipeline=config.pipeline,
     )
     target = qft_target_value(config.app_qubits)
     qft_study = run_instruction_set_study(
@@ -183,6 +186,7 @@ def run_figure10(
         options=options,
         error_scales=error_scales,
         workers=config.workers,
+        pipeline=config.pipeline,
     )
     fh_study = run_instruction_set_study(
         "fh",
@@ -195,6 +199,7 @@ def run_figure10(
         options=options,
         error_scales=error_scales,
         workers=config.workers,
+        pipeline=config.pipeline,
     )
     no_variation_study = None
     if config.include_no_variation_panel:
@@ -210,6 +215,7 @@ def run_figure10(
             use_noise_adaptivity=False,
             error_scales=error_scales,
             workers=config.workers,
+            pipeline=config.pipeline,
         )
     return Figure10Result(
         qv=qv_study,
@@ -235,6 +241,7 @@ class Figure10fConfig:
     trajectories: int = 15
     seed: int = 17
     workers: int = 1
+    pipeline: str = "default"
 
     @classmethod
     def quick(cls) -> "Figure10fConfig":
@@ -320,6 +327,7 @@ def run_figure10f(
                 decomposer=decomposer,
                 options=options,
                 workers=config.workers,
+                pipeline=config.pipeline,
             )
             result.points.append(
                 Figure10fPoint(

@@ -39,6 +39,7 @@ class Figure9Config:
     seed: int = 9
     instruction_sets: Optional[List[str]] = None
     workers: int = 1
+    pipeline: str = "default"
 
     @classmethod
     def quick(cls) -> "Figure9Config":
@@ -116,6 +117,7 @@ def run_figure9(
         decomposer=decomposer,
         options=options,
         workers=config.workers,
+        pipeline=config.pipeline,
     )
     qaoa_study = run_instruction_set_study(
         "qaoa",
@@ -127,6 +129,7 @@ def run_figure9(
         decomposer=decomposer,
         options=options,
         workers=config.workers,
+        pipeline=config.pipeline,
     )
     target = qft_target_value(config.qft_qubits)
     qft_study = run_instruction_set_study(
@@ -139,5 +142,6 @@ def run_figure9(
         decomposer=decomposer,
         options=options,
         workers=config.workers,
+        pipeline=config.pipeline,
     )
     return Figure9Result(qv=qv_study, qaoa=qaoa_study, qft=qft_study)

@@ -10,6 +10,7 @@ containers that the benchmark harness and the examples print.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -151,6 +152,8 @@ def run_instruction_set_study(
     error_scales: Optional[Dict[str, float]] = None,
     ideal_override: Optional[Callable[[QuantumCircuit], np.ndarray]] = None,
     workers: Optional[int] = 1,
+    pipeline: str = "default",
+    cache_dir: Optional[str] = None,
 ) -> StudyResult:
     """Compile + simulate + score every circuit under every instruction set.
 
@@ -183,6 +186,8 @@ def run_instruction_set_study(
         error_scales=error_scales,
         ideal_override=ideal_override,
         workers=workers,
+        pipeline=pipeline,
+        cache_dir=cache_dir,
     )
 
 
@@ -206,7 +211,20 @@ def run_instruction_set_study_reference(
     implementation bit-for-bit (including the device's lazily sampled
     calibration data, which depends on compilation order).  Do not optimise
     this function; its simplicity is the point.
+
+    .. deprecated::
+        For anything other than ground-truth comparison, use
+        :func:`repro.experiments.engine.run_study` (or this module's
+        :func:`run_instruction_set_study` wrapper), which adds worker
+        pools, compilation caching and pipeline selection.
     """
+    warnings.warn(
+        "run_instruction_set_study_reference is the frozen ground-truth loop; "
+        "use repro.experiments.engine.run_study (or run_instruction_set_study) "
+        "for real studies",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
     options = options or SimulationOptions()
     error_scales = error_scales or {}

@@ -1,0 +1,332 @@
+"""Persistent disk compilation cache: correctness, robustness, plumbing.
+
+Pins the ISSUE's acceptance properties: a disk-cache round trip is
+bit-identical to the uncached compile (result *and* device calibration
+RNG state), corrupt/mismatched entries degrade to misses, the tier stays
+inert unless configured, the in-memory tier evicts LRU, and the CLI can
+inspect and clear the persistent tier.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from contextlib import redirect_stdout
+
+import numpy as np
+import pytest
+
+from repro.applications import qv_circuit
+from repro.caching.disk import (
+    DISK_CACHE_SCHEMA_VERSION,
+    DiskCompilationCache,
+    cache_key_digest,
+    configure_disk_cache,
+    get_global_disk_cache,
+    reset_disk_cache_configuration,
+)
+from repro.core.instruction_sets import full_fsim_set, google_instruction_set
+from repro.core.pipeline import (
+    CompilationCache,
+    _CacheEntry,
+    compile_circuit,
+    compile_circuit_cached,
+)
+from repro.devices.synthetic import synthetic_device
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_configuration(monkeypatch):
+    """Keep each test's disk-cache configuration from leaking to the next."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    reset_disk_cache_configuration()
+    yield
+    reset_disk_cache_configuration()
+
+
+def _circuit():
+    return qv_circuit(3, rng=np.random.default_rng(2))
+
+
+def _device():
+    return synthetic_device(5, "line", seed=13)
+
+
+def _assert_bit_identical(a, b):
+    assert len(a.circuit) == len(b.circuit)
+    for left, right in zip(a.circuit, b.circuit):
+        assert left.qubits == right.qubits
+        assert np.array_equal(left.gate.matrix, right.gate.matrix)
+    assert a.physical_qubits == b.physical_qubits
+    assert a.initial_mapping == b.initial_mapping
+    assert a.final_mapping == b.final_mapping
+    assert a.gate_type_usage == b.gate_type_usage
+    assert a.decomposition_fidelities == b.decomposition_fidelities
+    assert a.emitted_gate_types == b.emitted_gate_types
+
+
+class TestDiskRoundTrip:
+    @pytest.mark.parametrize(
+        "set_factory",
+        [lambda: google_instruction_set("G3"), lambda: full_fsim_set()],
+        ids=["discrete", "continuous"],
+    )
+    def test_disk_hit_matches_uncached_compile(self, tmp_path, set_factory, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+
+        device_uncached = _device()
+        uncached = compile_circuit(
+            _circuit(), device_uncached, set_factory(), decomposer=shared_decomposer
+        )
+
+        device_writer = _device()
+        compile_circuit_cached(
+            _circuit(),
+            device_writer,
+            set_factory(),
+            decomposer=shared_decomposer,
+            cache=CompilationCache(),
+            disk_cache=disk,
+        )
+        assert disk.stats()["writes"] == 1
+
+        # Fresh memory tier + fresh device: the result must come off disk
+        # and leave the device exactly where a cold compile would.
+        device_reader = _device()
+        from_disk = compile_circuit_cached(
+            _circuit(),
+            device_reader,
+            set_factory(),
+            decomposer=shared_decomposer,
+            cache=CompilationCache(),
+            disk_cache=disk,
+        )
+        assert disk.stats()["hits"] == 1
+        _assert_bit_identical(uncached, from_disk)
+        assert (
+            device_reader.calibration_fingerprint()
+            == device_uncached.calibration_fingerprint()
+        )
+
+    def test_disk_hit_promotes_to_memory_tier(self, tmp_path, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+        compile_circuit_cached(
+            _circuit(),
+            _device(),
+            google_instruction_set("G3"),
+            decomposer=shared_decomposer,
+            cache=CompilationCache(),
+            disk_cache=disk,
+        )
+        # Fresh device per call, as the engine's device_factory() does: the
+        # key embeds the *pre-compilation* calibration state.
+        memory = CompilationCache()
+        compile_circuit_cached(
+            _circuit(), _device(), google_instruction_set("G3"),
+            decomposer=shared_decomposer, cache=memory, disk_cache=disk,
+        )
+        compile_circuit_cached(
+            _circuit(), _device(), google_instruction_set("G3"),
+            decomposer=shared_decomposer, cache=memory, disk_cache=disk,
+        )
+        stats = memory.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1  # second call served by the promoted entry
+        assert disk.stats()["hits"] == 1  # disk consulted exactly once
+
+    def test_pipelines_do_not_share_entries(self, tmp_path, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+        shared_kwargs = dict(decomposer=shared_decomposer, disk_cache=disk)
+        compile_circuit_cached(
+            _circuit(), _device(), google_instruction_set("G3"),
+            cache=CompilationCache(), pipeline="default", **shared_kwargs,
+        )
+        compile_circuit_cached(
+            _circuit(), _device(), google_instruction_set("G3"),
+            cache=CompilationCache(), pipeline="optimized", **shared_kwargs,
+        )
+        assert disk.entry_count() == 2
+        # Content-equal alias: 'no-cancellation' reuses the 'default' entry,
+        # but the hit must still be labelled with the pipeline the caller
+        # selected.
+        aliased = compile_circuit_cached(
+            _circuit(), _device(), google_instruction_set("G3"),
+            cache=CompilationCache(), pipeline="no-cancellation", **shared_kwargs,
+        )
+        assert disk.entry_count() == 2
+        assert disk.stats()["hits"] == 1
+        assert aliased.pipeline_name == "no-cancellation"
+
+
+class TestDiskRobustness:
+    def _seed_entry(self, disk, shared_decomposer):
+        compile_circuit_cached(
+            _circuit(),
+            _device(),
+            google_instruction_set("G3"),
+            decomposer=shared_decomposer,
+            cache=CompilationCache(),
+            disk_cache=disk,
+        )
+        paths = list(disk.version_dir.rglob("*.pkl"))
+        assert len(paths) == 1
+        return paths[0]
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+        path = self._seed_entry(disk, shared_decomposer)
+        path.write_bytes(b"not a pickle at all")
+
+        device = _device()
+        recompiled = compile_circuit_cached(
+            _circuit(),
+            device,
+            google_instruction_set("G3"),
+            decomposer=shared_decomposer,
+            cache=CompilationCache(),
+            disk_cache=disk,
+        )
+        assert recompiled.two_qubit_gate_count > 0
+        assert disk.stats()["hits"] == 0
+        assert disk.stats()["writes"] == 2  # corrupt file replaced by a fresh entry
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+        path = self._seed_entry(disk, shared_decomposer)
+        payload = pickle.loads(path.read_bytes())
+        payload["schema"] = DISK_CACHE_SCHEMA_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        assert disk.get(tuple(payload["key"])) is None
+
+    def test_key_echo_mismatch_is_a_miss(self, tmp_path, shared_decomposer):
+        # A digest collision (or a tampered file) must be rejected by the
+        # full-key comparison embedded in the payload.
+        disk = DiskCompilationCache(tmp_path)
+        path = self._seed_entry(disk, shared_decomposer)
+        payload = pickle.loads(path.read_bytes())
+        real_key = tuple(payload["key"])
+        payload["key"] = ["tampered"]
+        path.write_bytes(pickle.dumps(payload))
+        assert disk.get(real_key) is None
+
+    def test_clear_removes_entries(self, tmp_path, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+        self._seed_entry(disk, shared_decomposer)
+        assert disk.entry_count() == 1
+        assert disk.clear() == 1
+        assert disk.entry_count() == 0
+        assert disk.size_bytes() == 0
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path, shared_decomposer):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        disk = DiskCompilationCache(blocker)  # mkdir under a file will fail
+        compiled = compile_circuit_cached(
+            _circuit(),
+            _device(),
+            google_instruction_set("G3"),
+            decomposer=shared_decomposer,
+            cache=CompilationCache(),
+            disk_cache=disk,
+        )
+        assert compiled.two_qubit_gate_count > 0
+        assert disk.stats()["writes"] == 0
+
+    def test_key_digest_is_stable_and_key_sensitive(self):
+        key = ("a", "b", 1.0, True, None)
+        assert cache_key_digest(key) == cache_key_digest(tuple(key))
+        assert cache_key_digest(key) != cache_key_digest(("a", "b", 1.0, True, 2))
+
+
+class TestGlobalConfiguration:
+    def test_inert_by_default(self):
+        assert get_global_disk_cache() is None
+
+    def test_env_var_activates_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = get_global_disk_cache()
+        assert cache is not None
+        assert cache.root == tmp_path
+        # Same directory -> same instance, so statistics accumulate.
+        assert get_global_disk_cache() is cache
+
+    def test_explicit_configure_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        explicit = configure_disk_cache(str(tmp_path / "explicit"))
+        assert get_global_disk_cache() is explicit
+        # Explicit disable beats the environment variable too.
+        configure_disk_cache(None)
+        assert get_global_disk_cache() is None
+        reset_disk_cache_configuration()
+        assert get_global_disk_cache().root == tmp_path / "env"
+
+
+class TestMemoryCacheLRU:
+    def _entry(self):
+        return _CacheEntry(compiled=object(), emitted_type_keys=[])
+
+    def test_eviction_is_least_recently_used(self):
+        cache = CompilationCache(max_entries=2)
+        cache._put(("a",), self._entry())
+        cache._put(("b",), self._entry())
+        assert cache._get(("a",)) is not None  # refresh 'a'
+        cache._put(("c",), self._entry())  # evicts 'b', not 'a'
+        assert cache._get(("a",)) is not None
+        assert cache._get(("b",)) is None
+        assert cache._get(("c",)) is not None
+
+    def test_stats_report_bound(self):
+        cache = CompilationCache(max_entries=7)
+        assert cache.stats()["max_entries"] == 7
+        assert len(cache) == 0
+
+    def test_global_cache_size_env(self, monkeypatch):
+        from repro.core.pipeline import _default_cache_size
+
+        monkeypatch.delenv("REPRO_COMPILE_CACHE_SIZE", raising=False)
+        assert _default_cache_size() == 4096
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "128")
+        assert _default_cache_size() == 128
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "not-a-number")
+        assert _default_cache_size() == 4096
+
+
+class TestCacheCli:
+    def _run(self, argv):
+        from repro.cli import main
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(argv)
+        return code, buffer.getvalue()
+
+    def test_stats_without_configuration(self):
+        code, output = self._run(["cache", "stats"])
+        assert code == 0
+        assert "no disk compilation cache configured" in output
+
+    def test_stats_and_clear_with_cache_dir(self, tmp_path, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+        compile_circuit_cached(
+            _circuit(),
+            _device(),
+            google_instruction_set("G3"),
+            decomposer=shared_decomposer,
+            cache=CompilationCache(),
+            disk_cache=disk,
+        )
+        code, output = self._run(["cache", "stats", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert str(tmp_path) in output
+        assert "entries" in output
+
+        code, output = self._run(["cache", "clear", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "cleared 1" in output
+        assert disk.entry_count() == 0
+
+    def test_pipelines_listing(self):
+        code, output = self._run(["pipelines"])
+        assert code == 0
+        assert "default" in output
+        assert "no-cancellation" in output
