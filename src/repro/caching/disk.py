@@ -41,6 +41,7 @@ import os
 import pickle
 import tempfile
 import threading
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -50,8 +51,16 @@ from repro.circuits.hashing import hash_scalars
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
     from repro.core.pipeline import CompiledCircuit
 
-DISK_CACHE_SCHEMA_VERSION = 1
-"""Bump whenever the pickled payload layout or key composition changes."""
+DISK_CACHE_SCHEMA_VERSION = 2
+"""Bump whenever the pickled payload layout or key composition changes.
+
+v2: :class:`~repro.core.pipeline.CompiledCircuit` gained ``pass_stats``
+(per-pass rewrite statistics); v1 entries lack the attribute and would
+surface as broken objects, so they are orphaned instead."""
+
+MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
+"""Size cap (bytes) for the disk tier; entries are evicted LRU-by-mtime
+once the footprint exceeds it.  Unset/empty means unbounded."""
 
 _PICKLE_PROTOCOL = 4
 
@@ -85,12 +94,27 @@ class DiskCompilationCache:
     must never break a compilation.
     """
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(self, root: os.PathLike, max_bytes: Optional[int] = None) -> None:
         self.root = Path(root).expanduser()
+        self._max_bytes_override = max_bytes
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Size cap in bytes, or ``None`` when unbounded.
+
+        An explicit constructor argument wins; otherwise
+        ``REPRO_CACHE_MAX_BYTES`` is re-consulted on every access (like
+        ``REPRO_CACHE_DIR``), so long-lived shared registry instances pick
+        up a cap set after they were first constructed.
+        """
+        if self._max_bytes_override is not None:
+            return self._max_bytes_override
+        return _default_max_bytes()
 
     # -- paths --------------------------------------------------------------
 
@@ -99,22 +123,35 @@ class DiskCompilationCache:
         """Directory holding entries of the current schema version."""
         return self.root / f"v{DISK_CACHE_SCHEMA_VERSION}"
 
+    def _version_dirs(self) -> List[Path]:
+        """Every schema-version subtree under the root, current or orphaned.
+
+        Schema bumps orphan old trees rather than migrating them; ``clear``
+        and the size-cap eviction sweep must still see those orphans or an
+        upgrade would leave unbounded, uncollectable garbage behind.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.root.glob("v*")
+            if path.is_dir() and path.name[1:].isdigit()
+        )
+
     def _entry_path(self, digest: str) -> Path:
         # Two-character fan-out keeps directories small at production entry
         # counts (the git object-store layout).
         return self.version_dir / digest[:2] / f"{digest}.pkl"
 
-    # -- core operations ----------------------------------------------------
+    def _blob_path(self, kind: str, digest: str) -> Path:
+        # Auxiliary payloads (autotuner verdicts, ...) live in a namespaced
+        # subtree of the same versioned root, with the same fan-out.
+        return self.version_dir / kind / digest[:2] / f"{digest}.pkl"
 
-    def get(self, key: Tuple) -> Optional[DiskCacheEntry]:
-        """Load the entry for ``key``, or ``None`` on any kind of miss.
+    # -- payload plumbing ----------------------------------------------------
 
-        Mismatched schema versions, corrupt pickles, truncated files and
-        digest collisions with a different key all count as misses;
-        unreadable files are deleted best-effort so they do not fail every
-        future lookup.
-        """
-        path = self._entry_path(cache_key_digest(key))
+    def _read_payload(self, path: Path, key: Tuple) -> Optional[Dict[str, object]]:
+        """Load + validate one payload file; any failure is a recorded miss."""
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
@@ -137,30 +174,16 @@ class DiskCompilationCache:
             self._record(hit=False)
             return None
         self._record(hit=True)
-        return DiskCacheEntry(
-            compiled=payload["compiled"],
-            emitted_type_keys=list(payload["emitted_type_keys"]),
-        )
+        if self.max_bytes is not None:
+            # Refresh LRU recency for size-cap eviction.  Skipped on
+            # unbounded caches so reads stay mtime-neutral (the CI
+            # warm-start check relies on "no file changed after the cold
+            # process" to prove every compile was served from disk).
+            self._touch(path)
+        return payload
 
-    def put(
-        self,
-        key: Tuple,
-        compiled: "CompiledCircuit",
-        emitted_type_keys: Sequence[str],
-    ) -> bool:
-        """Persist a compilation result; returns False when the write failed.
-
-        The payload is pickled to a unique temporary file in the entry's
-        directory and renamed into place, so readers never observe a
-        partial entry and the last concurrent writer wins.
-        """
-        path = self._entry_path(cache_key_digest(key))
-        payload = {
-            "schema": DISK_CACHE_SCHEMA_VERSION,
-            "key": list(key),
-            "compiled": compiled,
-            "emitted_type_keys": list(emitted_type_keys),
-        }
+    def _write_payload(self, path: Path, payload: Dict[str, object]) -> bool:
+        """Atomically write one payload file, then enforce the size cap."""
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             descriptor, temp_name = tempfile.mkstemp(
@@ -180,24 +203,148 @@ class DiskCompilationCache:
             return False
         with self._lock:
             self.writes += 1
+        self._evict_over_cap(protect=path)
         return True
 
-    def clear(self) -> int:
-        """Delete every entry of the current schema version; returns the count.
+    # -- core operations ----------------------------------------------------
 
-        Also sweeps ``*.tmp`` leftovers from writers killed mid-``put``
-        (they are invisible to lookups but would otherwise accumulate).
+    def get(self, key: Tuple) -> Optional[DiskCacheEntry]:
+        """Load the entry for ``key``, or ``None`` on any kind of miss.
+
+        Mismatched schema versions, corrupt pickles, truncated files and
+        digest collisions with a different key all count as misses;
+        unreadable files are deleted best-effort so they do not fail every
+        future lookup.
+        """
+        payload = self._read_payload(self._entry_path(cache_key_digest(key)), key)
+        if payload is None:
+            return None
+        return DiskCacheEntry(
+            compiled=payload["compiled"],
+            emitted_type_keys=list(payload["emitted_type_keys"]),
+        )
+
+    def put(
+        self,
+        key: Tuple,
+        compiled: "CompiledCircuit",
+        emitted_type_keys: Sequence[str],
+    ) -> bool:
+        """Persist a compilation result; returns False when the write failed.
+
+        The payload is pickled to a unique temporary file in the entry's
+        directory and renamed into place, so readers never observe a
+        partial entry and the last concurrent writer wins.
+        """
+        payload = {
+            "schema": DISK_CACHE_SCHEMA_VERSION,
+            "key": list(key),
+            "compiled": compiled,
+            "emitted_type_keys": list(emitted_type_keys),
+        }
+        return self._write_payload(self._entry_path(cache_key_digest(key)), payload)
+
+    def get_blob(self, kind: str, key: Tuple) -> Optional[object]:
+        """Load an auxiliary payload (e.g. an autotuner verdict) for ``key``.
+
+        Blobs share the versioned root, the content-addressed naming, the
+        validation rules and the hit/miss/eviction accounting of compiled
+        entries -- they are just namespaced under ``<version>/<kind>/``.
+        """
+        payload = self._read_payload(self._blob_path(kind, cache_key_digest(key)), key)
+        if payload is None:
+            return None
+        return payload.get("value")
+
+    def put_blob(self, kind: str, key: Tuple, value: object) -> bool:
+        """Persist an auxiliary payload; returns False when the write failed."""
+        payload = {
+            "schema": DISK_CACHE_SCHEMA_VERSION,
+            "key": list(key),
+            "value": value,
+        }
+        return self._write_payload(self._blob_path(kind, cache_key_digest(key)), payload)
+
+    def clear(self) -> int:
+        """Delete every entry of *every* schema version; returns the count.
+
+        Covers orphaned trees left behind by schema bumps, sweeps ``*.tmp``
+        leftovers from writers killed mid-``put`` (invisible to lookups but
+        they would otherwise accumulate) and removes the emptied fan-out
+        directories, so a cleared tree does not slowly fill with hundreds
+        of empty two-character directories.  A never-written cache
+        directory clears cleanly to 0 without touching the disk.
         """
         removed = 0
-        for entry in sorted(self.version_dir.rglob("*.pkl")):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                continue
-        for orphan in self.version_dir.rglob("*.tmp"):
-            self._discard(orphan)
+        for version_dir in self._version_dirs():
+            for entry in sorted(version_dir.rglob("*.pkl")):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+            for orphan in version_dir.rglob("*.tmp"):
+                self._discard(orphan)
+            # Deepest-first so parent fan-out/namespace directories empty
+            # out before their own rmdir attempt; non-empty ones just fail
+            # silently.
+            subdirectories = sorted(
+                (path for path in version_dir.rglob("*") if path.is_dir()),
+                key=lambda path: len(path.parts),
+                reverse=True,
+            )
+            for directory in subdirectories:
+                try:
+                    directory.rmdir()
+                except OSError:
+                    continue
         return removed
+
+    # -- size cap ------------------------------------------------------------
+
+    def _evict_over_cap(self, protect: Optional[Path] = None) -> int:
+        """Evict least-recently-used entries until the footprint fits the cap.
+
+        Recency is mtime: reads touch their entry, so untouched entries age
+        out first (LRU).  ``protect`` (the entry just written) is never
+        evicted, so a cap smaller than a single entry still serves it.
+        Returns the number of evicted files.
+
+        The full tree walk per write is deliberate: concurrent processes
+        share the directory, so any in-memory running total would go stale
+        the moment another writer lands an entry.  Writes only happen on
+        compile misses (seconds each), which dwarfs an O(entries) stat
+        sweep at realistic cache sizes.  The walk spans *every* schema
+        version, so after an upgrade the orphaned old tree counts against
+        the cap and -- being untouched -- ages out first.
+        """
+        max_bytes = self.max_bytes  # one env consultation per sweep
+        if max_bytes is None:
+            return 0
+        entries = []
+        total = 0
+        for version_dir in self._version_dirs():
+            for path in version_dir.rglob("*.pkl"):
+                try:
+                    status = path.stat()
+                except OSError:
+                    continue
+                total += status.st_size
+                if protect is None or path != protect:
+                    entries.append((status.st_mtime, status.st_size, path))
+        if total <= max_bytes:
+            return 0
+        evicted = 0
+        for _, size, path in sorted(entries, key=lambda item: item[0]):
+            if total <= max_bytes:
+                break
+            self._discard(path)
+            total -= size
+            evicted += 1
+        if evicted:
+            with self._lock:
+                self.evictions += evicted
+        return evicted
 
     # -- reporting ----------------------------------------------------------
 
@@ -223,10 +370,32 @@ class DiskCompilationCache:
         """Total size of the persisted entries, in bytes."""
         return self._footprint()[1]
 
+    def _orphan_bytes(self) -> int:
+        """Bytes held by entries of *other* (orphaned) schema versions."""
+        total = 0
+        for version_dir in self._version_dirs():
+            if version_dir == self.version_dir:
+                continue
+            for path in version_dir.rglob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+        return total
+
     def stats(self) -> Dict[str, object]:
-        """Counters plus on-disk footprint (for the CLI and benchmarks)."""
+        """Counters plus on-disk footprint (for the CLI and benchmarks).
+
+        Reports cleanly (all zeros) for a cache directory nothing was ever
+        written to.
+        """
         with self._lock:
-            hits, misses, writes = self.hits, self.misses, self.writes
+            hits, misses, writes, evictions = (
+                self.hits,
+                self.misses,
+                self.writes,
+                self.evictions,
+            )
         entries, size_bytes = self._footprint()
         return {
             "cache_dir": str(self.root),
@@ -234,8 +403,11 @@ class DiskCompilationCache:
             "hits": hits,
             "misses": misses,
             "writes": writes,
+            "evictions": evictions,
             "entries": entries,
             "size_bytes": size_bytes,
+            "orphan_bytes": self._orphan_bytes(),
+            "max_bytes": self.max_bytes,  # None = unbounded (CLI renders it)
         }
 
     # -- internals ----------------------------------------------------------
@@ -248,11 +420,43 @@ class DiskCompilationCache:
                 self.misses += 1
 
     @staticmethod
+    def _touch(path: Path) -> None:
+        """Best-effort mtime refresh (LRU recency for size-cap eviction)."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    @staticmethod
     def _discard(path: Path) -> None:
         try:
             path.unlink()
         except OSError:
             pass
+
+
+def _default_max_bytes() -> Optional[int]:
+    """Disk-tier size cap from ``REPRO_CACHE_MAX_BYTES`` (``None`` = unbounded).
+
+    Invalid values -- non-numeric, zero or negative -- are ignored with a
+    warning rather than silently capping the cache at nothing.
+    """
+    raw = os.environ.get(MAX_BYTES_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        warnings.warn(
+            f"ignoring invalid {MAX_BYTES_ENV_VAR}={raw!r} (need a positive "
+            "integer byte count); disk cache stays unbounded",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return value
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +469,35 @@ _DISABLED = object()
 _EXPLICIT: Optional[object] = None
 _INSTANCES: Dict[str, DiskCompilationCache] = {}
 _CONFIG_LOCK = threading.Lock()
+
+
+def _instance_for(cache_dir: os.PathLike) -> DiskCompilationCache:
+    """Shared per-directory instance; caller must hold ``_CONFIG_LOCK``.
+
+    Keys are normalised absolute paths, so ``./cache``, ``cache`` and the
+    absolute spelling all resolve to the same instance and its counters.
+    """
+    key = os.path.abspath(os.path.expanduser(str(cache_dir)))
+    cache = _INSTANCES.get(key)
+    if cache is None:
+        # Construct from the normalized path too: a relative cache_dir must
+        # not leave the shared instance's filesystem root CWD-dependent.
+        cache = DiskCompilationCache(key)
+        _INSTANCES[key] = cache
+    return cache
+
+
+def disk_cache_for(cache_dir: os.PathLike) -> DiskCompilationCache:
+    """The shared :class:`DiskCompilationCache` for a directory.
+
+    Every consumer of a cache directory -- ``run_study(cache_dir=...)``,
+    the CLI's ``--cache-dir`` flag, ``configure_disk_cache`` and the
+    ``REPRO_CACHE_DIR`` resolution -- goes through this registry, so
+    hit/miss/write counters accumulate on one instance per directory and
+    ``repro cache stats`` sees the traffic of per-study caches too.
+    """
+    with _CONFIG_LOCK:
+        return _instance_for(cache_dir)
 
 
 def configure_disk_cache(cache_dir: Optional[str]) -> Optional[DiskCompilationCache]:
@@ -280,9 +513,7 @@ def configure_disk_cache(cache_dir: Optional[str]) -> Optional[DiskCompilationCa
         if cache_dir is None:
             _EXPLICIT = _DISABLED
             return None
-        cache = _INSTANCES.setdefault(
-            str(cache_dir), DiskCompilationCache(cache_dir)
-        )
+        cache = _instance_for(cache_dir)
         _EXPLICIT = cache
         return cache
 
@@ -311,4 +542,4 @@ def get_global_disk_cache() -> Optional[DiskCompilationCache]:
         cache_dir = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
         if not cache_dir:
             return None
-        return _INSTANCES.setdefault(cache_dir, DiskCompilationCache(cache_dir))
+        return _instance_for(cache_dir)

@@ -16,6 +16,7 @@ Every evaluation artefact has a subcommand::
     python -m repro calibration       # drift + recalibration policy comparison
     python -m repro apps              # list registered application workloads
     python -m repro pipelines         # list registered compiler pipelines
+    python -m repro pipelines --stats # per-pass rewrite statistics + autotuner verdict
     python -m repro cache stats       # persistent compilation-cache counters
     python -m repro cache clear       # drop every persisted compilation
 
@@ -23,7 +24,9 @@ Each figure subcommand accepts ``--paper-scale`` to run the full
 configuration from the paper instead of the fast default, plus
 ``--cache-dir`` to enable the persistent disk compilation cache; the
 study subcommands (fig9/fig10/fig10f) also accept ``--pipeline`` to
-select a named compiler pipeline (see ``repro pipelines``).
+select a named compiler pipeline (see ``repro pipelines``) or
+``--pipeline auto`` to let the autotuner pick one per workload by
+predicted compiled fidelity.
 """
 
 from __future__ import annotations
@@ -222,12 +225,17 @@ def _cmd_calibration(args: argparse.Namespace) -> str:
 
 
 def _resolve_cli_disk_cache(args: argparse.Namespace):
-    """Disk cache addressed by ``--cache-dir`` / ``REPRO_CACHE_DIR`` (or None)."""
-    from repro.caching.disk import DiskCompilationCache, get_global_disk_cache
+    """Disk cache addressed by ``--cache-dir`` / ``REPRO_CACHE_DIR`` (or None).
+
+    Resolved through the shared per-directory registry so the counters
+    printed by ``repro cache stats`` include traffic from studies that used
+    the same directory earlier in this process.
+    """
+    from repro.caching.disk import disk_cache_for, get_global_disk_cache
 
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
-        return DiskCompilationCache(cache_dir)
+        return disk_cache_for(cache_dir)
     return get_global_disk_cache()
 
 
@@ -242,13 +250,18 @@ def _cmd_cache(args: argparse.Namespace) -> str:
         removed = cache.clear()
         return f"cleared {removed} cached compilation(s) from {cache.root}"
     stats = cache.stats()
-    rows = [{"field": key, "value": value} for key, value in stats.items()]
+    rows = [
+        {"field": key, "value": "unbounded" if key == "max_bytes" and value is None else value}
+        for key, value in stats.items()
+    ]
     return "Disk compilation cache\n" + render_table(rows)
 
 
 def _cmd_pipelines(args: argparse.Namespace) -> str:
     from repro.compiler.manager import available_pipelines
 
+    if getattr(args, "stats", False):
+        return _pipelines_stats_report(args)
     rows = [
         {
             "pipeline": name,
@@ -259,6 +272,67 @@ def _cmd_pipelines(args: argparse.Namespace) -> str:
         for name, config in sorted(available_pipelines().items())
     ]
     return "Registered compiler pipelines\n" + render_table(rows)
+
+
+def _pipelines_stats_report(args: argparse.Namespace) -> str:
+    """Compile a sample workload under every pipeline; report per-pass stats.
+
+    The workload is a seeded QV circuit on a synthetic line device with the
+    G3 instruction set -- small enough to stay interactive, rich enough
+    that routing, NuOp and the cleanup passes all have work to do.  A fresh
+    device per pipeline keeps the sampled calibration identical, so the
+    rewrite counters and predicted fidelities are directly comparable, and
+    the autotuner's verdict over its candidate set is printed last.
+    """
+    import numpy as np
+
+    from repro.applications import qv_circuit
+    from repro.compiler.autotune import autotune_pipeline, predicted_compiled_fidelity
+    from repro.compiler.manager import available_pipelines
+    from repro.core.decomposer import NuOpDecomposer
+    from repro.core.instruction_sets import google_instruction_set
+    from repro.core.pipeline import compile_circuit
+    from repro.devices.synthetic import synthetic_device
+
+    num_qubits = getattr(args, "qubits", 3)
+    circuit = qv_circuit(num_qubits, rng=np.random.default_rng(7))
+    instruction_set = google_instruction_set("G3")
+    decomposer = NuOpDecomposer(seed=7)
+
+    def device():
+        return synthetic_device(num_qubits + 2, "line", seed=13)
+
+    sections: List[str] = [
+        f"Per-pass rewrite statistics ({num_qubits}-qubit QV sample workload, G3)"
+    ]
+    summary_rows: List[Dict[str, object]] = []
+    for name in sorted(available_pipelines()):
+        target = device()
+        compiled = compile_circuit(
+            circuit, target, instruction_set, decomposer=decomposer, pipeline=name
+        )
+        fidelity = predicted_compiled_fidelity(compiled, target)
+        summary_rows.append(
+            {
+                "pipeline": name,
+                "predicted_fidelity": round(fidelity, 4),
+                "2q": compiled.two_qubit_gate_count,
+                "1q": compiled.circuit.num_single_qubit_gates(),
+                "depth": compiled.circuit.depth(),
+            }
+        )
+        rows = [record.as_row() for record in compiled.pass_stats]
+        sections.append(f"pipeline: {name}\n" + render_table(rows))
+
+    sections.insert(1, "Summary\n" + render_table(summary_rows))
+    verdict = autotune_pipeline(circuit, device(), instruction_set, decomposer=decomposer)
+    verdict_rows = [score.as_row() for score in verdict.scores]
+    sections.append(
+        "Autotuner verdict (pipeline=\"auto\" candidates)\n"
+        + render_table(verdict_rows)
+        + f"\nauto picks: {verdict.pipeline}"
+    )
+    return "\n\n".join(sections)
 
 
 def _cmd_apps(args: argparse.Namespace) -> str:
@@ -299,6 +373,14 @@ _FIGURE_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
 }
 
 
+def _positive_int(raw: str) -> int:
+    """argparse type: an integer >= 1 (clean error instead of a traceback)."""
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -331,14 +413,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(overrides the REPRO_CACHE_DIR environment variable)",
         )
         if name in ("fig9", "fig10", "fig10f"):
+            from repro.compiler.autotune import AUTO_PIPELINE
             from repro.compiler.manager import available_pipelines
 
             sub.add_argument(
                 "--pipeline",
                 default=None,
-                choices=sorted(available_pipelines()),
+                choices=sorted(available_pipelines()) + [AUTO_PIPELINE],
                 help="compiler pipeline for the study's compile stage "
-                "(see `repro pipelines`; default: the config's pipeline)",
+                "(see `repro pipelines`; 'auto' = pick per workload by "
+                "predicted compiled fidelity; default: the config's pipeline)",
             )
 
     cache = subparsers.add_parser(
@@ -355,8 +439,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: the REPRO_CACHE_DIR environment variable)",
     )
 
-    subparsers.add_parser(
+    pipelines = subparsers.add_parser(
         "pipelines", help="list the registered compiler pipelines and their passes"
+    )
+    pipelines.add_argument(
+        "--stats",
+        action="store_true",
+        help="compile a sample workload under every pipeline and report "
+        "per-pass rewrite statistics, predicted fidelities and the "
+        "autotuner's verdict",
+    )
+    pipelines.add_argument(
+        "--qubits",
+        type=_positive_int,
+        default=3,
+        help="sample-workload width for --stats (default 3)",
     )
 
     design = subparsers.add_parser("design", help="greedy instruction-set design")

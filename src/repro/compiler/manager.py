@@ -63,6 +63,102 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
 
 
 @dataclass
+class PassStatistics:
+    """Rewrite counters of one pass execution, recorded by the PassManager.
+
+    The manager snapshots the circuit IR around every pass (operation
+    count, two-qubit count, depth) and derives the deltas, so every pass
+    -- including future ones -- reports what it actually did without
+    writing any bookkeeping code.  Removal/merge/fusion counters are the
+    negative deltas of the matching snapshot; growth (NuOp splicing in
+    decompositions) shows up as ``gates_added``.
+    """
+
+    pass_name: str
+    wall_time: float = 0.0
+    gates_before: int = 0
+    gates_after: int = 0
+    two_qubit_before: int = 0
+    two_qubit_after: int = 0
+    depth_before: int = 0
+    depth_after: int = 0
+
+    @property
+    def gates_removed(self) -> int:
+        """Operations the pass eliminated (cancelled, merged or fused away)."""
+        return max(self.gates_before - self.gates_after, 0)
+
+    @property
+    def gates_added(self) -> int:
+        """Operations the pass introduced (SWAP insertion, NuOp splicing)."""
+        return max(self.gates_after - self.gates_before, 0)
+
+    @property
+    def two_qubit_delta(self) -> int:
+        """Change in hardware two-qubit instruction count (negative = removed)."""
+        return self.two_qubit_after - self.two_qubit_before
+
+    @property
+    def depth_delta(self) -> int:
+        """Change in circuit depth (negative = shallower)."""
+        return self.depth_after - self.depth_before
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for tabular reporting (CLI / study reports)."""
+        return {
+            "pass": self.pass_name,
+            "gates": f"{self.gates_before}->{self.gates_after}",
+            "removed": self.gates_removed,
+            "added": self.gates_added,
+            "2q_delta": self.two_qubit_delta,
+            "depth_delta": self.depth_delta,
+            "time_ms": round(self.wall_time * 1e3, 2),
+        }
+
+
+def aggregate_pass_stats(
+    stats: Sequence[PassStatistics],
+) -> "Dict[str, Dict[str, float]]":
+    """Fold per-execution pass statistics into per-pass-name totals.
+
+    Used by the experiment engine to report what each pass did across a
+    whole study (many circuits x instruction sets).  Keys follow first-seen
+    order, which for a fixed pipeline is execution order.
+    """
+    totals: "Dict[str, Dict[str, float]]" = {}
+    for record in stats:
+        entry = totals.setdefault(
+            record.pass_name,
+            {
+                "runs": 0,
+                "gates_removed": 0,
+                "gates_added": 0,
+                "two_qubit_delta": 0,
+                "depth_delta": 0,
+                "wall_time": 0.0,
+            },
+        )
+        entry["runs"] += 1
+        entry["gates_removed"] += record.gates_removed
+        entry["gates_added"] += record.gates_added
+        entry["two_qubit_delta"] += record.two_qubit_delta
+        entry["depth_delta"] += record.depth_delta
+        entry["wall_time"] += record.wall_time
+    return totals
+
+
+def merge_aggregated_pass_stats(
+    target: "Dict[str, Dict[str, float]]",
+    source: "Dict[str, Dict[str, float]]",
+) -> None:
+    """Accumulate one aggregated pass-stats mapping into another, in place."""
+    for pass_name, counters in source.items():
+        entry = target.setdefault(pass_name, {key: 0 for key in counters})
+        for key, value in counters.items():
+            entry[key] = entry.get(key, 0) + value
+
+
+@dataclass
 class PassContext:
     """Shared state threaded through every pass of a pipeline.
 
@@ -70,7 +166,7 @@ class PassContext:
     ``circuit`` is the current IR (replaced by transforming passes),
     the routing passes fill in the layout/mapping fields, the NuOp pass
     accumulates decomposition statistics, and the manager records per-pass
-    wall time in ``pass_timings``.
+    wall time in ``pass_timings`` plus rewrite counters in ``pass_stats``.
     """
 
     circuit: QuantumCircuit
@@ -100,6 +196,7 @@ class PassContext:
 
     # Bookkeeping filled by the PassManager.
     pass_timings: Dict[str, float] = field(default_factory=dict)
+    pass_stats: List[PassStatistics] = field(default_factory=list)
 
     def scoring_type_keys(self) -> Optional[List[str]]:
         """Gate types that drive placement scoring (``None`` for continuous sets)."""
@@ -281,13 +378,29 @@ class PassManager:
         self.name = name
 
     def run(self, context: PassContext) -> PassContext:
-        """Run every pass in order; per-pass wall time lands in ``pass_timings``."""
+        """Run every pass in order, recording wall time and rewrite counters.
+
+        Per-pass wall time lands in ``pass_timings``; a
+        :class:`PassStatistics` record per execution (IR snapshots around
+        the pass, so removals/merges/fusions and depth deltas are derived
+        uniformly) lands in ``pass_stats``.
+        """
         for compiler_pass in self.passes:
+            record = PassStatistics(
+                pass_name=compiler_pass.name,
+                gates_before=len(context.circuit),
+                two_qubit_before=context.circuit.num_two_qubit_gates(),
+                depth_before=context.circuit.depth(),
+            )
             start = time.perf_counter()
             compiler_pass.run(context)
-            elapsed = time.perf_counter() - start
+            record.wall_time = time.perf_counter() - start
+            record.gates_after = len(context.circuit)
+            record.two_qubit_after = context.circuit.num_two_qubit_gates()
+            record.depth_after = context.circuit.depth()
+            context.pass_stats.append(record)
             context.pass_timings[compiler_pass.name] = (
-                context.pass_timings.get(compiler_pass.name, 0.0) + elapsed
+                context.pass_timings.get(compiler_pass.name, 0.0) + record.wall_time
             )
         return context
 

@@ -41,6 +41,7 @@ from repro.circuits.hashing import (
 from repro.compiler.layout import Layout
 from repro.compiler.manager import (
     PassContext,
+    PassStatistics,
     PipelineConfig,
     resolve_pipeline,
 )
@@ -69,6 +70,11 @@ class CompiledCircuit:
     pass_timings: Dict[str, float] = field(default_factory=dict)
     """Per-pass wall times of the compilation that *produced* this object;
     cache hits return the producing compile's timings, not the hit's."""
+    pass_stats: List[PassStatistics] = field(default_factory=list)
+    """Per-pass rewrite statistics (gates removed/added, 2Q and depth
+    deltas, wall time) in execution order, recorded by the PassManager.
+    Like ``pass_timings``, cache hits carry the producing compile's
+    records."""
     emitted_gate_types: List[str] = field(default_factory=list)
     schedule_duration: Optional[float] = None
 
@@ -171,6 +177,13 @@ class NuOpPass:
         return output, usage, fidelities, float(hardware_estimate)
 
 
+def _is_auto_pipeline(pipeline: object) -> bool:
+    """True when the caller asked the autotuner to pick the pipeline."""
+    from repro.compiler.autotune import AUTO_PIPELINE
+
+    return isinstance(pipeline, str) and pipeline == AUTO_PIPELINE
+
+
 def compile_circuit(
     circuit: QuantumCircuit,
     device: Device,
@@ -202,7 +215,27 @@ def compile_circuit(
     ``error_scale`` scales the error rate of any gate type registered
     during this call; the Figure 10a-c "FullfSim at 1.5x/2x/3x error"
     sweeps use it.
+
+    ``pipeline="auto"`` asks the pipeline autotuner
+    (:mod:`repro.compiler.autotune`) to pick the candidate pipeline with
+    the best predicted compiled fidelity for this exact (circuit, device
+    calibration, instruction set) combination before compiling.
     """
+    if _is_auto_pipeline(pipeline):
+        from repro.compiler.autotune import autotune_pipeline
+
+        pipeline = autotune_pipeline(
+            circuit,
+            device,
+            instruction_set,
+            decomposer=decomposer,
+            approximate=approximate,
+            use_noise_adaptivity=use_noise_adaptivity,
+            merge_single_qubit=merge_single_qubit,
+            layout=layout,
+            error_scale=error_scale,
+            max_layers=max_layers,
+        ).pipeline
     config = resolve_pipeline(pipeline)
     options = {
         "approximate": approximate,
@@ -243,6 +276,7 @@ def compile_circuit(
         estimated_hardware_fidelity=context.estimated_hardware_fidelity,
         pipeline_name=config.name,
         pass_timings=dict(context.pass_timings),
+        pass_stats=list(context.pass_stats),
         emitted_gate_types=list(context.emitted_gate_types),
         schedule_duration=(
             context.schedule.total_duration if context.schedule is not None else None
@@ -415,14 +449,35 @@ class CompilationCache:
                 self._entries.popitem(last=False)
 
 
+_DEFAULT_COMPILE_CACHE_SIZE = 4096
+
+
 def _default_cache_size() -> int:
-    """Global memory-cache bound, configurable via ``REPRO_COMPILE_CACHE_SIZE``."""
-    raw = os.environ.get("REPRO_COMPILE_CACHE_SIZE", "")
+    """Global memory-cache bound, configurable via ``REPRO_COMPILE_CACHE_SIZE``.
+
+    Invalid values -- non-numeric, zero or negative -- fall back to the
+    documented default (4096) with a warning, instead of being silently
+    clamped; a zero-entry cache would defeat the determinism-preserving
+    side-effect replay without telling anyone why everything got slow.
+    """
+    import warnings
+
+    raw = os.environ.get("REPRO_COMPILE_CACHE_SIZE", "").strip()
+    if not raw:
+        return _DEFAULT_COMPILE_CACHE_SIZE
     try:
         size = int(raw)
     except ValueError:
-        return 4096
-    return max(size, 1) if raw else 4096
+        size = 0
+    if size < 1:
+        warnings.warn(
+            f"ignoring invalid REPRO_COMPILE_CACHE_SIZE={raw!r} (need a positive "
+            f"integer); using the default of {_DEFAULT_COMPILE_CACHE_SIZE}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _DEFAULT_COMPILE_CACHE_SIZE
+    return size
 
 
 _GLOBAL_COMPILATION_CACHE = CompilationCache(max_entries=_default_cache_size())
@@ -532,6 +587,23 @@ def compile_circuit_cached(
     from repro.caching.disk import get_global_disk_cache
 
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+    if _is_auto_pipeline(pipeline):
+        from repro.compiler.autotune import autotune_pipeline
+
+        pipeline = autotune_pipeline(
+            circuit,
+            device,
+            instruction_set,
+            decomposer=decomposer,
+            approximate=approximate,
+            use_noise_adaptivity=use_noise_adaptivity,
+            merge_single_qubit=merge_single_qubit,
+            layout=layout,
+            error_scale=error_scale,
+            max_layers=max_layers,
+            cache=cache,
+            disk_cache=disk_cache,
+        ).pipeline
     pipeline_config = resolve_pipeline(pipeline)
     if layout is not None:
         return compile_circuit(

@@ -139,11 +139,14 @@ def clear_experiment_caches(include_disk: bool = False) -> None:
     active); the default leaves it alone because the disk tier exists
     precisely to survive "cold starts" of new processes.
     """
+    from repro.compiler.autotune import global_tuner_cache
+
     with _IDEAL_CACHE_LOCK:
         _IDEAL_CACHE.clear()
         _IDEAL_CACHE_STATS["hits"] = 0
         _IDEAL_CACHE_STATS["misses"] = 0
     global_compilation_cache().clear()
+    global_tuner_cache().clear()
     if include_disk:
         from repro.caching.disk import get_global_disk_cache
 
@@ -305,10 +308,18 @@ def run_study(
         Named compiler pipeline for the compile nodes (see
         :func:`repro.compiler.manager.available_pipelines`); ablation
         studies select e.g. ``"optimized"`` vs ``"no-cancellation"``
-        instead of forking code paths.
+        instead of forking code paths.  ``"auto"`` asks the pipeline
+        autotuner (:mod:`repro.compiler.autotune`) to pick the best
+        candidate per (circuit, instruction set) by predicted compiled
+        fidelity; the chosen pipelines land in each
+        :class:`~repro.experiments.runner.InstructionSetResult`'s
+        ``pipeline_usage``.
     cache_dir:
         Directory for the persistent disk cache tier, overriding the
         global ``REPRO_CACHE_DIR`` configuration for this study only.
+        Resolved through the shared per-directory registry
+        (:func:`repro.caching.disk.disk_cache_for`), so the study's
+        hits/misses show up in ``repro cache stats``.
     """
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
     options = options or SimulationOptions()
@@ -317,9 +328,9 @@ def run_study(
     effective_workers = resolve_workers(workers)
     disk_cache = None
     if cache_dir is not None:
-        from repro.caching.disk import DiskCompilationCache
+        from repro.caching.disk import disk_cache_for
 
-        disk_cache = DiskCompilationCache(cache_dir)
+        disk_cache = disk_cache_for(cache_dir)
 
     plan = StudyPlan(
         set_names=list(instruction_sets),
@@ -393,6 +404,8 @@ def run_study(
             pool.shutdown()
 
     # Score + merge, in canonical order.
+    from repro.compiler.manager import aggregate_pass_stats, merge_aggregated_pass_stats
+
     study = StudyResult(application=application, metric_name=metric_name)
     for set_name in plan.set_names:
         result = InstructionSetResult(instruction_set=set_name, metric_name=metric_name)
@@ -409,5 +422,11 @@ def run_study(
             result.swap_counts.append(job_compiled.num_swaps)
             for label, count in job_compiled.gate_type_usage.items():
                 result.gate_type_usage[label] = result.gate_type_usage.get(label, 0) + count
+            result.pipeline_usage[job_compiled.pipeline_name] = (
+                result.pipeline_usage.get(job_compiled.pipeline_name, 0) + 1
+            )
+            merge_aggregated_pass_stats(
+                result.pass_stats, aggregate_pass_stats(job_compiled.pass_stats)
+            )
         study.per_set[set_name] = result
     return study

@@ -59,6 +59,9 @@ class Figure10Config:
     include_no_variation_panel: bool = True
     workers: int = 1
     pipeline: str = "default"
+    """Compiler pipeline for every compile node; ``"auto"`` lets the
+    autotuner (:mod:`repro.compiler.autotune`) pick per (circuit,
+    instruction set) by predicted compiled fidelity."""
 
     @classmethod
     def quick(cls) -> "Figure10Config":
@@ -121,10 +124,15 @@ class Figure10Result:
         return [self.qv, self.qaoa, self.qft, self.fh]
 
     def format_table(self) -> str:
-        """Text rendering of the main panels."""
+        """Text rendering of the main panels, plus per-pass rewrite statistics."""
         parts = [study.format_table() for study in self.studies()]
         if self.qaoa_no_variation is not None:
             parts.append("(e) no noise variation:\n" + self.qaoa_no_variation.format_table())
+        parts.extend(
+            section
+            for section in (study.format_pass_stats() for study in self.studies())
+            if section
+        )
         return "\n\n".join(parts)
 
 

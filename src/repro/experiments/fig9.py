@@ -40,6 +40,9 @@ class Figure9Config:
     instruction_sets: Optional[List[str]] = None
     workers: int = 1
     pipeline: str = "default"
+    """Compiler pipeline for every compile node; ``"auto"`` lets the
+    autotuner (:mod:`repro.compiler.autotune`) pick per (circuit,
+    instruction set) by predicted compiled fidelity."""
 
     @classmethod
     def quick(cls) -> "Figure9Config":
@@ -77,8 +80,14 @@ class Figure9Result:
         return [self.qv, self.qaoa, self.qft]
 
     def format_table(self) -> str:
-        """Text rendering of all three panels."""
-        return "\n\n".join(study.format_table() for study in self.studies())
+        """Text rendering of all three panels, plus per-pass rewrite statistics."""
+        parts = [study.format_table() for study in self.studies()]
+        parts.extend(
+            section
+            for section in (study.format_pass_stats() for study in self.studies())
+            if section
+        )
+        return "\n\n".join(parts)
 
     def multi_type_beats_single(self, panel: str = "qv") -> bool:
         """True when the best multi-type set beats the best single-type set."""

@@ -86,6 +86,15 @@ class InstructionSetResult:
     two_qubit_counts: List[int] = field(default_factory=list)
     swap_counts: List[int] = field(default_factory=list)
     gate_type_usage: Dict[str, int] = field(default_factory=dict)
+    pass_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Aggregated per-pass rewrite statistics (runs, gates removed/added,
+    2Q/depth deltas, wall time) across every compile of this set, keyed by
+    pass name (see :func:`repro.compiler.manager.aggregate_pass_stats`).
+    The frozen legacy reference loop leaves this empty."""
+    pipeline_usage: Dict[str, int] = field(default_factory=dict)
+    """Compile count per selected pipeline name.  One entry for a fixed
+    pipeline; under ``pipeline="auto"`` it records what the autotuner
+    picked per circuit."""
 
     @property
     def mean_metric(self) -> float:
@@ -123,6 +132,59 @@ class StudyResult:
     def rows(self) -> List[Dict[str, object]]:
         """All rows, in insertion order."""
         return [result.as_row() for result in self.per_set.values()]
+
+    def aggregated_pass_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-pass rewrite statistics folded across every instruction set."""
+        from repro.compiler.manager import merge_aggregated_pass_stats
+
+        totals: Dict[str, Dict[str, float]] = {}
+        for result in self.per_set.values():
+            merge_aggregated_pass_stats(totals, result.pass_stats)
+        return totals
+
+    def pipeline_usage(self) -> Dict[str, int]:
+        """Compile count per selected pipeline, folded across every set."""
+        usage: Dict[str, int] = {}
+        for result in self.per_set.values():
+            for name, count in result.pipeline_usage.items():
+                usage[name] = usage.get(name, 0) + count
+        return usage
+
+    def format_pass_stats(self) -> str:
+        """Plain-text per-pass rewrite statistics section of the study report.
+
+        Empty string when no pass statistics were recorded (legacy
+        reference runs), so callers can append it unconditionally.
+        Deliberately omits wall times: the study report must stay
+        byte-identical across worker counts and fresh processes (the CI
+        warm-start and `--workers` diff checks), and timings are the one
+        nondeterministic counter.  Profile with ``repro pipelines
+        --stats`` or ``aggregated_pass_stats()`` instead.
+        """
+        totals = self.aggregated_pass_stats()
+        if not totals:
+            return ""
+        lines = [f"{self.application} pass statistics"]
+        lines.append(
+            f"{'pass':>10} | {'runs':>5} | {'removed':>7} | {'added':>6} | "
+            f"{'2q delta':>8} | {'depth delta':>11}"
+        )
+        lines.append("-" * 62)
+        for pass_name, counters in totals.items():
+            lines.append(
+                f"{pass_name:>10} | {int(counters['runs']):>5} | "
+                f"{int(counters['gates_removed']):>7} | "
+                f"{int(counters['gates_added']):>6} | "
+                f"{int(counters['two_qubit_delta']):>8} | "
+                f"{int(counters['depth_delta']):>11}"
+            )
+        usage = self.pipeline_usage()
+        if usage:
+            rendered = ", ".join(
+                f"{name} x{count}" for name, count in sorted(usage.items())
+            )
+            lines.append(f"pipelines used: {rendered}")
+        return "\n".join(lines)
 
     def format_table(self) -> str:
         """Plain-text table matching the paper's bar-chart annotations."""

@@ -10,9 +10,12 @@ for consistency (unitarity, local-equivalence identities, set membership).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.experiments.runner import StudyResult
 
 from repro.core.gate_types import S_TYPE_FSIM_PARAMETERS, google_gate_type
 from repro.core.instruction_sets import table2_catalogue
@@ -94,6 +97,45 @@ def table2_rows() -> List[Table2Row]:
                 num_gate_types=instruction_set.num_gate_types,
             )
         )
+    return rows
+
+
+def pass_statistics_rows(study: "StudyResult") -> List[Dict[str, object]]:
+    """Per-pass rewrite statistics of a study, as rows for ``render_table``.
+
+    One row per compiler pass (execution order for a fixed pipeline),
+    aggregated over every compile of the study: how many times the pass
+    ran, how many gates it removed/added, how it moved the two-qubit count
+    and depth, and where the compile time went.  Empty for results produced
+    by the frozen legacy reference loop, which predates pass statistics.
+    """
+    rows: List[Dict[str, object]] = []
+    for pass_name, counters in study.aggregated_pass_stats().items():
+        rows.append(
+            {
+                "pass": pass_name,
+                "runs": int(counters["runs"]),
+                "removed": int(counters["gates_removed"]),
+                "added": int(counters["gates_added"]),
+                "2q_delta": int(counters["two_qubit_delta"]),
+                "depth_delta": int(counters["depth_delta"]),
+                "time_ms": round(counters["wall_time"] * 1e3, 1),
+            }
+        )
+    return rows
+
+
+def pipeline_usage_rows(study: "StudyResult") -> List[Dict[str, object]]:
+    """Pipelines selected per instruction set (interesting under ``auto``)."""
+    rows: List[Dict[str, object]] = []
+    for name, result in study.per_set.items():
+        if not result.pipeline_usage:
+            continue
+        rendered = ", ".join(
+            f"{pipeline} x{count}"
+            for pipeline, count in sorted(result.pipeline_usage.items())
+        )
+        rows.append({"set": name, "pipelines": rendered})
     return rows
 
 

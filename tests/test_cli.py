@@ -69,3 +69,25 @@ class TestFastCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "knee of the curve" in output
+
+
+class TestPipelineFlags:
+    def test_pipeline_auto_accepted(self):
+        args = build_parser().parse_args(["fig10", "--pipeline", "auto"])
+        assert args.pipeline == "auto"
+
+    def test_pipeline_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig10", "--pipeline", "no-such-pipeline"])
+
+    def test_pipelines_stats_view(self, capsys):
+        assert main(["pipelines", "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "Per-pass rewrite statistics" in output
+        # Every registered pipeline gets a per-pass table...
+        for name in ("default", "optimized", "fused", "euler-zxz"):
+            assert f"pipeline: {name}" in output
+        for pass_name in ("layout", "routing", "nuop", "merge-1q"):
+            assert pass_name in output
+        # ...and the autotuner's verdict closes the report.
+        assert "auto picks:" in output

@@ -31,8 +31,10 @@ from repro.compiler.manager import (
     PassContext,
     PipelineConfig,
     RoutingPass,
+    aggregate_pass_stats,
     available_pipelines,
     build_pass,
+    merge_aggregated_pass_stats,
     register_pipeline,
     resolve_pipeline,
 )
@@ -315,3 +317,76 @@ class TestDeprecations:
                 decomposer=shared_decomposer,
                 options=SimulationOptions(shots=200, seed=3),
             )
+
+
+class TestPassStatistics:
+    """PassManager-recorded rewrite counters (gates removed/added, deltas)."""
+
+    def _compiled(self, shared_decomposer, pipeline="optimized"):
+        circuit = qaoa_like = QuantumCircuit(3, name="w")
+        qaoa_like.h(0).h(1).h(2).cz(0, 1).cz(1, 2).rx(0.3, 0).rx(0.3, 1).cz(0, 1)
+        device = synthetic_device(5, "line", seed=11)
+        return compile_circuit(
+            circuit,
+            device,
+            google_instruction_set("G3"),
+            decomposer=shared_decomposer,
+            pipeline=pipeline,
+        )
+
+    def test_records_follow_execution_order(self, shared_decomposer):
+        compiled = self._compiled(shared_decomposer)
+        assert [record.pass_name for record in compiled.pass_stats] == [
+            "layout",
+            "routing",
+            "nuop",
+            "cancel",
+            "merge-1q",
+        ]
+
+    def test_snapshots_are_consistent_chains(self, shared_decomposer):
+        # Each pass's 'after' snapshot is the next pass's 'before' snapshot,
+        # and the last 'after' matches the emitted circuit.
+        compiled = self._compiled(shared_decomposer)
+        records = compiled.pass_stats
+        for previous, current in zip(records, records[1:]):
+            assert previous.gates_after == current.gates_before
+            assert previous.two_qubit_after == current.two_qubit_before
+            assert previous.depth_after == current.depth_before
+        assert records[-1].gates_after == len(compiled.circuit)
+        assert records[-1].two_qubit_after == compiled.two_qubit_gate_count
+        assert records[-1].depth_after == compiled.circuit.depth()
+
+    def test_semantic_counters(self, shared_decomposer):
+        compiled = self._compiled(shared_decomposer)
+        by_name = {record.pass_name: record for record in compiled.pass_stats}
+        # NuOp splices decompositions in: it adds gates, never removes.
+        assert by_name["nuop"].gates_added > 0
+        assert by_name["nuop"].gates_removed == 0
+        # The single-qubit merge can only shrink the circuit, and must not
+        # touch the two-qubit budget.
+        assert by_name["merge-1q"].gates_added == 0
+        assert by_name["merge-1q"].two_qubit_delta == 0
+        # Timings agree with the legacy pass_timings mapping.
+        for record in compiled.pass_stats:
+            assert record.wall_time >= 0.0
+            assert record.wall_time <= compiled.pass_timings[record.pass_name] + 1e-9
+
+    def test_aggregation_and_merge(self, shared_decomposer):
+        compiled = self._compiled(shared_decomposer)
+        totals = aggregate_pass_stats(compiled.pass_stats)
+        assert totals["nuop"]["runs"] == 1
+        assert totals["nuop"]["gates_added"] > 0
+        merged = {}
+        merge_aggregated_pass_stats(merged, totals)
+        merge_aggregated_pass_stats(merged, totals)
+        assert merged["nuop"]["runs"] == 2
+        assert merged["nuop"]["gates_added"] == 2 * totals["nuop"]["gates_added"]
+
+    def test_as_row_is_table_ready(self, shared_decomposer):
+        compiled = self._compiled(shared_decomposer)
+        row = compiled.pass_stats[0].as_row()
+        assert row["pass"] == "layout"
+        assert set(row) == {
+            "pass", "gates", "removed", "added", "2q_delta", "depth_delta", "time_ms",
+        }

@@ -217,6 +217,24 @@ class TestDiskRobustness:
         assert disk.entry_count() == 0
         assert disk.size_bytes() == 0
 
+    def test_clear_sweeps_empty_fanout_directories(self, tmp_path, shared_decomposer):
+        disk = DiskCompilationCache(tmp_path)
+        self._seed_entry(disk, shared_decomposer)
+        assert any(path.is_dir() for path in disk.version_dir.iterdir())
+        disk.clear()
+        # No empty two-character fan-out (or namespace) directories left.
+        assert list(disk.version_dir.rglob("*")) == []
+
+    def test_clear_and_stats_on_never_written_directory(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path / "never-written")
+        assert disk.clear() == 0
+        stats = disk.stats()
+        assert stats["entries"] == 0
+        assert stats["size_bytes"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 0 and stats["writes"] == 0
+        # Reporting must not create the directory as a side effect.
+        assert not (tmp_path / "never-written").exists()
+
     def test_unwritable_root_degrades_gracefully(self, tmp_path, shared_decomposer):
         blocker = tmp_path / "blocker"
         blocker.write_text("a file where the cache dir should be")
@@ -287,8 +305,16 @@ class TestMemoryCacheLRU:
         assert _default_cache_size() == 4096
         monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "128")
         assert _default_cache_size() == 128
-        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "not-a-number")
-        assert _default_cache_size() == 4096
+
+    @pytest.mark.parametrize("raw", ["not-a-number", "0", "-5"])
+    def test_invalid_cache_size_warns_and_uses_default(self, monkeypatch, raw):
+        # Regression: 0/negative used to be silently clamped to 1, turning
+        # the global cache into a single-entry thrash machine.
+        from repro.core.pipeline import _default_cache_size
+
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", raw)
+        with pytest.warns(RuntimeWarning, match="REPRO_COMPILE_CACHE_SIZE"):
+            assert _default_cache_size() == 4096
 
 
 class TestCacheCli:
@@ -330,3 +356,202 @@ class TestCacheCli:
         assert code == 0
         assert "default" in output
         assert "no-cancellation" in output
+
+
+class TestDiskSizeCap:
+    """REPRO_CACHE_MAX_BYTES: LRU-by-mtime eviction for the disk tier."""
+
+    def _put(self, disk, label, payload_bytes=2000):
+        # Keys only need to be tuples of scalars; the payload is a plain
+        # string blob so entry sizes are controlled precisely.
+        return disk.put_blob("test", (label,), "x" * payload_bytes)
+
+    def test_oldest_entries_evicted_over_cap(self, tmp_path):
+        import os
+        import time
+
+        disk = DiskCompilationCache(tmp_path, max_bytes=6000)
+        for index in range(3):
+            assert self._put(disk, f"entry-{index}")
+        # Assign explicit, distinct mtimes so LRU ordering is unambiguous
+        # even on coarse-grained filesystems, and remember which file is
+        # oldest (file names are digests, so labels can't identify them).
+        now = time.time()
+        paths = sorted(disk.version_dir.rglob("*.pkl"))
+        for age, path in enumerate(paths):
+            stamp = now - 1000 * (len(paths) - age)
+            os.utime(path, (stamp, stamp))
+        oldest = paths[0]
+        assert self._put(disk, "entry-3")  # pushes the footprint over 6000
+        assert disk.evictions >= 1
+        assert not oldest.exists()  # the LRU entry was the victim
+        assert disk.size_bytes() <= 6000
+
+    def test_read_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        disk = DiskCompilationCache(tmp_path, max_bytes=5500)
+        assert self._put(disk, "a")
+        assert self._put(disk, "b")
+        # Age both entries, then read 'a': it must survive the next eviction.
+        stamp = time.time() - 1000
+        for path in disk.version_dir.rglob("*.pkl"):
+            os.utime(path, (stamp, stamp))
+        assert disk.get_blob("test", ("a",)) is not None
+        assert self._put(disk, "c")
+        assert disk.get_blob("test", ("a",)) is not None  # refreshed, kept
+        assert disk.get_blob("test", ("b",)) is None  # LRU victim
+
+    def test_newly_written_entry_is_never_the_victim(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path, max_bytes=100)  # below one entry
+        assert self._put(disk, "solo")
+        assert disk.get_blob("test", ("solo",)) is not None
+
+    def test_stats_surface_cap_and_evictions(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path, max_bytes=4096)
+        stats = disk.stats()
+        assert stats["max_bytes"] == 4096
+        assert stats["evictions"] == 0
+        # Unbounded is None (type-stable for numeric consumers); only the
+        # CLI renders it as "unbounded".
+        unbounded = DiskCompilationCache(tmp_path / "other")
+        assert unbounded.stats()["max_bytes"] is None
+
+    def test_registry_instance_picks_up_late_env_cap(self, tmp_path, monkeypatch):
+        from repro.caching.disk import disk_cache_for
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        shared = disk_cache_for(tmp_path / "late-cap")
+        assert shared.max_bytes is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "9999")
+        assert shared.max_bytes == 9999  # env re-consulted, not frozen
+
+    def test_env_var_configures_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert DiskCompilationCache(tmp_path).max_bytes == 12345
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "zero")
+        with pytest.warns(RuntimeWarning, match="REPRO_CACHE_MAX_BYTES"):
+            assert DiskCompilationCache(tmp_path).max_bytes is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "-1")
+        with pytest.warns(RuntimeWarning, match="REPRO_CACHE_MAX_BYTES"):
+            assert DiskCompilationCache(tmp_path).max_bytes is None
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+        assert DiskCompilationCache(tmp_path).max_bytes is None
+
+
+class TestBlobStorage:
+    """Auxiliary payloads (autotuner verdicts) share the versioned tree."""
+
+    def test_round_trip(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path)
+        key = ("blob", 1, True)
+        assert disk.get_blob("aux", key) is None
+        assert disk.put_blob("aux", key, {"answer": 42})
+        assert disk.get_blob("aux", key) == {"answer": 42}
+
+    def test_kinds_are_namespaced(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path)
+        key = ("blob", 2)
+        disk.put_blob("kind-a", key, "a")
+        disk.put_blob("kind-b", key, "b")
+        assert disk.get_blob("kind-a", key) == "a"
+        assert disk.get_blob("kind-b", key) == "b"
+
+    def test_clear_removes_blobs_too(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path)
+        disk.put_blob("aux", ("blob", 3), "payload")
+        assert disk.clear() == 1
+        assert disk.get_blob("aux", ("blob", 3)) is None
+
+
+class TestSharedInstanceRegistry:
+    """Per-directory DiskCompilationCache instances are shared process-wide."""
+
+    def test_same_directory_same_instance(self, tmp_path):
+        from repro.caching.disk import disk_cache_for
+
+        direct = disk_cache_for(tmp_path)
+        respelled = disk_cache_for(str(tmp_path) + "/./")
+        assert direct is respelled
+
+    def test_run_study_counters_visible_to_cli_stats(self, tmp_path, shared_decomposer):
+        from repro.caching.disk import disk_cache_for
+        from repro.experiments.engine import run_study
+        from repro.experiments.runner import SimulationOptions
+        from repro.metrics.hop import heavy_output_probability
+
+        kwargs = dict(
+            application="qv",
+            circuits=[_circuit()],
+            metric_name="HOP",
+            metric=heavy_output_probability,
+            device_factory=_device,
+            instruction_sets={"G3": google_instruction_set("G3")},
+            options=SimulationOptions(shots=400, seed=5),
+            decomposer=shared_decomposer,
+            compilation_cache=CompilationCache(),
+            cache_dir=str(tmp_path),
+        )
+        run_study(**kwargs)
+        shared = disk_cache_for(tmp_path)
+        assert shared.writes >= 1  # the study's traffic landed on the registry
+
+        # The CLI resolves --cache-dir through the same registry, so its
+        # stats include the study's hits/misses/writes (the bug this pins:
+        # a private instance used to report all-zero counters).
+        import io
+        from contextlib import redirect_stdout
+
+        from repro.cli import main
+
+        kwargs["compilation_cache"] = CompilationCache()
+        run_study(**kwargs)  # warm pass: all compiles served from disk
+        assert shared.hits >= 1
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        output = buffer.getvalue()
+        assert f"hits" in output
+        row = next(line for line in output.splitlines() if "hits" in line)
+        assert "0" != row.split()[-1]  # non-zero hit count rendered
+
+
+class TestOrphanedSchemaVersions:
+    """Schema bumps must not leave uncollectable garbage behind."""
+
+    def _orphan_tree(self, root, payload_bytes=3000):
+        orphan_dir = root / "v1" / "ab"
+        orphan_dir.mkdir(parents=True)
+        orphan = orphan_dir / "abcdef.pkl"
+        orphan.write_bytes(b"x" * payload_bytes)
+        return orphan
+
+    def test_clear_removes_orphaned_versions(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path)
+        orphan = self._orphan_tree(tmp_path)
+        disk.put_blob("aux", ("k",), "v")
+        assert disk.clear() == 2  # current entry + v1 orphan
+        assert not orphan.exists()
+        assert not orphan.parent.exists()  # fan-out dir swept too
+
+    def test_stats_report_orphan_bytes(self, tmp_path):
+        disk = DiskCompilationCache(tmp_path)
+        self._orphan_tree(tmp_path, payload_bytes=3000)
+        stats = disk.stats()
+        assert stats["entries"] == 0  # current version is empty
+        assert stats["orphan_bytes"] == 3000
+
+    def test_eviction_counts_and_collects_orphans_first(self, tmp_path):
+        import os
+        import time
+
+        orphan = self._orphan_tree(tmp_path, payload_bytes=3000)
+        stamp = time.time() - 5000
+        os.utime(orphan, (stamp, stamp))
+        disk = DiskCompilationCache(tmp_path, max_bytes=4000)
+        assert disk.put_blob("aux", ("k",), "x" * 2000)
+        # 3000 (orphan) + ~2400 (new entry) > 4000: the untouched orphan is
+        # the oldest file and must be the victim.
+        assert not orphan.exists()
+        assert disk.get_blob("aux", ("k",)) is not None
