@@ -1,10 +1,15 @@
-"""Persistent on-disk compilation cache (the disk tier).
+"""Persistent on-disk compilation *and simulation* cache (the disk tier).
 
 The in-memory :class:`~repro.core.pipeline.CompilationCache` dies with the
 process, so every fresh CLI invocation, CI job or worker re-pays the full
 NuOp compilation cost.  On single-CPU hosts that cost dominates study wall
 time; this module makes it a one-time cost per *machine* instead of per
-process.
+process.  The same root also persists a **simulation-result namespace**
+(``get_simulation``/``put_simulation``, separate counters): measured
+distribution vectors keyed by noise-program content, backend identity and
+simulation options, so warm re-runs of a study skip the simulators the
+way they already skip the compiler (see
+:mod:`repro.experiments.engine`).
 
 Design:
 
@@ -58,6 +63,12 @@ v2: :class:`~repro.core.pipeline.CompiledCircuit` gained ``pass_stats``
 (per-pass rewrite statistics); v1 entries lack the attribute and would
 surface as broken objects, so they are orphaned instead."""
 
+SIMULATION_KIND = "sim"
+"""Namespace (subtree name) of the simulation-result tier: measured
+distribution vectors keyed by noise-program content, backend identity and
+simulation options -- see
+:func:`repro.experiments.engine.simulation_cache_key`."""
+
 MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
 """Size cap (bytes) for the disk tier; entries are evicted LRU-by-mtime
 once the footprint exceeds it.  Unset/empty means unbounded."""
@@ -102,6 +113,12 @@ class DiskCompilationCache:
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        # The simulation-result tier (get_simulation/put_simulation) keeps
+        # its own hit/miss/write counters so `repro cache stats` can show
+        # compile and simulate traffic separately.
+        self.sim_hits = 0
+        self.sim_misses = 0
+        self.sim_writes = 0
 
     @property
     def max_bytes(self) -> Optional[int]:
@@ -150,13 +167,19 @@ class DiskCompilationCache:
 
     # -- payload plumbing ----------------------------------------------------
 
-    def _read_payload(self, path: Path, key: Tuple) -> Optional[Dict[str, object]]:
-        """Load + validate one payload file; any failure is a recorded miss."""
+    def _read_payload(
+        self, path: Path, key: Tuple, family: str = "compile"
+    ) -> Optional[Dict[str, object]]:
+        """Load + validate one payload file; any failure is a recorded miss.
+
+        ``family`` selects the counter group (``"compile"`` for compiled
+        circuits and auxiliary blobs, ``"sim"`` for simulation results).
+        """
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
-            self._record(hit=False)
+            self._record(hit=False, family=family)
             return None
         except Exception:
             # pickle.load on corrupt/foreign bytes can raise nearly anything
@@ -164,16 +187,16 @@ class DiskCompilationCache:
             # unreadable entry is a miss, and deleting it keeps it from
             # failing every future lookup.
             self._discard(path)
-            self._record(hit=False)
+            self._record(hit=False, family=family)
             return None
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != DISK_CACHE_SCHEMA_VERSION
             or payload.get("key") != list(key)
         ):
-            self._record(hit=False)
+            self._record(hit=False, family=family)
             return None
-        self._record(hit=True)
+        self._record(hit=True, family=family)
         if self.max_bytes is not None:
             # Refresh LRU recency for size-cap eviction.  Skipped on
             # unbounded caches so reads stay mtime-neutral (the CI
@@ -182,7 +205,9 @@ class DiskCompilationCache:
             self._touch(path)
         return payload
 
-    def _write_payload(self, path: Path, payload: Dict[str, object]) -> bool:
+    def _write_payload(
+        self, path: Path, payload: Dict[str, object], family: str = "compile"
+    ) -> bool:
         """Atomically write one payload file, then enforce the size cap."""
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -202,7 +227,10 @@ class DiskCompilationCache:
             # break the compilation that produced the result.
             return False
         with self._lock:
-            self.writes += 1
+            if family == "sim":
+                self.sim_writes += 1
+            else:
+                self.writes += 1
         self._evict_over_cap(protect=path)
         return True
 
@@ -264,6 +292,53 @@ class DiskCompilationCache:
             "value": value,
         }
         return self._write_payload(self._blob_path(kind, cache_key_digest(key)), payload)
+
+    # -- simulation-result tier ---------------------------------------------
+
+    def get_simulation(self, key: Tuple) -> Optional[object]:
+        """Load a persisted measured-distribution vector, or ``None`` on a miss.
+
+        The simulation-result tier shares the versioned root, the
+        content-addressed naming, the validation rules and the eviction
+        sweep of compiled entries -- it is the ``<version>/sim/``
+        namespace with its own hit/miss/write counters, so ``repro cache
+        stats`` reports compile and simulate traffic separately.  Keys
+        are built by
+        :func:`repro.experiments.engine.simulation_cache_key` (noise
+        program content x backend name/version x simulation options).
+        """
+        payload = self._read_payload(
+            self._blob_path(SIMULATION_KIND, cache_key_digest(key)), key, family="sim"
+        )
+        if payload is None:
+            return None
+        return payload.get("vector")
+
+    def has_simulation(self, key: Tuple) -> bool:
+        """True when an entry file exists for ``key`` (no counters, no read).
+
+        Cheap existence probe for the engine's memory-to-disk backfill: a
+        memory-tier hit must not skip persistence when this directory has
+        never seen the vector, but probing with :meth:`get_simulation`
+        would distort the hit/miss counters (and deserialise a vector
+        nobody needs).  A present-but-corrupt file counts as present; the
+        next real lookup deletes it and the vector is re-persisted then.
+        """
+        try:
+            return self._blob_path(SIMULATION_KIND, cache_key_digest(key)).is_file()
+        except OSError:
+            return False
+
+    def put_simulation(self, key: Tuple, vector: object) -> bool:
+        """Persist a measured-distribution vector; False when the write failed."""
+        payload = {
+            "schema": DISK_CACHE_SCHEMA_VERSION,
+            "key": list(key),
+            "vector": vector,
+        }
+        return self._write_payload(
+            self._blob_path(SIMULATION_KIND, cache_key_digest(key)), payload, family="sim"
+        )
 
     def clear(self) -> int:
         """Delete every entry of *every* schema version; returns the count.
@@ -349,12 +424,20 @@ class DiskCompilationCache:
     # -- reporting ----------------------------------------------------------
 
     def _footprint(self) -> Tuple[int, int]:
-        """One tree walk returning ``(entry_count, total_bytes)``."""
+        """``(entry_count, total_bytes)`` of compiled entries + auxiliary blobs.
+
+        Excludes the ``sim`` namespace, which is reported separately
+        (``sim_entries``/``sim_bytes`` in :meth:`stats`) so ``entries``
+        keeps meaning "how many compilation-side results are persisted".
+        """
         if not self.version_dir.is_dir():
             return 0, 0
+        sim_dir = self.version_dir / SIMULATION_KIND
         count = 0
         total = 0
         for entry in self.version_dir.rglob("*.pkl"):
+            if sim_dir in entry.parents:
+                continue
             count += 1
             try:
                 total += entry.stat().st_size
@@ -363,11 +446,26 @@ class DiskCompilationCache:
         return count, total
 
     def entry_count(self) -> int:
-        """Number of persisted entries in the current schema version."""
+        """Number of persisted compilation-side entries (excludes ``sim``)."""
         return self._footprint()[0]
 
+    def _sim_footprint(self) -> Tuple[int, int]:
+        """``(entry_count, total_bytes)`` of the ``sim`` namespace."""
+        sim_dir = self.version_dir / SIMULATION_KIND
+        if not sim_dir.is_dir():
+            return 0, 0
+        count = 0
+        total = 0
+        for entry in sim_dir.rglob("*.pkl"):
+            count += 1
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+        return count, total
+
     def size_bytes(self) -> int:
-        """Total size of the persisted entries, in bytes."""
+        """Total size of the persisted compilation-side entries, in bytes."""
         return self._footprint()[1]
 
     def _orphan_bytes(self) -> int:
@@ -396,7 +494,13 @@ class DiskCompilationCache:
                 self.writes,
                 self.evictions,
             )
+            sim_hits, sim_misses, sim_writes = (
+                self.sim_hits,
+                self.sim_misses,
+                self.sim_writes,
+            )
         entries, size_bytes = self._footprint()
+        sim_entries, sim_bytes = self._sim_footprint()
         return {
             "cache_dir": str(self.root),
             "schema_version": DISK_CACHE_SCHEMA_VERSION,
@@ -404,6 +508,11 @@ class DiskCompilationCache:
             "misses": misses,
             "writes": writes,
             "evictions": evictions,
+            "sim_hits": sim_hits,
+            "sim_misses": sim_misses,
+            "sim_writes": sim_writes,
+            "sim_entries": sim_entries,
+            "sim_bytes": sim_bytes,
             "entries": entries,
             "size_bytes": size_bytes,
             "orphan_bytes": self._orphan_bytes(),
@@ -412,9 +521,14 @@ class DiskCompilationCache:
 
     # -- internals ----------------------------------------------------------
 
-    def _record(self, hit: bool) -> None:
+    def _record(self, hit: bool, family: str = "compile") -> None:
         with self._lock:
-            if hit:
+            if family == "sim":
+                if hit:
+                    self.sim_hits += 1
+                else:
+                    self.sim_misses += 1
+            elif hit:
                 self.hits += 1
             else:
                 self.misses += 1

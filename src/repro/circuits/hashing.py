@@ -58,6 +58,21 @@ def _update_with_scalars(digest: "hashlib._Hash", values: Iterable[object]) -> N
         digest.update(b"\x1f")
 
 
+def update_digest_scalars(digest: "hashlib._Hash", *values: object) -> None:
+    """Feed simple scalars into an externally managed digest.
+
+    Public counterpart of the module-private helpers, for callers that
+    fingerprint large composite objects (e.g. precompiled noise programs)
+    incrementally instead of concatenating per-component hex digests.
+    """
+    _update_with_scalars(digest, values)
+
+
+def update_digest_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    """Feed a numpy array into an externally managed digest (dtype/shape stable)."""
+    _update_with_array(digest, array)
+
+
 def hash_scalars(*values: object) -> str:
     """Digest of a flat sequence of simple scalars (helper for composite keys)."""
     digest = hashlib.sha256()

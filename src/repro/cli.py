@@ -17,16 +17,19 @@ Every evaluation artefact has a subcommand::
     python -m repro apps              # list registered application workloads
     python -m repro pipelines         # list registered compiler pipelines
     python -m repro pipelines --stats # per-pass rewrite statistics + autotuner verdict
-    python -m repro cache stats       # persistent compilation-cache counters
-    python -m repro cache clear       # drop every persisted compilation
+    python -m repro simulators        # list registered simulator backends
+    python -m repro cache stats       # persistent + in-process cache counters
+    python -m repro cache clear       # drop every persisted compilation/simulation
 
 Each figure subcommand accepts ``--paper-scale`` to run the full
 configuration from the paper instead of the fast default, plus
-``--cache-dir`` to enable the persistent disk compilation cache; the
-study subcommands (fig9/fig10/fig10f) also accept ``--pipeline`` to
-select a named compiler pipeline (see ``repro pipelines``) or
-``--pipeline auto`` to let the autotuner pick one per workload by
-predicted compiled fidelity.
+``--cache-dir`` to enable the persistent disk compilation/simulation
+cache; the study subcommands (fig9/fig10/fig10f) also accept
+``--pipeline`` to select a named compiler pipeline (see ``repro
+pipelines``) or ``--pipeline auto`` to let the autotuner pick one per
+workload, and ``--backend`` to select the simulator backend for the
+simulate nodes (see ``repro simulators``; the default ``auto`` is the
+historical qubit-threshold dispatch).
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ def _scale(
     paper_scale: bool,
     workers: Optional[int] = None,
     pipeline: Optional[str] = None,
+    backend: Optional[str] = None,
 ):
     config = config_class.paper_scale() if paper_scale else config_class.quick()
     if workers is not None:
@@ -62,6 +66,15 @@ def _scale(
             print(
                 f"warning: --pipeline has no effect on {config_class.__name__} "
                 "(this experiment does not compile through the pipeline driver)",
+                file=sys.stderr,
+            )
+    if backend is not None:
+        if hasattr(config, "backend"):
+            config.backend = backend
+        else:
+            print(
+                f"warning: --backend has no effect on {config_class.__name__} "
+                "(this experiment does not simulate through the engine)",
                 file=sys.stderr,
             )
     return config
@@ -129,21 +142,21 @@ def _cmd_fig8(args: argparse.Namespace) -> str:
 def _cmd_fig9(args: argparse.Namespace) -> str:
     from repro.experiments.fig9 import Figure9Config, run_figure9
 
-    result = run_figure9(_scale(Figure9Config, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None)))
+    result = run_figure9(_scale(Figure9Config, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None), backend=getattr(args, 'backend', None)))
     return render_figure9(result) + "\n\n" + result.format_table()
 
 
 def _cmd_fig10(args: argparse.Namespace) -> str:
     from repro.experiments.fig10 import Figure10Config, run_figure10
 
-    result = run_figure10(_scale(Figure10Config, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None)))
+    result = run_figure10(_scale(Figure10Config, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None), backend=getattr(args, 'backend', None)))
     return render_figure10(result) + "\n\n" + result.format_table()
 
 
 def _cmd_fig10f(args: argparse.Namespace) -> str:
     from repro.experiments.fig10 import Figure10fConfig, run_figure10f
 
-    result = run_figure10f(_scale(Figure10fConfig, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None)))
+    result = run_figure10f(_scale(Figure10fConfig, args.paper_scale, workers=getattr(args, 'workers', None), pipeline=getattr(args, 'pipeline', None), backend=getattr(args, 'backend', None)))
     return result.format_table()
 
 
@@ -239,22 +252,74 @@ def _resolve_cli_disk_cache(args: argparse.Namespace):
     return get_global_disk_cache()
 
 
+def _in_process_cache_report() -> str:
+    """Counters of every in-process cache tier (one row group per cache).
+
+    These die with the process, so a bare ``repro cache stats`` invocation
+    reports zeros -- the section exists for long-lived processes (REPLs,
+    notebooks, test harnesses) where studies have already run, and to make
+    the previously invisible ideal-distribution cache inspectable at all.
+    """
+    from repro.core.pipeline import global_compilation_cache
+    from repro.experiments.engine import ideal_cache_stats, simulation_cache_stats
+    from repro.simulators.noise_program import noise_program_cache_stats
+
+    sections = {
+        "compilation (memory)": global_compilation_cache().stats(),
+        "ideal distributions": ideal_cache_stats(),
+        "noise programs": noise_program_cache_stats(),
+        "simulation results (memory)": simulation_cache_stats(),
+    }
+    rows = [
+        {"cache": name, "field": key, "value": value}
+        for name, stats in sections.items()
+        for key, value in stats.items()
+    ]
+    return "In-process caches (this process only)\n" + render_table(rows)
+
+
 def _cmd_cache(args: argparse.Namespace) -> str:
     cache = _resolve_cli_disk_cache(args)
     if cache is None:
         return (
-            "no disk compilation cache configured\n"
-            "(set REPRO_CACHE_DIR or pass --cache-dir to enable the persistent tier)"
+            "no disk compilation/simulation cache configured\n"
+            "(set REPRO_CACHE_DIR or pass --cache-dir to enable the persistent tier)\n\n"
+            + _in_process_cache_report()
         )
     if args.cache_command == "clear":
         removed = cache.clear()
-        return f"cleared {removed} cached compilation(s) from {cache.root}"
+        return f"cleared {removed} cached result(s) from {cache.root}"
     stats = cache.stats()
     rows = [
         {"field": key, "value": "unbounded" if key == "max_bytes" and value is None else value}
         for key, value in stats.items()
     ]
-    return "Disk compilation cache\n" + render_table(rows)
+    return (
+        "Disk compilation + simulation cache\n"
+        + render_table(rows)
+        + "\n\n"
+        + _in_process_cache_report()
+    )
+
+
+def _cmd_simulators(args: argparse.Namespace) -> str:
+    from repro.simulators.backend import available_backends
+
+    rows = [
+        {
+            "backend": name,
+            "version": backend.version,
+            "description": backend.description,
+        }
+        for name, backend in sorted(available_backends().items())
+    ]
+    return (
+        "Registered simulator backends\n"
+        + render_table(rows)
+        + "\n\nSelect with --backend on fig9/fig10/fig10f, backend= on run_study,\n"
+        "or SimulationOptions(method=...); 'auto' dispatches by qubit count\n"
+        "(density-matrix up to max_density_matrix_qubits, else trajectory)."
+    )
 
 
 def _cmd_pipelines(args: argparse.Namespace) -> str:
@@ -370,6 +435,7 @@ _FIGURE_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "apps": _cmd_apps,
     "cache": _cmd_cache,
     "pipelines": _cmd_pipelines,
+    "simulators": _cmd_simulators,
 }
 
 
@@ -415,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("fig9", "fig10", "fig10f"):
             from repro.compiler.autotune import AUTO_PIPELINE
             from repro.compiler.manager import available_pipelines
+            from repro.simulators.backend import available_backends
 
             sub.add_argument(
                 "--pipeline",
@@ -423,6 +490,14 @@ def build_parser() -> argparse.ArgumentParser:
                 help="compiler pipeline for the study's compile stage "
                 "(see `repro pipelines`; 'auto' = pick per workload by "
                 "predicted compiled fidelity; default: the config's pipeline)",
+            )
+            sub.add_argument(
+                "--backend",
+                default=None,
+                choices=sorted(available_backends()),
+                help="simulator backend for the study's simulate stage "
+                "(see `repro simulators`; default: the config's backend, "
+                "'auto' = density-matrix/trajectory by qubit count)",
             )
 
     cache = subparsers.add_parser(
@@ -454,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=3,
         help="sample-workload width for --stats (default 3)",
+    )
+
+    subparsers.add_parser(
+        "simulators", help="list the registered simulator backends"
     )
 
     design = subparsers.add_parser("design", help="greedy instruction-set design")

@@ -38,15 +38,27 @@ order regardless of completion order.  ``workers=1`` and ``workers=N``
 are bit-identical, and both are bit-identical to the legacy serial loop
 -- the property ``tests/test_engine_determinism.py`` pins down.
 
+Simulate nodes are backed by a **simulation-result cache** with the same
+two-tier layout as compilation: a process-wide memory LRU plus the
+persistent disk tier's ``sim`` namespace
+(:meth:`repro.caching.disk.DiskCompilationCache.get_simulation`).  Keys
+(:func:`simulation_cache_key`) are content digests of the precompiled
+noise program (gate matrices, every Kraus operator, durations), the
+readout-error vector, the output permutation, the backend name/version
+and the simulation options -- so a warm re-run of a study, even in a
+fresh process, serves every simulate node from cache with **zero backend
+invocations** (`benchmarks/test_bench_sim_cache.py` proves it).
+
 Workers default to processes (simulation is dominated by small-matrix
 numpy kernels that hold the GIL); the engine transparently falls back to
 threads, and then to inline execution, when the platform cannot spawn or
-feed a process pool (e.g. non-picklable ad-hoc device objects).
+feed a process pool.  Worker payloads are the immutable noise program
+plus plain option scalars -- the engine no longer deep-copies the
+``Device`` per simulate job.
 """
 
 from __future__ import annotations
 
-import copy
 import os
 import pickle
 import threading
@@ -59,12 +71,12 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.hashing import circuit_fingerprint
+from repro.circuits.hashing import circuit_fingerprint, hash_scalars
 from repro.core.decomposer import NuOpDecomposer
 from repro.core.instruction_sets import InstructionSet
 from repro.core.pipeline import (
@@ -79,7 +91,13 @@ from repro.experiments.runner import (
     MetricFunction,
     SimulationOptions,
     StudyResult,
-    simulate_compiled,
+    simulate_noise_program,
+)
+from repro.simulators.backend import SimulatorBackend, resolve_backend
+from repro.simulators.noise_program import (
+    NoiseProgram,
+    clear_noise_program_cache,
+    noise_program_for,
 )
 from repro.simulators.statevector import ideal_probabilities
 
@@ -131,13 +149,16 @@ def ideal_cache_stats() -> Dict[str, int]:
 
 
 def clear_experiment_caches(include_disk: bool = False) -> None:
-    """Reset the ideal-distribution cache and the global compilation cache.
+    """Reset every in-process experiment cache.
 
-    Used by determinism tests and benchmarks that need a guaranteed cold
-    start; production callers normally never need it.  ``include_disk``
-    additionally clears the configured persistent disk tier (when one is
-    active); the default leaves it alone because the disk tier exists
-    precisely to survive "cold starts" of new processes.
+    Covers the ideal-distribution cache, the global compilation cache,
+    the autotuner verdict cache, the noise-program cache and the
+    simulation-result memory cache.  Used by determinism tests and
+    benchmarks that need a guaranteed cold start; production callers
+    normally never need it.  ``include_disk`` additionally clears the
+    configured persistent disk tier (when one is active); the default
+    leaves it alone because the disk tier exists precisely to survive
+    "cold starts" of new processes.
     """
     from repro.compiler.autotune import global_tuner_cache
 
@@ -145,6 +166,11 @@ def clear_experiment_caches(include_disk: bool = False) -> None:
         _IDEAL_CACHE.clear()
         _IDEAL_CACHE_STATS["hits"] = 0
         _IDEAL_CACHE_STATS["misses"] = 0
+    with _SIM_CACHE_LOCK:
+        _SIM_CACHE.clear()
+        _SIM_CACHE_STATS["hits"] = 0
+        _SIM_CACHE_STATS["misses"] = 0
+    clear_noise_program_cache()
     global_compilation_cache().clear()
     global_tuner_cache().clear()
     if include_disk:
@@ -153,6 +179,93 @@ def clear_experiment_caches(include_disk: bool = False) -> None:
         disk = get_global_disk_cache()
         if disk is not None:
             disk.clear()
+
+
+# ---------------------------------------------------------------------------
+# Simulation-result cache (memory tier; the disk tier is the `sim` namespace
+# of repro.caching.disk)
+# ---------------------------------------------------------------------------
+
+_SIM_CACHE: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+_SIM_CACHE_LOCK = threading.Lock()
+_SIM_CACHE_STATS = {"hits": 0, "misses": 0}
+_SIM_CACHE_MAX_ENTRIES = 4096
+"""LRU bound; measured distributions are ``2^n`` floats, so thousands of
+small-circuit results fit comfortably."""
+
+
+def simulation_cache_key(
+    program: NoiseProgram,
+    readout_error: Optional[Sequence[float]],
+    program_order: Sequence[int],
+    backend: SimulatorBackend,
+    options: SimulationOptions,
+) -> Tuple:
+    """Content-addressed key of one simulate node's measured distribution.
+
+    Components cover everything :func:`repro.experiments.runner.simulate_noise_program`
+    consumes: the noise program's full content (gate matrices, Kraus
+    operators, durations -- see
+    :meth:`repro.simulators.noise_program.NoiseProgram.fingerprint`), the
+    readout-error vector, the slot-to-program-qubit permutation, the
+    backend identity (name *and* version, so numeric changes orphan old
+    entries) and the simulation-options fingerprint.  Keying on program
+    content rather than the compilation key makes entries insensitive to
+    unrelated device state -- gate types registered for *other*
+    instruction sets change the device fingerprint mid-study but not the
+    program lowered for this circuit -- and lets two pipelines that
+    compile to the identical circuit share one simulation.
+
+    Callers must pass the *effective* backend
+    (:meth:`~repro.simulators.backend.SimulatorBackend.effective_backend`):
+    keying ``auto`` runs under the delegate that actually produces the
+    numbers lets ``auto`` and the explicit spelling share entries, and
+    keeps a delegate's ``version`` bump authoritative for results
+    produced through the dispatcher.
+    """
+    readout = tuple(float(p) for p in readout_error) if readout_error is not None else None
+    return (
+        program.fingerprint(),
+        hash_scalars("readout", readout is None, *(readout or ())),
+        hash_scalars("order", *(int(q) for q in program_order)),
+        backend.name,
+        int(backend.version),
+        options.fingerprint(),
+    )
+
+
+def _simulation_cache_get(key: Tuple) -> Optional[np.ndarray]:
+    """Memory-tier lookup (counts a hit or miss)."""
+    with _SIM_CACHE_LOCK:
+        cached = _SIM_CACHE.get(key)
+        if cached is not None:
+            _SIM_CACHE_STATS["hits"] += 1
+            _SIM_CACHE.move_to_end(key)
+            return cached
+        _SIM_CACHE_STATS["misses"] += 1
+        return None
+
+
+def _simulation_cache_put(key: Tuple, vector: np.ndarray) -> np.ndarray:
+    """Store a measured distribution (frozen) in the memory tier."""
+    vector = np.asarray(vector)
+    vector.setflags(write=False)
+    with _SIM_CACHE_LOCK:
+        _SIM_CACHE[key] = vector
+        _SIM_CACHE.move_to_end(key)
+        while len(_SIM_CACHE) > _SIM_CACHE_MAX_ENTRIES:
+            _SIM_CACHE.popitem(last=False)
+    return vector
+
+
+def simulation_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the simulation-result memory cache."""
+    with _SIM_CACHE_LOCK:
+        return {
+            "hits": _SIM_CACHE_STATS["hits"],
+            "misses": _SIM_CACHE_STATS["misses"],
+            "entries": len(_SIM_CACHE),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -231,14 +344,30 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 def _simulate_job(
-    compiled: CompiledCircuit, device: Device, options: SimulationOptions
+    program: NoiseProgram,
+    readout_error: Optional[List[float]],
+    program_order: List[int],
+    options: SimulationOptions,
+    backend: Union[str, SimulatorBackend],
 ) -> np.ndarray:
     """Worker entry point: noisy measured distribution of one compiled job.
 
-    Module-level so process pools can pickle it by reference.  Pure: seeds
-    its own RNG from ``options`` and never mutates shared state.
+    Module-level so process pools can pickle it by reference.  The
+    payload is the immutable noise program, plain scalars and the backend
+    *instance* -- no ``Device`` (and no per-job deep copy of one) crosses
+    the process boundary.  Shipping the instance rather than a name keeps
+    custom backends working: one registered only in the parent process
+    (or never registered at all) would not resolve in a freshly imported
+    worker registry.  Pure: seeds its own RNG from ``options`` and never
+    mutates shared state.
     """
-    return simulate_compiled(compiled, device, options)
+    return simulate_noise_program(
+        program,
+        options,
+        resolve_backend(backend),
+        readout_error=readout_error,
+        program_order=program_order,
+    )
 
 
 def run_parallel(
@@ -291,6 +420,7 @@ def run_study(
     compilation_cache: Optional[CompilationCache] = None,
     pipeline: str = "default",
     cache_dir: Optional[str] = None,
+    backend: Optional[Union[str, SimulatorBackend]] = None,
 ) -> StudyResult:
     """Execute an instruction-set study on the engine.
 
@@ -320,17 +450,27 @@ def run_study(
         Resolved through the shared per-directory registry
         (:func:`repro.caching.disk.disk_cache_for`), so the study's
         hits/misses show up in ``repro cache stats``.
+    backend:
+        Simulator backend for the simulate nodes -- a registry name (see
+        :func:`repro.simulators.backend.available_backends`) or an
+        instance.  Defaults to ``options.method`` (itself ``"auto"``, the
+        historical qubit-threshold dispatch, so existing callers see
+        bit-identical results).
     """
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
     options = options or SimulationOptions()
     error_scales = error_scales or {}
     device = device_factory()
     effective_workers = resolve_workers(workers)
+    backend_obj = resolve_backend(backend if backend is not None else options.method)
     disk_cache = None
     if cache_dir is not None:
         from repro.caching.disk import disk_cache_for
 
         disk_cache = disk_cache_for(cache_dir)
+    from repro.caching.disk import get_global_disk_cache
+
+    sim_disk = disk_cache if disk_cache is not None else get_global_disk_cache()
 
     plan = StudyPlan(
         set_names=list(instruction_sets),
@@ -346,8 +486,12 @@ def run_study(
         ideal_by_index = [ideal_distribution_cached(circuit) for circuit in circuits]
 
     # Compile nodes: serial, canonical order (device RNG determinism).
-    # Simulate nodes: submitted to the pool as soon as their compile node
-    # finishes, so simulation overlaps the remaining compilations.
+    # Simulate nodes: looked up in the simulation-result cache (memory ->
+    # disk); misses are submitted to the pool as soon as their compile
+    # node finishes, so simulation overlaps the remaining compilations.
+    # The pool payload is the immutable noise program plus scalars -- the
+    # Device itself never crosses the worker boundary (the engine used to
+    # deep-copy it per job).
     pool: Optional[Executor] = None
     if effective_workers > 1 and len(jobs) > 1:
         try:
@@ -359,6 +503,10 @@ def run_study(
                 pool = None
 
     compiled: Dict[ExperimentJob, CompiledCircuit] = {}
+    sim_tasks: Dict[ExperimentJob, Tuple] = {}
+    sim_keys: Dict[ExperimentJob, Tuple] = {}
+    measured: Dict[ExperimentJob, np.ndarray] = {}
+    cached_jobs = set()
     futures = {}
     try:
         for job in jobs:
@@ -374,34 +522,65 @@ def run_study(
                 cache=compilation_cache,
                 disk_cache=disk_cache,
             )
+            job_compiled = compiled[job]
+            program = noise_program_for(job_compiled, device)
+            readout = (
+                device.readout_errors_for(job_compiled.physical_qubits)
+                if options.apply_readout_error
+                else None
+            )
+            order = [
+                job_compiled.final_mapping[q]
+                for q in range(job_compiled.circuit.num_qubits)
+            ]
+            effective_backend = backend_obj.effective_backend(program, options)
+            key = simulation_cache_key(program, readout, order, effective_backend, options)
+            sim_keys[job] = key
+            sim_tasks[job] = (program, readout, order, options, effective_backend)
+            cached = _simulation_cache_get(key)
+            if cached is not None and sim_disk is not None and not sim_disk.has_simulation(key):
+                # Backfill: the vector exists only in this process's memory
+                # tier (e.g. the earlier study ran without a cache dir, or
+                # with a different one) -- persist it so fresh processes
+                # warm-start from this directory too.
+                sim_disk.put_simulation(key, cached)
+            if cached is None and sim_disk is not None:
+                vector = sim_disk.get_simulation(key)
+                if vector is not None:
+                    cached = _simulation_cache_put(key, np.asarray(vector))
+            if cached is not None:
+                measured[job] = cached
+                cached_jobs.add(job)
+                continue
             if pool is not None:
-                # Ship a deep-copied device snapshot: it already holds
-                # calibration for every gate type this job can touch, and
-                # copying in the main thread keeps later compilations from
-                # mutating the device while the pool's feeder thread is
-                # still pickling it (or, in the thread fallback, while a
-                # worker is reading it).
-                futures[job] = pool.submit(
-                    _simulate_job, compiled[job], copy.deepcopy(device), options
-                )
+                futures[job] = pool.submit(_simulate_job, *sim_tasks[job])
 
-        measured: Dict[ExperimentJob, np.ndarray] = {}
-        if pool is not None:
+        if pool is not None and futures:
             try:
                 for job in jobs:
-                    measured[job] = futures[job].result()
+                    if job in futures:
+                        measured[job] = futures[job].result()
             except _EXECUTOR_FAILURES as error:
                 # Pool died (unpicklable payload, broken process): recompute
-                # inline.  Simulation is pure, so results are unchanged.
+                # the missing jobs inline.  Simulation is pure, so results
+                # already retrieved (and cache hits) are unchanged.
                 _warn_executor_fallback(type(pool).__name__, error)
-                measured = {}
-        if len(measured) != len(jobs):
-            measured = {
-                job: _simulate_job(compiled[job], device, options) for job in jobs
-            }
+        for job in jobs:
+            if job not in measured:
+                measured[job] = _simulate_job(*sim_tasks[job])
     finally:
         if pool is not None:
             pool.shutdown()
+
+    # Populate the simulation-result cache tiers with freshly computed
+    # vectors (cache hits are already stored; re-writing them would break
+    # the CI warm-start "no file changed" check).
+    for job in jobs:
+        if job in cached_jobs:
+            continue
+        measured[job] = _simulation_cache_put(sim_keys[job], measured[job])
+        if sim_disk is not None:
+            sim_disk.put_simulation(sim_keys[job], measured[job])
 
     # Score + merge, in canonical order.
     from repro.compiler.manager import aggregate_pass_stats, merge_aggregated_pass_stats

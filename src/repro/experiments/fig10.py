@@ -62,6 +62,10 @@ class Figure10Config:
     """Compiler pipeline for every compile node; ``"auto"`` lets the
     autotuner (:mod:`repro.compiler.autotune`) pick per (circuit,
     instruction set) by predicted compiled fidelity."""
+    backend: str = "auto"
+    """Simulator backend for every simulate node (see ``repro
+    simulators``); ``"auto"`` is the historical qubit-threshold
+    dispatch."""
 
     @classmethod
     def quick(cls) -> "Figure10Config":
@@ -167,6 +171,7 @@ def run_figure10(
         error_scales=error_scales,
         workers=config.workers,
         pipeline=config.pipeline,
+        backend=config.backend,
     )
     qaoa_circuits = qaoa_suite(config.app_qubits, config.qaoa_circuits, seed=config.seed + 1)
     qaoa_study = run_instruction_set_study(
@@ -181,6 +186,7 @@ def run_figure10(
         error_scales=error_scales,
         workers=config.workers,
         pipeline=config.pipeline,
+        backend=config.backend,
     )
     target = qft_target_value(config.app_qubits)
     qft_study = run_instruction_set_study(
@@ -195,6 +201,7 @@ def run_figure10(
         error_scales=error_scales,
         workers=config.workers,
         pipeline=config.pipeline,
+        backend=config.backend,
     )
     fh_study = run_instruction_set_study(
         "fh",
@@ -208,6 +215,7 @@ def run_figure10(
         error_scales=error_scales,
         workers=config.workers,
         pipeline=config.pipeline,
+        backend=config.backend,
     )
     no_variation_study = None
     if config.include_no_variation_panel:
@@ -224,6 +232,7 @@ def run_figure10(
             error_scales=error_scales,
             workers=config.workers,
             pipeline=config.pipeline,
+            backend=config.backend,
         )
     return Figure10Result(
         qv=qv_study,
@@ -250,6 +259,7 @@ class Figure10fConfig:
     seed: int = 17
     workers: int = 1
     pipeline: str = "default"
+    backend: str = "auto"
 
     @classmethod
     def quick(cls) -> "Figure10fConfig":
@@ -336,6 +346,7 @@ def run_figure10f(
                 options=options,
                 workers=config.workers,
                 pipeline=config.pipeline,
+                backend=config.backend,
             )
             result.points.append(
                 Figure10fPoint(

@@ -43,6 +43,10 @@ class Figure9Config:
     """Compiler pipeline for every compile node; ``"auto"`` lets the
     autotuner (:mod:`repro.compiler.autotune`) pick per (circuit,
     instruction set) by predicted compiled fidelity."""
+    backend: str = "auto"
+    """Simulator backend for every simulate node (see ``repro
+    simulators``); ``"auto"`` is the historical qubit-threshold
+    dispatch."""
 
     @classmethod
     def quick(cls) -> "Figure9Config":
@@ -127,6 +131,7 @@ def run_figure9(
         options=options,
         workers=config.workers,
         pipeline=config.pipeline,
+        backend=config.backend,
     )
     qaoa_study = run_instruction_set_study(
         "qaoa",
@@ -139,6 +144,7 @@ def run_figure9(
         options=options,
         workers=config.workers,
         pipeline=config.pipeline,
+        backend=config.backend,
     )
     target = qft_target_value(config.qft_qubits)
     qft_study = run_instruction_set_study(
@@ -152,5 +158,6 @@ def run_figure9(
         options=options,
         workers=config.workers,
         pipeline=config.pipeline,
+        backend=config.backend,
     )
     return Figure9Result(qv=qv_study, qaoa=qaoa_study, qft=qft_study)

@@ -12,17 +12,20 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.hashing import hash_scalars
 from repro.core.decomposer import NuOpDecomposer
 from repro.core.instruction_sets import InstructionSet
 from repro.core.pipeline import CompiledCircuit, compile_circuit
 from repro.devices.device import Device
 from repro.metrics.distributions import permute_distribution
+from repro.simulators.backend import SimulatorBackend, resolve_backend
 from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.noise_program import NoiseProgram, noise_program_for
 from repro.simulators.sampling import sample_counts
 from repro.simulators.statevector import ideal_probabilities
 from repro.simulators.trajectory import TrajectorySimulator
@@ -40,14 +43,118 @@ class SimulationOptions:
     max_density_matrix_qubits: int = 8
     trajectories: int = 30
     apply_readout_error: bool = True
+    method: str = "auto"
+    """Simulator backend name (see
+    :func:`repro.simulators.backend.available_backends`).  ``"auto"``
+    reproduces the historical qubit-threshold dispatch; an explicit
+    ``backend=`` argument to :func:`simulate_compiled` /
+    :func:`repro.experiments.engine.run_study` takes precedence."""
+
+    def __post_init__(self) -> None:
+        if int(self.shots) <= 0:
+            raise ValueError(f"SimulationOptions.shots must be positive, got {self.shots}")
+        if int(self.trajectories) <= 0:
+            raise ValueError(
+                f"SimulationOptions.trajectories must be positive, got {self.trajectories}"
+            )
+        if int(self.max_density_matrix_qubits) < 0:
+            raise ValueError(
+                "SimulationOptions.max_density_matrix_qubits must be >= 0, got "
+                f"{self.max_density_matrix_qubits}"
+            )
+
+    def fingerprint(self) -> str:
+        """Content digest of every field that shapes a measured distribution.
+
+        One component of the simulation-result cache key
+        (:func:`repro.experiments.engine.simulation_cache_key`).
+        ``method`` is deliberately excluded: the *resolved* backend's name
+        and version are separate key components, so including the
+        requested method here would only split cache entries between
+        ``backend=`` and ``method=`` spellings of the same run.
+        """
+        return hash_scalars(
+            "simulation-options",
+            int(self.shots),
+            int(self.seed),
+            int(self.max_density_matrix_qubits),
+            int(self.trajectories),
+            bool(self.apply_readout_error),
+        )
+
+
+def simulate_noise_program(
+    program: NoiseProgram,
+    options: SimulationOptions,
+    backend: SimulatorBackend,
+    readout_error: Optional[Sequence[float]] = None,
+    program_order: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Measured distribution of a precompiled noise program.
+
+    The backend produces the noisy output distribution over circuit
+    slots; shot sampling (with optional readout error) and the final
+    permutation back into program-qubit order are backend-independent and
+    happen here.  Pure: the only RNG is seeded from ``options``, so this
+    is safe to run on worker pools.
+    """
+    probabilities = backend.run(program, options)
+    counts = sample_counts(
+        probabilities,
+        options.shots,
+        rng=np.random.default_rng(options.seed),
+        readout_error=readout_error,
+    )
+    measured_slots = counts.to_probability_vector()
+    if program_order is None:
+        return measured_slots
+    return permute_distribution(measured_slots, list(program_order))
 
 
 def simulate_compiled(
     compiled: CompiledCircuit,
     device: Device,
     options: Optional[SimulationOptions] = None,
+    backend: Optional[Union[str, SimulatorBackend]] = None,
 ) -> np.ndarray:
-    """Noisy output distribution of a compiled circuit, in program-qubit order."""
+    """Noisy output distribution of a compiled circuit, in program-qubit order.
+
+    Thin dispatcher over the simulator-backend registry
+    (:mod:`repro.simulators.backend`): resolves ``backend`` (default:
+    ``options.method``, itself defaulting to ``"auto"``, the historical
+    qubit-threshold dispatch -- pinned bit-identical to
+    :func:`simulate_compiled_reference` by
+    ``tests/test_simulator_backends.py``), fetches the compiled circuit's
+    precompiled noise program from the process-wide cache
+    (:func:`repro.simulators.noise_program.noise_program_for`) and runs
+    the backend on it.
+    """
+    options = options or SimulationOptions()
+    resolved = resolve_backend(backend if backend is not None else options.method)
+    program = noise_program_for(compiled, device)
+    readout = None
+    if options.apply_readout_error:
+        readout = device.readout_errors_for(compiled.physical_qubits)
+    order = [compiled.final_mapping[q] for q in range(compiled.circuit.num_qubits)]
+    return simulate_noise_program(
+        program, options, resolved, readout_error=readout, program_order=order
+    )
+
+
+def simulate_compiled_reference(
+    compiled: CompiledCircuit,
+    device: Device,
+    options: Optional[SimulationOptions] = None,
+) -> np.ndarray:
+    """The pre-backend-registry implementation, kept as ground truth.
+
+    ``tests/test_simulator_backends.py`` asserts the ``auto`` backend
+    (and therefore the default :func:`simulate_compiled` path) reproduces
+    this function bit-for-bit on both sides of the density-matrix /
+    trajectory threshold.  Do not optimise or restructure it; its stasis
+    is the point (the same role :func:`repro.core.pipeline.compile_circuit_reference`
+    plays for the compiler).
+    """
     options = options or SimulationOptions()
     circuit = compiled.circuit
     noise_model = device.noise_model
@@ -216,6 +323,7 @@ def run_instruction_set_study(
     workers: Optional[int] = 1,
     pipeline: str = "default",
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> StudyResult:
     """Compile + simulate + score every circuit under every instruction set.
 
@@ -223,8 +331,10 @@ def run_instruction_set_study(
     (:func:`repro.experiments.engine.run_study`): same signature as the
     original serial implementation (retained below as
     :func:`run_instruction_set_study_reference`) plus a ``workers`` knob
-    for the simulation worker pool.  Results are bit-identical to the
-    reference implementation for every worker count.
+    for the simulation worker pool and a ``backend`` selector for the
+    simulate nodes.  Results are bit-identical to the reference
+    implementation for every worker count (and for ``backend=None`` /
+    ``"auto"``, the reference dispatch).
 
     A single device instance is shared by all instruction sets so that every
     set sees the *same* sampled calibration data (as on a real device), and
@@ -250,6 +360,7 @@ def run_instruction_set_study(
         workers=workers,
         pipeline=pipeline,
         cache_dir=cache_dir,
+        backend=backend,
     )
 
 
@@ -311,7 +422,7 @@ def run_instruction_set_study_reference(
                 use_noise_adaptivity=use_noise_adaptivity,
                 error_scale=error_scales.get(name, 1.0),
             )
-            measured = simulate_compiled(compiled, device, options)
+            measured = simulate_compiled_reference(compiled, device, options)
             value = metric(measured, ideal_cache[index])
             result.metric_values.append(float(value))
             result.two_qubit_counts.append(compiled.two_qubit_gate_count)

@@ -4,6 +4,11 @@
 * :mod:`repro.simulators.noise` -- Kraus channels (depolarizing, amplitude
   damping, dephasing, thermal relaxation).
 * :mod:`repro.simulators.noise_model` -- calibration-driven noise model.
+* :mod:`repro.simulators.noise_program` -- circuits lowered once into
+  per-moment gate/channel/idle programs shared by every backend.
+* :mod:`repro.simulators.backend` -- the :class:`SimulatorBackend`
+  protocol and the named backend registry (``density-matrix``,
+  ``trajectory``, ``estimator``, ``auto``).
 * :mod:`repro.simulators.density_matrix` -- exact noisy simulation.
 * :mod:`repro.simulators.trajectory` -- Monte-Carlo trajectory simulation
   for larger circuits.
@@ -33,18 +38,41 @@ from repro.simulators.noise import (
     average_channel_fidelity,
 )
 from repro.simulators.noise_model import NoiseModel
+from repro.simulators.noise_program import (
+    NoiseProgram,
+    ProgramMoment,
+    ProgramOperation,
+    build_noise_program,
+    clear_noise_program_cache,
+    noise_program_cache_stats,
+    noise_program_for,
+)
 from repro.simulators.density_matrix import (
     DensityMatrixSimulator,
     DensityMatrixResult,
     apply_channel_to_rho,
+    apply_program_to_density_matrix,
 )
-from repro.simulators.trajectory import TrajectorySimulator
+from repro.simulators.trajectory import (
+    TrajectorySimulator,
+    apply_program_to_state,
+    apply_program_to_states,
+)
+from repro.simulators.backend import (
+    SimulatorBackend,
+    available_backends,
+    backend_invocation_counts,
+    register_backend,
+    reset_backend_invocation_counts,
+    resolve_backend,
+)
 from repro.simulators.sampling import Counts, sample_counts, apply_readout_error
 from repro.simulators.estimator import (
     circuit_gate_fidelity,
     circuit_duration,
     decoherence_factor,
     estimate_circuit_fidelity,
+    program_fidelity_estimate,
 )
 
 __all__ = [
@@ -66,10 +94,26 @@ __all__ = [
     "expand_channel",
     "average_channel_fidelity",
     "NoiseModel",
+    "NoiseProgram",
+    "ProgramMoment",
+    "ProgramOperation",
+    "build_noise_program",
+    "clear_noise_program_cache",
+    "noise_program_cache_stats",
+    "noise_program_for",
     "DensityMatrixSimulator",
     "DensityMatrixResult",
     "apply_channel_to_rho",
+    "apply_program_to_density_matrix",
     "TrajectorySimulator",
+    "apply_program_to_state",
+    "apply_program_to_states",
+    "SimulatorBackend",
+    "available_backends",
+    "backend_invocation_counts",
+    "register_backend",
+    "reset_backend_invocation_counts",
+    "resolve_backend",
     "Counts",
     "sample_counts",
     "apply_readout_error",
@@ -77,4 +121,5 @@ __all__ = [
     "circuit_duration",
     "decoherence_factor",
     "estimate_circuit_fidelity",
+    "program_fidelity_estimate",
 ]

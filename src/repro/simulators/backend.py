@@ -1,0 +1,269 @@
+"""Simulator backends: one protocol, a named registry, shared noise programs.
+
+The experiments need the *same* computation -- "noisy output distribution
+of a compiled circuit" -- at several cost/accuracy points: exact
+density-matrix evolution for small circuits, Monte-Carlo trajectories for
+wide ones, and an analytic estimate for triaging.  Mirroring the
+simulator protocols of Cirq (``SimulatesSamples`` /
+``SimulatesFinalState``) and quantumsim's backend-per-representation
+design, every such strategy here is a :class:`SimulatorBackend`: a named,
+versioned object that consumes a precompiled
+:class:`~repro.simulators.noise_program.NoiseProgram` and returns the
+output probability distribution over the circuit's (slot-order) qubits.
+
+Backends share the program, so the per-moment Kraus-channel lowering is
+done once per (compiled circuit x calibration) no matter which backend --
+or how many backends -- run it.  The registry makes the choice a *name*
+(``--backend`` on the CLI, ``backend=`` on ``run_study``,
+``SimulationOptions.method``) instead of a code path:
+
+* ``density-matrix`` -- exact, all Kraus branches, ``4^n`` memory;
+* ``trajectory`` -- Monte-Carlo unravelling, ``T x 2^n`` memory;
+* ``estimator`` -- analytic fidelity-product estimate, no state at all;
+* ``auto`` -- the qubit-threshold dispatch the experiments always used
+  (density matrix up to ``SimulationOptions.max_density_matrix_qubits``,
+  trajectories beyond), reproducing the legacy
+  ``simulate_compiled`` behaviour bit-identically.
+
+Backends carry a ``version``; it is part of the simulation-result cache
+key (:mod:`repro.experiments.engine`), so changing a backend's numerics
+orphans its persisted results instead of serving stale ones.
+
+Invocation counters (:func:`backend_invocation_counts`) exist so tests
+and benchmarks can *prove* a warm study skipped simulation entirely.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import TYPE_CHECKING, Dict, Union
+
+import numpy as np
+
+from repro.simulators.density_matrix import (
+    _MAX_DENSITY_MATRIX_QUBITS,
+    DensityMatrixResult,
+    apply_program_to_density_matrix,
+)
+from repro.simulators.estimator import program_fidelity_estimate
+from repro.simulators.noise_program import NoiseProgram
+from repro.simulators.statevector import apply_gate, zero_state, zero_states
+from repro.simulators.trajectory import apply_program_to_states
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from repro.experiments.runner import SimulationOptions
+
+
+class SimulatorBackend(abc.ABC):
+    """A named strategy producing the noisy output distribution of a program.
+
+    Implementations must be stateless (one shared instance serves every
+    caller and worker) and pure: all randomness is seeded from the
+    ``options`` argument, never from shared state.
+    """
+
+    name: str = "abstract"
+    version: int = 1
+    """Bump when the backend's numerics change; cached simulation results
+    are keyed on (name, version) so stale vectors are never served."""
+    description: str = ""
+
+    @abc.abstractmethod
+    def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
+        """Output probability distribution (slot order) of ``program``."""
+
+    def effective_backend(
+        self, program: NoiseProgram, options: "SimulationOptions"
+    ) -> "SimulatorBackend":
+        """The backend that will actually produce this program's numbers.
+
+        Concrete backends return themselves; dispatchers (``auto``)
+        return the delegate they would hand the program to.  The engine
+        keys the simulation-result cache on the *effective* backend, so
+        ``auto`` and an explicit spelling of its delegate share entries,
+        and bumping the delegate's ``version`` orphans results produced
+        through ``auto`` too (a cache keyed on ``("auto", 1)`` would keep
+        serving a re-versioned delegate's stale vectors forever).
+        """
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Invocation accounting
+# ---------------------------------------------------------------------------
+
+_INVOCATIONS: Dict[str, int] = {}
+_INVOCATIONS_LOCK = threading.Lock()
+
+
+def _count_invocation(name: str) -> None:
+    with _INVOCATIONS_LOCK:
+        _INVOCATIONS[name] = _INVOCATIONS.get(name, 0) + 1
+
+
+def backend_invocation_counts() -> Dict[str, int]:
+    """Number of ``run`` calls per backend name since the last reset.
+
+    ``auto`` counts both itself and the backend it delegated to, so a sum
+    of zero means no backend did any work at all -- the property the
+    warm-start simulation-cache benchmark asserts.  Counters are
+    process-local (worker processes count in their own interpreter).
+    """
+    with _INVOCATIONS_LOCK:
+        return dict(_INVOCATIONS)
+
+
+def reset_backend_invocation_counts() -> None:
+    """Zero the per-backend invocation counters (tests/benchmarks)."""
+    with _INVOCATIONS_LOCK:
+        _INVOCATIONS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Concrete backends
+# ---------------------------------------------------------------------------
+
+
+class DensityMatrixBackend(SimulatorBackend):
+    """Exact noisy simulation: replay every Kraus branch on a density matrix."""
+
+    name = "density-matrix"
+    version = 1
+    description = "exact density-matrix evolution (4^n memory, all Kraus branches)"
+
+    def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
+        _count_invocation(self.name)
+        n = program.num_qubits
+        if n > _MAX_DENSITY_MATRIX_QUBITS:
+            raise ValueError(
+                f"density-matrix simulation limited to {_MAX_DENSITY_MATRIX_QUBITS} "
+                "qubits; use the trajectory backend for larger circuits"
+            )
+        dim = 2**n
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+        rho = apply_program_to_density_matrix(program, rho)
+        return DensityMatrixResult(density_matrix=rho, num_qubits=n).probabilities()
+
+
+class TrajectoryBackend(SimulatorBackend):
+    """Monte-Carlo trajectory simulation, vectorised over trajectories."""
+
+    name = "trajectory"
+    version = 1
+    description = "Monte-Carlo trajectory averaging (T x 2^n memory, seeded)"
+
+    def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
+        _count_invocation(self.name)
+        rng = np.random.default_rng(options.seed)
+        states = zero_states(options.trajectories, program.num_qubits)
+        states = apply_program_to_states(program, states, rng)
+        return np.mean(np.abs(states) ** 2, axis=0)
+
+
+class EstimatorBackend(SimulatorBackend):
+    """Analytic estimate: ideal distribution depolarised by the fidelity product.
+
+    The paper's fidelity model (Section V.B): the product of the average
+    fidelities of every channel in the program estimates the probability
+    the execution was error-free; with probability ``1 - F`` the output is
+    modelled as fully depolarised (uniform).  No quantum state is ever
+    materialised beyond one ideal statevector, so this backend is cheap
+    enough for triaging sweeps that the exact backends cannot cover.
+    """
+
+    name = "estimator"
+    version = 1
+    description = "analytic F*ideal + (1-F)*uniform estimate (no noisy state)"
+
+    def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
+        _count_invocation(self.name)
+        n = program.num_qubits
+        state = zero_state(n)
+        for moment in program.moments:
+            for operation in moment.operations:
+                state = apply_gate(state, operation.matrix, operation.qubits, n)
+        ideal = np.abs(state) ** 2
+        total = ideal.sum()
+        if total <= 0:
+            raise ValueError("program produced a zero-norm ideal state")
+        ideal = ideal / total
+        fidelity = program_fidelity_estimate(program)
+        return fidelity * ideal + (1.0 - fidelity) / ideal.size
+
+
+class AutoBackend(SimulatorBackend):
+    """The legacy qubit-threshold dispatch, as a backend.
+
+    Delegates to ``density-matrix`` for circuits up to
+    ``options.max_density_matrix_qubits`` qubits and to ``trajectory``
+    beyond -- exactly the hard-coded dispatch the original
+    ``simulate_compiled`` used, so studies run with ``auto`` (the default)
+    are bit-identical to every pre-registry release.
+    """
+
+    name = "auto"
+    version = 1
+    description = "threshold dispatch: density-matrix up to max_density_matrix_qubits, else trajectory"
+
+    def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
+        _count_invocation(self.name)
+        return self.effective_backend(program, options).run(program, options)
+
+    def effective_backend(
+        self, program: NoiseProgram, options: "SimulationOptions"
+    ) -> SimulatorBackend:
+        if program.num_qubits <= options.max_density_matrix_qubits:
+            return resolve_backend("density-matrix")
+        return resolve_backend("trajectory")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, SimulatorBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(backend: SimulatorBackend, overwrite: bool = False) -> None:
+    """Add a backend to the registry under its ``name``.
+
+    Registration is additive by default; pass ``overwrite=True`` to
+    replace an existing backend (e.g. a test double).
+    """
+    with _REGISTRY_LOCK:
+        if not overwrite and backend.name in _REGISTRY:
+            raise ValueError(f"backend {backend.name!r} is already registered")
+        _REGISTRY[backend.name] = backend
+
+
+def available_backends() -> Dict[str, SimulatorBackend]:
+    """Registered backends by name (a copy; mutating it changes nothing)."""
+    with _REGISTRY_LOCK:
+        return dict(_REGISTRY)
+
+
+def resolve_backend(backend: Union[str, SimulatorBackend]) -> SimulatorBackend:
+    """Look up a backend by name (instances pass through unchanged)."""
+    if isinstance(backend, SimulatorBackend):
+        return backend
+    with _REGISTRY_LOCK:
+        resolved = _REGISTRY.get(backend)
+    if resolved is None:
+        known = ", ".join(sorted(available_backends()))
+        raise ValueError(
+            f"unknown simulator backend {backend!r}; registered backends: {known}"
+        )
+    return resolved
+
+
+for _backend in (
+    DensityMatrixBackend(),
+    TrajectoryBackend(),
+    EstimatorBackend(),
+    AutoBackend(),
+):
+    register_backend(_backend)
+del _backend

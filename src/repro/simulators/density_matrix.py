@@ -4,19 +4,26 @@ Exact (all Kraus branches) simulation of noisy circuits.  Memory scales as
 ``4^n`` so this simulator is used for the 3-6 qubit benchmark circuits of
 Figures 7, 9 and 10; larger circuits (10/20-qubit Fermi-Hubbard) use the
 Monte-Carlo trajectory simulator instead.
+
+The simulation core is :func:`apply_program_to_density_matrix`, which
+replays a precompiled :class:`~repro.simulators.noise_program.NoiseProgram`
+(the per-moment gate/channel/idle lowering shared by every backend in
+:mod:`repro.simulators.backend`).  :class:`DensityMatrixSimulator` is the
+legacy circuit-level entry point: it lowers the circuit on the fly and
+replays it, which keeps it bit-identical to the pre-program inline loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.dag import as_moments
 from repro.simulators.noise import KrausChannel
 from repro.simulators.noise_model import NoiseModel
+from repro.simulators.noise_program import NoiseProgram, build_noise_program
 
 _MAX_DENSITY_MATRIX_QUBITS = 12
 
@@ -85,6 +92,26 @@ def apply_channel_to_rho(
     return result
 
 
+def apply_program_to_density_matrix(
+    program: NoiseProgram, rho: np.ndarray
+) -> np.ndarray:
+    """Replay a precompiled noise program on a density matrix.
+
+    Applies, per moment, every gate followed by its error channels, then
+    the moment's idle channels -- the exact order the lowering recorded,
+    which is the order the pre-program inline loop used.
+    """
+    n = program.num_qubits
+    for moment in program.moments:
+        for operation in moment.operations:
+            rho = _apply_matrix_to_rho(rho, operation.matrix, operation.qubits, n)
+            for channel, qubits in operation.channels:
+                rho = apply_channel_to_rho(rho, channel, qubits, n)
+        for channel, qubits in moment.idle_channels:
+            rho = apply_channel_to_rho(rho, channel, qubits, n)
+    return rho
+
+
 class DensityMatrixSimulator:
     """Noisy circuit simulator based on full density matrices."""
 
@@ -127,41 +154,6 @@ class DensityMatrixSimulator:
             state = state / np.linalg.norm(state)
             rho = np.outer(state, state.conj())
 
-        for moment, duration in self._moments_with_durations(circuit):
-            busy = set()
-            for operation in moment:
-                busy.update(operation.qubits)
-                rho = _apply_matrix_to_rho(rho, operation.gate.matrix, operation.qubits, n)
-                if self.noise_model is not None:
-                    for channel, qubits in self.noise_model.error_channels_for_operation(
-                        operation, physical_qubits
-                    ):
-                        rho = apply_channel_to_rho(rho, channel, qubits, n)
-            if self.noise_model is not None and duration > 0:
-                for qubit in range(n):
-                    if qubit in busy:
-                        continue
-                    idle = self.noise_model.idle_channel(
-                        qubit, physical_qubits[qubit], duration
-                    )
-                    if idle is not None:
-                        channel, qubits = idle
-                        rho = apply_channel_to_rho(rho, channel, qubits, n)
+        program = build_noise_program(circuit, self.noise_model, list(physical_qubits))
+        rho = apply_program_to_density_matrix(program, rho)
         return DensityMatrixResult(density_matrix=rho, num_qubits=n)
-
-    def _moments_with_durations(
-        self, circuit: QuantumCircuit
-    ) -> List[Tuple[List, float]]:
-        """ASAP moments paired with the moment duration (max gate duration)."""
-        moments = as_moments(circuit)
-        result = []
-        for moment in moments:
-            if self.noise_model is None:
-                duration = 0.0
-            else:
-                duration = max(
-                    (self.noise_model.operation_duration(op) for op in moment),
-                    default=0.0,
-                )
-            result.append((moment, duration))
-        return result

@@ -13,13 +13,17 @@ scheduled circuit duration.  It is used:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import as_moments
+from repro.simulators.noise import average_channel_fidelity
 from repro.simulators.noise_model import NoiseModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from repro.simulators.noise_program import NoiseProgram
 
 
 def circuit_gate_fidelity(
@@ -68,6 +72,29 @@ def decoherence_factor(
         factor *= float(np.exp(-duration / noise_model.qubit_t1(physical)))
         factor *= float(np.exp(-duration / noise_model.qubit_t2(physical)))
     return factor
+
+
+def program_fidelity_estimate(program: "NoiseProgram") -> float:
+    """Fidelity-product estimate of a precompiled noise program.
+
+    The program form of the paper's model: every error channel the
+    lowering recorded -- depolarizing gate noise, thermal relaxation
+    during gates and idle periods -- contributes its average channel
+    fidelity multiplicatively.  Unlike
+    :func:`estimate_circuit_fidelity` this works from the *actual* Kraus
+    operators the simulators would apply, so gate noise and decoherence
+    (including idle decoherence) are covered by one uniform rule; it is
+    the estimate behind the ``estimator`` simulator backend
+    (:mod:`repro.simulators.backend`).
+    """
+    fidelity = 1.0
+    for moment in program.moments:
+        for operation in moment.operations:
+            for channel, _ in operation.channels:
+                fidelity *= average_channel_fidelity(channel)
+        for channel, _ in moment.idle_channels:
+            fidelity *= average_channel_fidelity(channel)
+    return float(fidelity)
 
 
 def estimate_circuit_fidelity(

@@ -14,17 +14,27 @@ tensor contraction instead of a Python loop over trajectories.  Branch
 (one uniform draw per trajectory per stochastic channel), so results are
 deterministic for a fixed seed regardless of how the surrounding
 experiment engine schedules work.
+
+The simulation cores are :func:`apply_program_to_states` (batched) and
+:func:`apply_program_to_state` (single trajectory), which replay a
+precompiled :class:`~repro.simulators.noise_program.NoiseProgram` -- the
+per-moment gate/channel/idle lowering shared by every backend in
+:mod:`repro.simulators.backend`.  :class:`TrajectorySimulator` is the
+legacy circuit-level entry point: it lowers the circuit on the fly and
+replays it, which keeps it bit-identical to the pre-program inline loop
+(the lowering preserves the channel order and therefore the RNG draw
+order).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.dag import as_moments
 from repro.simulators.noise import KrausChannel
+from repro.simulators.noise_program import NoiseProgram, build_noise_program
 from repro.simulators.noise_model import NoiseModel
 from repro.simulators.statevector import (
     apply_gate,
@@ -119,6 +129,42 @@ def _apply_channel_batch(
     return output
 
 
+def apply_program_to_state(
+    program: NoiseProgram, state: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Replay a noise program on a single trajectory statevector."""
+    n = program.num_qubits
+    for moment in program.moments:
+        for operation in moment.operations:
+            state = apply_gate(state, operation.matrix, operation.qubits, n)
+            for channel, qubits in operation.channels:
+                state = _apply_channel_stochastically(state, channel, qubits, n, rng)
+        for channel, qubits in moment.idle_channels:
+            state = _apply_channel_stochastically(state, channel, qubits, n, rng)
+    return state
+
+
+def apply_program_to_states(
+    program: NoiseProgram, states: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Replay a noise program on a ``(T, 2^n)`` stack of trajectories.
+
+    Gates advance all trajectories in one tensor contraction; stochastic
+    channels draw one bulk uniform sample per channel (see
+    :func:`_apply_channel_batch`), so the RNG consumption order is fixed
+    by the program alone.
+    """
+    n = program.num_qubits
+    for moment in program.moments:
+        for operation in moment.operations:
+            states = apply_gate_batch(states, operation.matrix, operation.qubits, n)
+            for channel, qubits in operation.channels:
+                states = _apply_channel_batch(states, channel, qubits, n, rng)
+        for channel, qubits in moment.idle_channels:
+            states = _apply_channel_batch(states, channel, qubits, n, rng)
+    return states
+
+
 class TrajectorySimulator:
     """Noisy simulator based on Monte-Carlo averaging of pure-state trajectories."""
 
@@ -139,39 +185,8 @@ class TrajectorySimulator:
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Run one stochastic trajectory and return its final statevector."""
-        n = circuit.num_qubits
-        state = zero_state(n)
-        for moment in as_moments(circuit):
-            busy = set()
-            duration = 0.0
-            if self.noise_model is not None:
-                duration = max(
-                    (self.noise_model.operation_duration(op) for op in moment),
-                    default=0.0,
-                )
-            for operation in moment:
-                busy.update(operation.qubits)
-                state = apply_gate(state, operation.gate.matrix, operation.qubits, n)
-                if self.noise_model is not None:
-                    for channel, qubits in self.noise_model.error_channels_for_operation(
-                        operation, physical_qubits
-                    ):
-                        state = _apply_channel_stochastically(
-                            state, channel, qubits, n, rng
-                        )
-            if self.noise_model is not None and duration > 0:
-                for qubit in range(n):
-                    if qubit in busy:
-                        continue
-                    idle = self.noise_model.idle_channel(
-                        qubit, physical_qubits[qubit], duration
-                    )
-                    if idle is not None:
-                        channel, qubits = idle
-                        state = _apply_channel_stochastically(
-                            state, channel, qubits, n, rng
-                        )
-        return state
+        program = build_noise_program(circuit, self.noise_model, list(physical_qubits))
+        return apply_program_to_state(program, zero_state(circuit.num_qubits), rng)
 
     def _run_batch(
         self,
@@ -180,35 +195,9 @@ class TrajectorySimulator:
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Advance all trajectories together; returns the ``(T, 2^n)`` final states."""
-        n = circuit.num_qubits
-        states = zero_states(self.num_trajectories, n)
-        for moment in as_moments(circuit):
-            busy = set()
-            duration = 0.0
-            if self.noise_model is not None:
-                duration = max(
-                    (self.noise_model.operation_duration(op) for op in moment),
-                    default=0.0,
-                )
-            for operation in moment:
-                busy.update(operation.qubits)
-                states = apply_gate_batch(states, operation.gate.matrix, operation.qubits, n)
-                if self.noise_model is not None:
-                    for channel, qubits in self.noise_model.error_channels_for_operation(
-                        operation, physical_qubits
-                    ):
-                        states = _apply_channel_batch(states, channel, qubits, n, rng)
-            if self.noise_model is not None and duration > 0:
-                for qubit in range(n):
-                    if qubit in busy:
-                        continue
-                    idle = self.noise_model.idle_channel(
-                        qubit, physical_qubits[qubit], duration
-                    )
-                    if idle is not None:
-                        channel, qubits = idle
-                        states = _apply_channel_batch(states, channel, qubits, n, rng)
-        return states
+        program = build_noise_program(circuit, self.noise_model, list(physical_qubits))
+        states = zero_states(self.num_trajectories, circuit.num_qubits)
+        return apply_program_to_states(program, states, rng)
 
     def run(
         self,

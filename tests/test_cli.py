@@ -71,6 +71,39 @@ class TestFastCommands:
         assert "knee of the curve" in output
 
 
+class TestSimulatorCommands:
+    def test_simulators_listing(self, capsys):
+        assert main(["simulators"]) == 0
+        output = capsys.readouterr().out
+        for name in ("density-matrix", "trajectory", "estimator", "auto"):
+            assert name in output
+
+    def test_backend_flag_accepted(self):
+        args = build_parser().parse_args(["fig10", "--backend", "trajectory"])
+        assert args.backend == "trajectory"
+
+    def test_backend_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig10", "--backend", "no-such-backend"])
+
+    def test_cache_stats_surfaces_in_process_caches(self, capsys, monkeypatch):
+        # No disk cache configured: the in-process section (including the
+        # previously invisible ideal-distribution cache) still renders.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 0
+        output = capsys.readouterr().out
+        assert "no disk compilation/simulation cache configured" in output
+        assert "ideal distributions" in output
+        assert "simulation results (memory)" in output
+        assert "noise programs" in output
+
+    def test_cache_stats_with_cache_dir_reports_sim_counters(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cc")]) == 0
+        output = capsys.readouterr().out
+        assert "sim_hits" in output and "sim_writes" in output
+        assert "ideal distributions" in output
+
+
 class TestPipelineFlags:
     def test_pipeline_auto_accepted(self):
         args = build_parser().parse_args(["fig10", "--pipeline", "auto"])

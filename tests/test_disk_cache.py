@@ -329,7 +329,7 @@ class TestCacheCli:
     def test_stats_without_configuration(self):
         code, output = self._run(["cache", "stats"])
         assert code == 0
-        assert "no disk compilation cache configured" in output
+        assert "no disk compilation/simulation cache configured" in output
 
     def test_stats_and_clear_with_cache_dir(self, tmp_path, shared_decomposer):
         disk = DiskCompilationCache(tmp_path)

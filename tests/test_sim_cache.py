@@ -1,0 +1,198 @@
+"""The two-tier simulation-result cache behind the engine's simulate nodes.
+
+Contracts under test:
+
+* a warm re-run of a study serves every simulate node from the memory
+  tier (zero backend invocations) with bit-identical rows;
+* with a cache directory, a memory-cold re-run serves every simulate
+  node from the disk tier's ``sim`` namespace -- again with zero backend
+  invocations and bit-identical rows -- and the dedicated ``sim_*``
+  counters record the traffic;
+* corrupt persisted vectors degrade to misses, never errors;
+* determinism holds now that worker pools receive immutable noise
+  programs instead of per-job ``Device`` deep copies (the regression
+  guard for removing the deepcopy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications import qv_circuit
+from repro.caching.disk import disk_cache_for
+from repro.core.instruction_sets import google_instruction_set, single_gate_set
+from repro.devices.synthetic import synthetic_device
+from repro.experiments.engine import (
+    clear_experiment_caches,
+    run_study,
+    simulation_cache_stats,
+)
+from repro.experiments.runner import SimulationOptions
+from repro.metrics.hop import heavy_output_probability
+from repro.simulators.backend import (
+    backend_invocation_counts,
+    reset_backend_invocation_counts,
+)
+
+
+def _study_kwargs(shared_decomposer, **overrides):
+    kwargs = dict(
+        application="qv",
+        circuits=[qv_circuit(3, rng=np.random.default_rng(index)) for index in range(2)],
+        metric_name="HOP",
+        metric=heavy_output_probability,
+        device_factory=lambda: synthetic_device(5, "line", seed=13),
+        instruction_sets={
+            "S1": single_gate_set("S1", vendor="google"),
+            "G3": google_instruction_set("G3"),
+        },
+        options=SimulationOptions(shots=900, seed=5),
+        decomposer=shared_decomposer,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+def _rows(study):
+    return [
+        (name, result.metric_values, result.two_qubit_counts, result.swap_counts)
+        for name, result in study.per_set.items()
+    ]
+
+
+class TestMemoryTier:
+    def test_warm_study_skips_every_backend_invocation(self, shared_decomposer):
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        cold = run_study(**kwargs, workers=1)
+        stats_cold = simulation_cache_stats()
+        assert stats_cold["misses"] == 4  # 2 sets x 2 circuits
+        assert stats_cold["entries"] == 4
+
+        reset_backend_invocation_counts()
+        warm = run_study(**kwargs, workers=1)
+        stats_warm = simulation_cache_stats()
+        assert backend_invocation_counts() == {}, "warm run must not simulate"
+        assert stats_warm["hits"] == stats_cold["misses"]
+        assert stats_warm["misses"] == stats_cold["misses"]
+        assert _rows(warm) == _rows(cold)
+
+    def test_distinct_options_do_not_share_entries(self, shared_decomposer):
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        run_study(**kwargs, workers=1)
+        reset_backend_invocation_counts()
+        run_study(
+            **_study_kwargs(shared_decomposer, options=SimulationOptions(shots=901, seed=5)),
+            workers=1,
+        )
+        assert sum(backend_invocation_counts().values()) > 0
+
+    def test_distinct_backends_do_not_share_entries(self, shared_decomposer):
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        auto = run_study(**kwargs, workers=1)
+        reset_backend_invocation_counts()
+        estimated = run_study(**kwargs, workers=1, backend="estimator")
+        assert _rows(estimated) != _rows(auto)
+        assert backend_invocation_counts().get("estimator") == 4
+        # Entries are keyed on the *effective* backend, so the explicit
+        # spelling of the backend auto delegated to shares auto's entries
+        # (and a delegate version bump would orphan both).
+        reset_backend_invocation_counts()
+        explicit = run_study(**kwargs, workers=1, backend="density-matrix")
+        assert _rows(explicit) == _rows(auto)
+        assert backend_invocation_counts() == {}
+
+    def test_unregistered_backend_instance_works(self, shared_decomposer):
+        """run_study accepts backend instances that were never registered
+        (workers ship the instance, not a name to re-resolve)."""
+        from repro.simulators.backend import EstimatorBackend
+
+        class LocalEstimator(EstimatorBackend):
+            name = "local-estimator"
+            version = 1
+
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        local = run_study(**kwargs, workers=1, backend=LocalEstimator())
+        registered = run_study(**kwargs, workers=1, backend="estimator")
+        assert _rows(local) == _rows(registered)
+
+
+class TestDiskTier:
+    def test_fresh_memory_state_warm_starts_from_disk(self, shared_decomposer, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        cold = run_study(**kwargs, workers=1, cache_dir=cache_dir)
+        disk = disk_cache_for(cache_dir)
+        assert disk.sim_writes == 4
+        assert disk.sim_hits == 0
+        assert disk.stats()["sim_entries"] == 4
+
+        # Simulate a fresh process: every in-memory tier dropped.
+        clear_experiment_caches()
+        reset_backend_invocation_counts()
+        warm = run_study(**kwargs, workers=1, cache_dir=cache_dir)
+        assert backend_invocation_counts() == {}, "disk tier must satisfy every node"
+        assert disk.sim_hits == 4
+        assert disk.sim_writes == 4  # unchanged: hits are never re-written
+        assert _rows(warm) == _rows(cold)
+
+    def test_memory_hits_backfill_a_new_cache_dir(self, shared_decomposer, tmp_path):
+        """A study that runs cache-less first must still persist its
+        vectors when a later run names a cache directory."""
+        cache_dir = str(tmp_path / "late-cache")
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        run_study(**kwargs, workers=1)  # memory tier only
+        reset_backend_invocation_counts()
+        run_study(**kwargs, workers=1, cache_dir=cache_dir)
+        assert backend_invocation_counts() == {}  # served from memory...
+        disk = disk_cache_for(cache_dir)
+        assert disk.sim_writes == 4  # ...but still persisted to the new dir
+        assert disk.stats()["sim_entries"] == 4
+
+    def test_corrupt_simulation_entry_degrades_to_miss(self, shared_decomposer, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        cold = run_study(**kwargs, workers=1, cache_dir=cache_dir)
+        disk = disk_cache_for(cache_dir)
+        sim_dir = disk.version_dir / "sim"
+        corrupted = sorted(sim_dir.rglob("*.pkl"))
+        assert len(corrupted) == 4
+        for path in corrupted:
+            path.write_bytes(b"not a pickle")
+
+        clear_experiment_caches()
+        reset_backend_invocation_counts()
+        recovered = run_study(**kwargs, workers=1, cache_dir=cache_dir)
+        assert sum(backend_invocation_counts().values()) > 0  # re-simulated
+        assert _rows(recovered) == _rows(cold)
+
+
+class TestNoDeviceCopyDeterminism:
+    def test_worker_pools_stay_bit_identical_without_device_copies(
+        self, shared_decomposer
+    ):
+        """Regression guard for shipping noise programs instead of Device
+        deep copies to the pool: cold parallel == cold serial."""
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        serial = run_study(**kwargs, workers=1)
+        clear_experiment_caches()
+        parallel = run_study(**kwargs, workers=2)
+        assert _rows(parallel) == _rows(serial)
+
+    def test_cached_vectors_are_immutable(self, shared_decomposer):
+        kwargs = _study_kwargs(shared_decomposer)
+        clear_experiment_caches()
+        run_study(**kwargs, workers=1)
+        from repro.experiments.engine import _SIM_CACHE
+
+        vector = next(iter(_SIM_CACHE.values()))
+        with pytest.raises((ValueError, RuntimeError)):
+            vector[0] = 1.0
