@@ -5,13 +5,43 @@ reduced ("quick") scale; the corresponding ``paper_scale()`` configuration
 documents the full-size setup.  A session-scoped decomposer is shared so
 fidelity profiles are reused across benchmarks, mirroring how the paper's
 toolflow caches decompositions across instruction sets.
+
+Machine-readable benchmark records
+----------------------------------
+
+Every benchmark session additionally emits ``BENCH_5.json`` (path
+overridable via the ``REPRO_BENCH_JSON`` environment variable): one
+record per executed benchmark with its wall time, merged with any
+existing file so consecutive pytest invocations (CI runs each benchmark
+module as its own step) accumulate into a single artifact.  Benchmarks
+with an intrinsic baseline comparison -- e.g. the fused-vs-reference
+kernel benchmark -- attach their measured speedup through the
+``bench_json_record`` fixture.  CI uploads the file as a build artifact
+so future PRs can diff per-benchmark wall times and speedups against
+earlier runs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
 import pytest
 
 from repro.core.decomposer import NuOpDecomposer
+
+BENCH_JSON_ENV_VAR = "REPRO_BENCH_JSON"
+"""Environment variable overriding where the benchmark records land."""
+
+BENCH_JSON_DEFAULT = "BENCH_5.json"
+"""Default record file (cwd-relative), named after the PR that started
+the benchmark trajectory; kept stable so CI artifacts line up."""
+
+BENCH_JSON_SCHEMA = 1
+
+_BENCH_RECORDS: Dict[str, Dict[str, object]] = {}
 
 
 @pytest.fixture(scope="session")
@@ -28,3 +58,51 @@ def run_once(benchmark):
         return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture()
+def bench_json_record(request):
+    """Attach structured fields (speedup, baseline timings) to this
+    benchmark's ``BENCH_5.json`` record."""
+
+    def _record(**fields: object) -> None:
+        _BENCH_RECORDS.setdefault(request.node.nodeid, {}).update(fields)
+
+    return _record
+
+
+def pytest_runtest_logreport(report):
+    """Record the wall time of every benchmark that ran to completion."""
+    if report.when == "call" and report.passed:
+        _BENCH_RECORDS.setdefault(report.nodeid, {})["wall_s"] = round(
+            report.duration, 4
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's records into the benchmark JSON file."""
+    if not _BENCH_RECORDS:
+        return
+    path = Path(os.environ.get(BENCH_JSON_ENV_VAR, "") or BENCH_JSON_DEFAULT)
+    merged: Dict[str, Dict[str, object]] = {}
+    try:
+        existing = json.loads(path.read_text())
+        if existing.get("schema") == BENCH_JSON_SCHEMA:
+            merged = {
+                record["name"]: {k: v for k, v in record.items() if k != "name"}
+                for record in existing.get("benchmarks", [])
+            }
+    except (OSError, ValueError, TypeError, KeyError, AttributeError):
+        merged = {}
+    for name, fields in _BENCH_RECORDS.items():
+        merged.setdefault(name, {}).update(fields)
+    payload = {
+        "schema": BENCH_JSON_SCHEMA,
+        "benchmarks": [
+            {"name": name, **fields} for name, fields in sorted(merged.items())
+        ],
+    }
+    try:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    except OSError:  # read-only checkout: records are best-effort
+        pass

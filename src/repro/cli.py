@@ -260,6 +260,7 @@ def _in_process_cache_report() -> str:
     notebooks, test harnesses) where studies have already run, and to make
     the previously invisible ideal-distribution cache inspectable at all.
     """
+    from repro.compiler.autotune import global_tuner_cache
     from repro.core.pipeline import global_compilation_cache
     from repro.experiments.engine import ideal_cache_stats, simulation_cache_stats
     from repro.simulators.noise_program import noise_program_cache_stats
@@ -268,6 +269,7 @@ def _in_process_cache_report() -> str:
         "compilation (memory)": global_compilation_cache().stats(),
         "ideal distributions": ideal_cache_stats(),
         "noise programs": noise_program_cache_stats(),
+        "autotuner verdicts": global_tuner_cache().stats(),
         "simulation results (memory)": simulation_cache_stats(),
     }
     rows = [
@@ -303,7 +305,7 @@ def _cmd_cache(args: argparse.Namespace) -> str:
 
 
 def _cmd_simulators(args: argparse.Namespace) -> str:
-    from repro.simulators.backend import available_backends
+    from repro.simulators.backend import active_simulation_kernel, available_backends
 
     rows = [
         {
@@ -316,7 +318,10 @@ def _cmd_simulators(args: argparse.Namespace) -> str:
     return (
         "Registered simulator backends\n"
         + render_table(rows)
-        + "\n\nSelect with --backend on fig9/fig10/fig10f, backend= on run_study,\n"
+        + f"\n\nactive kernel: {active_simulation_kernel()} "
+        "(REPRO_SIM_KERNEL=fused|reference; fused = one contraction per\n"
+        "fused channel group, reference = the pinned bit-identical replay)\n"
+        "\nSelect with --backend on fig9/fig10/fig10f, backend= on run_study,\n"
         "or SimulationOptions(method=...); 'auto' dispatches by qubit count\n"
         "(density-matrix up to max_density_matrix_qubits, else trajectory)."
     )

@@ -55,6 +55,14 @@ threads, and then to inline execution, when the platform cannot spawn or
 feed a process pool.  Worker payloads are the immutable noise program
 plus plain option scalars -- the engine no longer deep-copies the
 ``Device`` per simulate job.
+
+Cold simulate nodes run the **fused superoperator kernels** by default
+(:mod:`repro.simulators.superop`); ``REPRO_SIM_KERNEL=reference``
+selects the pinned sequential replay instead (bit-identical to the
+legacy loops, and the mode the engine-vs-legacy determinism tests run
+under).  The active kernel is folded into the backend version component
+of :func:`simulation_cache_key`, so the two kernels never share cached
+vectors.
 """
 
 from __future__ import annotations
@@ -145,6 +153,7 @@ def ideal_cache_stats() -> Dict[str, int]:
             "hits": _IDEAL_CACHE_STATS["hits"],
             "misses": _IDEAL_CACHE_STATS["misses"],
             "entries": len(_IDEAL_CACHE),
+            "max_entries": _IDEAL_CACHE_MAX_ENTRIES,
         }
 
 
@@ -265,6 +274,7 @@ def simulation_cache_stats() -> Dict[str, int]:
             "hits": _SIM_CACHE_STATS["hits"],
             "misses": _SIM_CACHE_STATS["misses"],
             "entries": len(_SIM_CACHE),
+            "max_entries": _SIM_CACHE_MAX_ENTRIES,
         }
 
 

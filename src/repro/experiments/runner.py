@@ -24,7 +24,10 @@ from repro.core.pipeline import CompiledCircuit, compile_circuit
 from repro.devices.device import Device
 from repro.metrics.distributions import permute_distribution
 from repro.simulators.backend import SimulatorBackend, resolve_backend
-from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.density_matrix import (
+    MAX_DENSITY_MATRIX_QUBITS,
+    DensityMatrixSimulator,
+)
 from repro.simulators.noise_program import NoiseProgram, noise_program_for
 from repro.simulators.sampling import sample_counts
 from repro.simulators.statevector import ideal_probabilities
@@ -61,6 +64,12 @@ class SimulationOptions:
             raise ValueError(
                 "SimulationOptions.max_density_matrix_qubits must be >= 0, got "
                 f"{self.max_density_matrix_qubits}"
+            )
+        if int(self.max_density_matrix_qubits) > MAX_DENSITY_MATRIX_QUBITS:
+            raise ValueError(
+                "SimulationOptions.max_density_matrix_qubits cannot exceed the "
+                f"density-matrix simulator's hard cap of {MAX_DENSITY_MATRIX_QUBITS} "
+                f"qubits, got {self.max_density_matrix_qubits}"
             )
 
     def fingerprint(self) -> str:
@@ -122,12 +131,14 @@ def simulate_compiled(
     Thin dispatcher over the simulator-backend registry
     (:mod:`repro.simulators.backend`): resolves ``backend`` (default:
     ``options.method``, itself defaulting to ``"auto"``, the historical
-    qubit-threshold dispatch -- pinned bit-identical to
-    :func:`simulate_compiled_reference` by
-    ``tests/test_simulator_backends.py``), fetches the compiled circuit's
-    precompiled noise program from the process-wide cache
+    qubit-threshold dispatch), fetches the compiled circuit's precompiled
+    noise program from the process-wide cache
     (:func:`repro.simulators.noise_program.noise_program_for`) and runs
-    the backend on it.
+    the backend on it.  The backends run the fused superoperator kernels
+    by default; under ``REPRO_SIM_KERNEL=reference`` this path is pinned
+    bit-identical to :func:`simulate_compiled_reference` by
+    ``tests/test_simulator_backends.py``, and the fused default is held
+    to ``<= 1e-10`` of it by ``tests/test_superop.py``.
     """
     options = options or SimulationOptions()
     resolved = resolve_backend(backend if backend is not None else options.method)

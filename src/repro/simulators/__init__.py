@@ -8,10 +8,14 @@
   per-moment gate/channel/idle programs shared by every backend.
 * :mod:`repro.simulators.backend` -- the :class:`SimulatorBackend`
   protocol and the named backend registry (``density-matrix``,
-  ``trajectory``, ``estimator``, ``auto``).
-* :mod:`repro.simulators.density_matrix` -- exact noisy simulation.
+  ``trajectory``, ``estimator``, ``auto``), plus the
+  ``REPRO_SIM_KERNEL`` fused/reference kernel selector.
+* :mod:`repro.simulators.superop` -- fused superoperator lowering and
+  the default simulation kernels (one contraction per channel group).
+* :mod:`repro.simulators.density_matrix` -- exact noisy simulation
+  (the pinned reference kernel).
 * :mod:`repro.simulators.trajectory` -- Monte-Carlo trajectory simulation
-  for larger circuits.
+  for larger circuits (the pinned reference kernel).
 * :mod:`repro.simulators.sampling` -- shot sampling and readout error.
 * :mod:`repro.simulators.estimator` -- analytic fidelity estimates.
 """
@@ -48,10 +52,25 @@ from repro.simulators.noise_program import (
     noise_program_for,
 )
 from repro.simulators.density_matrix import (
+    MAX_DENSITY_MATRIX_QUBITS,
     DensityMatrixSimulator,
     DensityMatrixResult,
     apply_channel_to_rho,
     apply_program_to_density_matrix,
+)
+from repro.simulators.superop import (
+    SuperopProgram,
+    TrajectoryPlan,
+    apply_superop_program,
+    apply_trajectory_plan_to_state,
+    apply_trajectory_plan_to_states,
+    channel_superoperator,
+    kraus_to_superoperator,
+    lower_noise_program,
+    superop_program_for,
+    superoperator_to_choi,
+    trajectory_plan_for,
+    unitary_superoperator,
 )
 from repro.simulators.trajectory import (
     TrajectorySimulator,
@@ -60,6 +79,7 @@ from repro.simulators.trajectory import (
 )
 from repro.simulators.backend import (
     SimulatorBackend,
+    active_simulation_kernel,
     available_backends,
     backend_invocation_counts,
     register_backend,
@@ -101,14 +121,28 @@ __all__ = [
     "clear_noise_program_cache",
     "noise_program_cache_stats",
     "noise_program_for",
+    "MAX_DENSITY_MATRIX_QUBITS",
     "DensityMatrixSimulator",
     "DensityMatrixResult",
     "apply_channel_to_rho",
     "apply_program_to_density_matrix",
+    "SuperopProgram",
+    "TrajectoryPlan",
+    "apply_superop_program",
+    "apply_trajectory_plan_to_state",
+    "apply_trajectory_plan_to_states",
+    "channel_superoperator",
+    "kraus_to_superoperator",
+    "lower_noise_program",
+    "superop_program_for",
+    "superoperator_to_choi",
+    "trajectory_plan_for",
+    "unitary_superoperator",
     "TrajectorySimulator",
     "apply_program_to_state",
     "apply_program_to_states",
     "SimulatorBackend",
+    "active_simulation_kernel",
     "available_backends",
     "backend_invocation_counts",
     "register_backend",

@@ -22,12 +22,31 @@ or how many backends -- run it.  The registry makes the choice a *name*
 * ``estimator`` -- analytic fidelity-product estimate, no state at all;
 * ``auto`` -- the qubit-threshold dispatch the experiments always used
   (density matrix up to ``SimulationOptions.max_density_matrix_qubits``,
-  trajectories beyond), reproducing the legacy
-  ``simulate_compiled`` behaviour bit-identically.
+  trajectories beyond), reproducing the legacy ``simulate_compiled``
+  behaviour bit-identically under ``REPRO_SIM_KERNEL=reference`` (and to
+  ``<= 1e-10`` under the default fused kernel).
 
 Backends carry a ``version``; it is part of the simulation-result cache
 key (:mod:`repro.experiments.engine`), so changing a backend's numerics
 orphans its persisted results instead of serving stale ones.
+
+The exact backends run one of two **kernels**, selected by the
+``REPRO_SIM_KERNEL`` environment variable (:func:`active_simulation_kernel`):
+
+* ``fused`` (the default) -- the fused superoperator / pre-stacked
+  channel kernels of :mod:`repro.simulators.superop`: one numpy
+  contraction per fused channel group instead of one per Kraus operator.
+  Numerically equal but not bit-identical to the sequential loops (float
+  reassociation), held to ``<= 1e-10`` max-abs deviation.
+* ``reference`` -- the pinned sequential replay kernels
+  (:func:`~repro.simulators.density_matrix.apply_program_to_density_matrix`,
+  :func:`~repro.simulators.trajectory.apply_program_to_states`),
+  bit-identical to every pre-fused release.
+
+The active kernel determines the backend ``version`` (fused results are
+keyed under a bumped version), so fused and reference runs never share
+simulation-cache entries and switching kernels never serves the other
+kernel's vectors.
 
 Invocation counters (:func:`backend_invocation_counts`) exist so tests
 and benchmarks can *prove* a warm study skipped simulation entirely.
@@ -36,23 +55,59 @@ and benchmarks can *prove* a warm study skipped simulation entirely.
 from __future__ import annotations
 
 import abc
+import os
 import threading
+import warnings
 from typing import TYPE_CHECKING, Dict, Union
 
 import numpy as np
 
 from repro.simulators.density_matrix import (
-    _MAX_DENSITY_MATRIX_QUBITS,
+    MAX_DENSITY_MATRIX_QUBITS,
     DensityMatrixResult,
     apply_program_to_density_matrix,
 )
 from repro.simulators.estimator import program_fidelity_estimate
 from repro.simulators.noise_program import NoiseProgram
 from repro.simulators.statevector import apply_gate, zero_state, zero_states
+from repro.simulators.superop import (
+    apply_superop_program,
+    apply_trajectory_plan_to_states,
+    superop_program_for,
+    trajectory_plan_for,
+)
 from repro.simulators.trajectory import apply_program_to_states
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
     from repro.experiments.runner import SimulationOptions
+
+SIM_KERNEL_ENV_VAR = "REPRO_SIM_KERNEL"
+"""Environment variable selecting the simulation kernel."""
+
+SIM_KERNELS = ("fused", "reference")
+"""Recognised kernel names, fastest first (the first is the default)."""
+
+
+def active_simulation_kernel() -> str:
+    """The selected simulation kernel (``fused`` unless overridden).
+
+    Reads ``REPRO_SIM_KERNEL`` on every call so tests and child processes
+    can switch kernels without re-importing; unknown values fall back to
+    the default with a warning instead of silently changing numerics.
+    """
+    raw = os.environ.get(SIM_KERNEL_ENV_VAR, "").strip().lower()
+    if not raw:
+        return SIM_KERNELS[0]
+    if raw not in SIM_KERNELS:
+        known = ", ".join(SIM_KERNELS)
+        warnings.warn(
+            f"ignoring invalid {SIM_KERNEL_ENV_VAR}={raw!r} (known kernels: "
+            f"{known}); using {SIM_KERNELS[0]!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return SIM_KERNELS[0]
+    return raw
 
 
 class SimulatorBackend(abc.ABC):
@@ -126,39 +181,84 @@ def reset_backend_invocation_counts() -> None:
 
 
 class DensityMatrixBackend(SimulatorBackend):
-    """Exact noisy simulation: replay every Kraus branch on a density matrix."""
+    """Exact noisy simulation: replay every Kraus branch on a density matrix.
+
+    Runs the fused superoperator kernel by default (one contraction per
+    fused channel group) and the pinned sequential replay under
+    ``REPRO_SIM_KERNEL=reference``; the two carry distinct ``version``
+    values so their simulation-cache entries never collide.
+    """
 
     name = "density-matrix"
-    version = 1
+    reference_version = 1
+    """Cache-key version of the pinned sequential replay kernel --
+    unchanged since the registry shipped, so reference-kernel runs keep
+    warm-starting from pre-fused caches."""
+    fused_version = 2
+    """Cache-key version of the fused superoperator kernel."""
     description = "exact density-matrix evolution (4^n memory, all Kraus branches)"
+
+    @property
+    def version(self) -> int:
+        return (
+            self.fused_version
+            if active_simulation_kernel() == "fused"
+            else self.reference_version
+        )
 
     def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
         _count_invocation(self.name)
         n = program.num_qubits
-        if n > _MAX_DENSITY_MATRIX_QUBITS:
+        if n > MAX_DENSITY_MATRIX_QUBITS:
             raise ValueError(
-                f"density-matrix simulation limited to {_MAX_DENSITY_MATRIX_QUBITS} "
+                f"density-matrix simulation limited to {MAX_DENSITY_MATRIX_QUBITS} "
                 "qubits; use the trajectory backend for larger circuits"
             )
         dim = 2**n
         rho = np.zeros((dim, dim), dtype=complex)
         rho[0, 0] = 1.0
-        rho = apply_program_to_density_matrix(program, rho)
+        if active_simulation_kernel() == "fused":
+            rho = apply_superop_program(superop_program_for(program), rho)
+        else:
+            rho = apply_program_to_density_matrix(program, rho)
         return DensityMatrixResult(density_matrix=rho, num_qubits=n).probabilities()
 
 
 class TrajectoryBackend(SimulatorBackend):
-    """Monte-Carlo trajectory simulation, vectorised over trajectories."""
+    """Monte-Carlo trajectory simulation, vectorised over trajectories.
+
+    Runs the pre-stacked channel kernel by default (all Kraus branches of
+    a channel in one contraction, cached reshape/transpose plans) and the
+    pinned sequential replay under ``REPRO_SIM_KERNEL=reference``; the
+    two carry distinct ``version`` values so their simulation-cache
+    entries never collide.
+    """
 
     name = "trajectory"
-    version = 1
+    reference_version = 1
+    """Cache-key version of the pinned sequential replay kernel."""
+    fused_version = 2
+    """Cache-key version of the pre-stacked channel kernel."""
     description = "Monte-Carlo trajectory averaging (T x 2^n memory, seeded)"
+
+    @property
+    def version(self) -> int:
+        return (
+            self.fused_version
+            if active_simulation_kernel() == "fused"
+            else self.reference_version
+        )
 
     def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
         _count_invocation(self.name)
         rng = np.random.default_rng(options.seed)
         states = zero_states(options.trajectories, program.num_qubits)
-        states = apply_program_to_states(program, states, rng)
+        if active_simulation_kernel() == "fused":
+            states = apply_trajectory_plan_to_states(
+                trajectory_plan_for(program), states, rng
+            )
+        else:
+            states = apply_program_to_states(program, states, rng)
         return np.mean(np.abs(states) ** 2, axis=0)
 
 

@@ -11,6 +11,14 @@ replays a precompiled :class:`~repro.simulators.noise_program.NoiseProgram`
 :mod:`repro.simulators.backend`).  :class:`DensityMatrixSimulator` is the
 legacy circuit-level entry point: it lowers the circuit on the fly and
 replays it, which keeps it bit-identical to the pre-program inline loop.
+
+This module is the **reference kernel**: one operator application per
+Kraus branch, in recorded order, pinned bit-identical to the original
+inline loops.  The production default is the fused superoperator kernel
+(:mod:`repro.simulators.superop`, selected by ``REPRO_SIM_KERNEL`` in
+:mod:`repro.simulators.backend`), which applies one contraction per fused
+channel group and is held to ``<= 1e-10`` of this kernel.  Do not
+optimise the replay below; its stasis is the point.
 """
 
 from __future__ import annotations
@@ -25,7 +33,13 @@ from repro.simulators.noise import KrausChannel
 from repro.simulators.noise_model import NoiseModel
 from repro.simulators.noise_program import NoiseProgram, build_noise_program
 
-_MAX_DENSITY_MATRIX_QUBITS = 12
+MAX_DENSITY_MATRIX_QUBITS = 12
+"""Hard width ceiling of density-matrix simulation (``4^n`` memory).
+
+The single source of truth for the cap: the :class:`DensityMatrixSimulator`
+entry point, the ``density-matrix`` backend and
+``SimulationOptions.max_density_matrix_qubits`` validation all reference
+this constant instead of hardcoding their own copies."""
 
 
 @dataclass
@@ -138,9 +152,9 @@ class DensityMatrixSimulator:
             Optional pure initial state (defaults to ``|0...0>``).
         """
         n = circuit.num_qubits
-        if n > _MAX_DENSITY_MATRIX_QUBITS:
+        if n > MAX_DENSITY_MATRIX_QUBITS:
             raise ValueError(
-                f"density-matrix simulation limited to {_MAX_DENSITY_MATRIX_QUBITS} qubits; "
+                f"density-matrix simulation limited to {MAX_DENSITY_MATRIX_QUBITS} qubits; "
                 "use the trajectory simulator for larger circuits"
             )
         if physical_qubits is None:

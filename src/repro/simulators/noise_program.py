@@ -38,7 +38,9 @@ calibration fingerprint but not the program lowered for this circuit).
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -90,6 +92,13 @@ class NoiseProgram:
     num_qubits: int
     moments: Tuple[ProgramMoment, ...]
     _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
+    _superop: Optional[object] = field(default=None, repr=False, compare=False)
+    """Lazily derived fused-superoperator lowering
+    (:func:`repro.simulators.superop.superop_program_for`); cached on the
+    program so it is computed once and travels with pickled programs."""
+    _trajectory_plan: Optional[object] = field(default=None, repr=False, compare=False)
+    """Lazily derived pre-stacked trajectory plan
+    (:func:`repro.simulators.superop.trajectory_plan_for`)."""
 
     def num_operations(self) -> int:
         """Total gate applications across all moments."""
@@ -212,9 +221,47 @@ def build_noise_program(
 _PROGRAM_CACHE: "OrderedDict[Tuple, NoiseProgram]" = OrderedDict()
 _PROGRAM_CACHE_LOCK = threading.Lock()
 _PROGRAM_CACHE_STATS = {"hits": 0, "misses": 0}
-_PROGRAM_CACHE_MAX_ENTRIES = 256
-"""LRU bound: programs hold one small matrix per Kraus operator, so a few
-hundred distinct compiled circuits stay comfortably in memory."""
+
+_DEFAULT_PROGRAM_CACHE_SIZE = 256
+"""Default LRU bound: programs hold one small matrix per Kraus operator,
+so a few hundred distinct compiled circuits stay comfortably in memory."""
+
+PROGRAM_CACHE_SIZE_ENV_VAR = "REPRO_PROGRAM_CACHE_SIZE"
+"""Environment variable overriding the noise-program LRU bound."""
+
+_PROGRAM_CACHE_MAX_ENTRIES: Optional[int] = None
+"""Resolved bound; ``None`` until first use (tests reset it via
+:func:`clear_noise_program_cache` so the env var is re-read)."""
+
+
+def _program_cache_bound() -> int:
+    """The noise-program LRU bound, configurable via the environment.
+
+    Invalid values -- non-numeric, zero or negative -- fall back to the
+    documented default with a warning instead of being silently clamped
+    (the same policy ``REPRO_COMPILE_CACHE_SIZE`` follows).
+    """
+    global _PROGRAM_CACHE_MAX_ENTRIES
+    if _PROGRAM_CACHE_MAX_ENTRIES is not None:
+        return _PROGRAM_CACHE_MAX_ENTRIES
+    raw = os.environ.get(PROGRAM_CACHE_SIZE_ENV_VAR, "").strip()
+    if not raw:
+        _PROGRAM_CACHE_MAX_ENTRIES = _DEFAULT_PROGRAM_CACHE_SIZE
+        return _PROGRAM_CACHE_MAX_ENTRIES
+    try:
+        size = int(raw)
+    except ValueError:
+        size = 0
+    if size < 1:
+        warnings.warn(
+            f"ignoring invalid {PROGRAM_CACHE_SIZE_ENV_VAR}={raw!r} (need a "
+            f"positive integer); using the default of {_DEFAULT_PROGRAM_CACHE_SIZE}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        size = _DEFAULT_PROGRAM_CACHE_SIZE
+    _PROGRAM_CACHE_MAX_ENTRIES = size
+    return _PROGRAM_CACHE_MAX_ENTRIES
 
 
 def noise_program_for(compiled: "CompiledCircuit", device: "Device") -> NoiseProgram:
@@ -242,27 +289,37 @@ def noise_program_for(compiled: "CompiledCircuit", device: "Device") -> NoisePro
         compiled.circuit, device.noise_model, list(compiled.physical_qubits)
     )
     program.fingerprint()  # compute once outside any lock; replays share it
+    bound = _program_cache_bound()
     with _PROGRAM_CACHE_LOCK:
         _PROGRAM_CACHE[key] = program
         _PROGRAM_CACHE.move_to_end(key)
-        while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX_ENTRIES:
+        while len(_PROGRAM_CACHE) > bound:
             _PROGRAM_CACHE.popitem(last=False)
     return program
 
 
 def noise_program_cache_stats() -> Dict[str, int]:
     """Hit/miss/size counters of the noise-program cache."""
+    bound = _program_cache_bound()
     with _PROGRAM_CACHE_LOCK:
         return {
             "hits": _PROGRAM_CACHE_STATS["hits"],
             "misses": _PROGRAM_CACHE_STATS["misses"],
             "entries": len(_PROGRAM_CACHE),
+            "max_entries": bound,
         }
 
 
 def clear_noise_program_cache() -> None:
-    """Drop every cached program and reset the counters (tests/benchmarks)."""
+    """Drop every cached program and reset the counters (tests/benchmarks).
+
+    Also forgets the resolved LRU bound so the next use re-reads
+    ``REPRO_PROGRAM_CACHE_SIZE`` -- tests exercise the knob by setting
+    the variable and clearing the cache.
+    """
+    global _PROGRAM_CACHE_MAX_ENTRIES
     with _PROGRAM_CACHE_LOCK:
         _PROGRAM_CACHE.clear()
         _PROGRAM_CACHE_STATS["hits"] = 0
         _PROGRAM_CACHE_STATS["misses"] = 0
+        _PROGRAM_CACHE_MAX_ENTRIES = None

@@ -24,6 +24,14 @@ legacy circuit-level entry point: it lowers the circuit on the fly and
 replays it, which keeps it bit-identical to the pre-program inline loop
 (the lowering preserves the channel order and therefore the RNG draw
 order).
+
+This module is the **reference kernel**: operators applied one at a
+time, per-call index bookkeeping, pinned bit-identical to the original
+inline loops.  The production default is the pre-stacked channel kernel
+(:mod:`repro.simulators.superop`, selected by ``REPRO_SIM_KERNEL`` in
+:mod:`repro.simulators.backend`), which contracts all Kraus branches of
+a channel at once from cached plans and draws randomness in the same
+order.  Do not optimise the replay below; its stasis is the point.
 """
 
 from __future__ import annotations

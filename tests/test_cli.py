@@ -78,6 +78,14 @@ class TestSimulatorCommands:
         for name in ("density-matrix", "trajectory", "estimator", "auto"):
             assert name in output
 
+    def test_simulators_listing_reports_active_kernel(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        assert main(["simulators"]) == 0
+        assert "active kernel: fused" in capsys.readouterr().out
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "reference")
+        assert main(["simulators"]) == 0
+        assert "active kernel: reference" in capsys.readouterr().out
+
     def test_backend_flag_accepted(self):
         args = build_parser().parse_args(["fig10", "--backend", "trajectory"])
         assert args.backend == "trajectory"
@@ -96,6 +104,9 @@ class TestSimulatorCommands:
         assert "ideal distributions" in output
         assert "simulation results (memory)" in output
         assert "noise programs" in output
+        assert "autotuner verdicts" in output
+        # Every in-process cache reports its LRU bound alongside counters.
+        assert "max_entries" in output
 
     def test_cache_stats_with_cache_dir_reports_sim_counters(self, capsys, tmp_path):
         assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cc")]) == 0

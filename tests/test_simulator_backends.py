@@ -2,10 +2,13 @@
 
 Contracts under test:
 
-* the ``auto`` backend (and therefore the default ``simulate_compiled``
-  path) is bit-identical to the frozen pre-registry dispatch
-  (``simulate_compiled_reference``) on **both** sides of the
-  density-matrix / trajectory threshold;
+* under ``REPRO_SIM_KERNEL=reference`` the ``auto`` backend (and
+  therefore the ``simulate_compiled`` path) is bit-identical to the
+  frozen pre-registry dispatch (``simulate_compiled_reference``) on
+  **both** sides of the density-matrix / trajectory threshold;
+* the default fused kernel stays within ``1e-10`` of that reference and
+  carries a distinct backend ``version`` so the two kernels never share
+  simulation-cache entries;
 * the registry resolves names, rejects unknown names with the list of
   known ones, and every backend consumes the same shared noise program;
 * trajectory and density-matrix backends converge on each other for
@@ -31,6 +34,8 @@ from repro.experiments.runner import (
     simulate_compiled_reference,
 )
 from repro.simulators.backend import (
+    SIM_KERNEL_ENV_VAR,
+    active_simulation_kernel,
     available_backends,
     backend_invocation_counts,
     reset_backend_invocation_counts,
@@ -96,7 +101,15 @@ class TestRegistry:
 
 
 class TestAutoMatchesLegacyDispatch:
-    def test_density_matrix_side_of_threshold(self, compiled_job):
+    """Bit-identity of the backend dispatch, pinned on the reference kernel.
+
+    The fused kernel (the default) is numerically equal but not
+    bit-identical (float reassociation); its ``<= 1e-10`` contract is
+    covered by :class:`TestFusedKernel` and ``tests/test_superop.py``.
+    """
+
+    def test_density_matrix_side_of_threshold(self, compiled_job, monkeypatch):
+        monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "reference")
         compiled, device = compiled_job
         options = SimulationOptions(shots=1500, seed=5)
         reference = simulate_compiled_reference(compiled, device, options)
@@ -110,7 +123,8 @@ class TestAutoMatchesLegacyDispatch:
             reference,
         )
 
-    def test_trajectory_side_of_threshold(self, compiled_job):
+    def test_trajectory_side_of_threshold(self, compiled_job, monkeypatch):
+        monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "reference")
         compiled, device = compiled_job
         # Force the trajectory path by lowering the threshold below the
         # circuit width, exactly how the legacy dispatch would switch.
@@ -133,6 +147,47 @@ class TestAutoMatchesLegacyDispatch:
             compiled, device, SimulationOptions(shots=1000, seed=9), backend="estimator"
         )
         assert np.array_equal(via_method, via_argument)
+
+
+class TestFusedKernel:
+    """The kernel knob and the fused kernel's tolerance/versioning contract."""
+
+    def test_fused_is_the_default_kernel(self, monkeypatch):
+        monkeypatch.delenv(SIM_KERNEL_ENV_VAR, raising=False)
+        assert active_simulation_kernel() == "fused"
+        monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "reference")
+        assert active_simulation_kernel() == "reference"
+
+    def test_invalid_kernel_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "turbo")
+        with pytest.warns(RuntimeWarning, match="REPRO_SIM_KERNEL"):
+            assert active_simulation_kernel() == "fused"
+
+    @pytest.mark.parametrize("backend_name", ["density-matrix", "trajectory"])
+    def test_kernels_never_share_cache_versions(self, backend_name, monkeypatch):
+        backend = resolve_backend(backend_name)
+        monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "fused")
+        fused_version = backend.version
+        monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "reference")
+        reference_version = backend.version
+        assert fused_version != reference_version
+        assert reference_version == 1  # pre-fused caches stay valid
+
+    def test_fused_dispatch_matches_reference_within_tolerance(
+        self, compiled_job, monkeypatch
+    ):
+        compiled, device = compiled_job
+        for options in (
+            SimulationOptions(shots=1500, seed=5),
+            SimulationOptions(
+                shots=1500, seed=5, max_density_matrix_qubits=1, trajectories=7
+            ),
+        ):
+            monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "reference")
+            reference = simulate_compiled(compiled, device, options)
+            monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "fused")
+            fused = simulate_compiled(compiled, device, options)
+            assert np.abs(fused - reference).max() <= 1e-10
 
 
 class TestConvergenceParity:
@@ -229,6 +284,33 @@ class TestNoiseProgram:
         assert stats["hits"] == 1
         assert stats["misses"] == 1
         assert stats["entries"] == 1
+
+    def test_program_cache_bound_is_configurable(self, compiled_job, monkeypatch):
+        compiled, device = compiled_job
+        monkeypatch.setenv("REPRO_PROGRAM_CACHE_SIZE", "3")
+        clear_noise_program_cache()  # re-reads the environment variable
+        noise_program_for(compiled, device)
+        stats = noise_program_cache_stats()
+        assert stats["max_entries"] == 3
+        assert stats["entries"] == 1
+        clear_noise_program_cache()
+
+    def test_invalid_program_cache_bound_warns_and_defaults(
+        self, compiled_job, monkeypatch
+    ):
+        compiled, device = compiled_job
+        for invalid in ("0", "-5", "many"):
+            monkeypatch.setenv("REPRO_PROGRAM_CACHE_SIZE", invalid)
+            clear_noise_program_cache()
+            with pytest.warns(RuntimeWarning, match="REPRO_PROGRAM_CACHE_SIZE"):
+                noise_program_for(compiled, device)
+            assert noise_program_cache_stats()["max_entries"] == 256
+        clear_noise_program_cache()
+
+    def test_default_bound_reported_in_stats(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRAM_CACHE_SIZE", raising=False)
+        clear_noise_program_cache()
+        assert noise_program_cache_stats()["max_entries"] == 256
 
 
 class TestInvocationCounters:
