@@ -1,0 +1,125 @@
+"""Study-service smoke benchmark: in-flight dedup and warm zero-cost serving.
+
+A real ``repro serve`` daemon runs as a child process; the benchmark
+drives it over HTTP exactly the way clients do:
+
+1. **concurrent** -- two identical studies submitted simultaneously:
+   the in-flight futures table must collapse them onto exactly one set
+   of backend invocations (the acceptance bar for the dedup tier);
+2. **warm** -- the same study submitted again: zero backend invocations,
+   every job served from the daemon's in-process memory tier, and the
+   ``study`` record byte-for-byte identical to the cold one.
+
+The measured wall times and the dedup counters land in the benchmark
+JSON artifact (``BENCH_6.json`` in CI) via ``bench_json_record``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
+_SPEC = {
+    "application": "qv",
+    "num_qubits": 3,
+    "num_circuits": 2,
+    "sets": ["S1", "G3"],
+    "shots": 1500,
+}
+_UNIQUE_JOBS = 4  # 2 circuits x 2 sets
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """A live ``repro serve`` child on an ephemeral port; yields the port."""
+    cache_dir = str(tmp_path_factory.mktemp("serve-cache"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--cache-dir", cache_dir],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, f"daemon did not announce its address: {line!r}"
+        yield int(match.group(1))
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+
+def _submit(port: int):
+    from repro.service.client import submit_study
+
+    return list(submit_study(_SPEC, port=port, timeout=600.0))
+
+
+def _study_line(records) -> str:
+    (study,) = [r for r in records if r["type"] == "study"]
+    return json.dumps(study, sort_keys=True, separators=(",", ":"))
+
+
+def test_serve_concurrent_dedup_and_warm_replay(daemon, run_once, bench_json_record):
+    port = daemon
+    results = {}
+
+    def concurrent_pair():
+        threads = {
+            tag: threading.Thread(
+                target=lambda tag=tag: results.__setitem__(tag, _submit(port))
+            )
+            for tag in ("a", "b")
+        }
+        for thread in threads.values():
+            thread.start()
+        for thread in threads.values():
+            thread.join()
+        return results
+
+    start = time.perf_counter()
+    run_once(concurrent_pair)
+    concurrent_elapsed = time.perf_counter() - start
+
+    stats_a = results["a"][-1]
+    stats_b = results["b"][-1]
+    executed = stats_a["executed"] + stats_b["executed"]
+    # The tentpole contract: two simultaneous identical studies cost ONE
+    # set of backend invocations between them.
+    assert executed == _UNIQUE_JOBS, (stats_a, stats_b)
+    assert _study_line(results["a"]) == _study_line(results["b"])
+
+    warm_start = time.perf_counter()
+    warm = _submit(port)
+    warm_elapsed = time.perf_counter() - warm_start
+    assert warm[-1]["executed"] == 0  # zero backend invocations
+    assert warm[-1]["from_memory"] == _UNIQUE_JOBS
+    assert _study_line(warm) == _study_line(results["a"])  # byte-identical
+
+    from repro.service.client import fetch_stats
+
+    daemon_stats = fetch_stats(port=port)
+    assert sum(daemon_stats["backend_invocations"].values()) == _UNIQUE_JOBS
+    bench_json_record(
+        concurrent_wall_s=round(concurrent_elapsed, 4),
+        warm_wall_s=round(warm_elapsed, 4),
+        warm_speedup=round(concurrent_elapsed / max(warm_elapsed, 1e-9), 2),
+        executed_cold=executed,
+        executed_warm=warm[-1]["executed"],
+        coalesced=stats_a["coalesced"] + stats_b["coalesced"],
+    )

@@ -46,7 +46,6 @@ import os
 import pickle
 import tempfile
 import threading
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -271,6 +270,20 @@ class DiskCompilationCache:
             "emitted_type_keys": list(emitted_type_keys),
         }
         return self._write_payload(self._entry_path(cache_key_digest(key)), payload)
+
+    def has_entry(self, key: Tuple) -> bool:
+        """True when a compilation entry file exists for ``key``.
+
+        Existence probe (no counters, no deserialisation) for shard
+        handoff in the study service: a host that does not own a key's
+        shard polls the shared artifact store for another host's result
+        without distorting the hit/miss statistics.  A present-but-corrupt
+        file counts as present; the next real lookup deletes it.
+        """
+        try:
+            return self._entry_path(cache_key_digest(key)).is_file()
+        except OSError:
+            return False
 
     def get_blob(self, kind: str, key: Tuple) -> Optional[object]:
         """Load an auxiliary payload (e.g. an autotuner verdict) for ``key``.
@@ -552,25 +565,17 @@ class DiskCompilationCache:
 def _default_max_bytes() -> Optional[int]:
     """Disk-tier size cap from ``REPRO_CACHE_MAX_BYTES`` (``None`` = unbounded).
 
-    Invalid values -- non-numeric, zero or negative -- are ignored with a
-    warning rather than silently capping the cache at nothing.
+    Re-read on every access (like ``REPRO_CACHE_DIR``).  Invalid values
+    -- non-numeric, zero or negative -- are ignored with a warning rather
+    than silently capping the cache at nothing
+    (:func:`repro.config.positive_int_env`, the policy every cache-bound
+    variable shares).
     """
-    raw = os.environ.get(MAX_BYTES_ENV_VAR, "").strip()
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        value = 0
-    if value < 1:
-        warnings.warn(
-            f"ignoring invalid {MAX_BYTES_ENV_VAR}={raw!r} (need a positive "
-            "integer byte count); disk cache stays unbounded",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return None
-    return value
+    from repro.config import positive_int_env
+
+    return positive_int_env(
+        MAX_BYTES_ENV_VAR, None, invalid_note="disk cache stays unbounded"
+    )
 
 
 # ---------------------------------------------------------------------------

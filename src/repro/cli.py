@@ -20,6 +20,8 @@ Every evaluation artefact has a subcommand::
     python -m repro simulators        # list registered simulator backends
     python -m repro cache stats       # persistent + in-process cache counters
     python -m repro cache clear       # drop every persisted compilation/simulation
+    python -m repro serve             # long-lived study service (docs/service.md)
+    python -m repro submit            # submit a study to a running service
 
 Each figure subcommand accepts ``--paper-scale`` to run the full
 configuration from the paper instead of the fast default, plus
@@ -304,6 +306,58 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.service.protocol import ShardSpec
+    from repro.service.server import serve
+
+    shard = ShardSpec.parse(args.shard) if args.shard else None
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        exec_workers=args.exec_workers,
+        shard=shard,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.service.client import fetch_stats, submit_study
+    from repro.service.protocol import StudySpec
+
+    if args.stats:
+        return json.dumps(fetch_stats(host=args.host, port=args.port), indent=2, sort_keys=True)
+    if args.spec_json:
+        spec = StudySpec.from_json_dict(json.loads(args.spec_json))
+    else:
+        if not args.app:
+            raise SystemExit("repro submit: --app is required (or pass --spec-json / --stats)")
+        spec = StudySpec(
+            application=args.app,
+            num_qubits=args.qubits,
+            num_circuits=args.circuits,
+            seed=args.seed,
+            metric=args.metric,
+            catalogue=args.catalogue,
+            sets=tuple(args.sets) if args.sets else None,
+            topology=args.topology,
+            pipeline=args.pipeline,
+            shots=args.shots,
+            backend=args.backend,
+            error_scale=args.error_scale,
+        )
+    table = ""
+    # Stream records as the daemon produces them: one NDJSON line per
+    # record, flushed immediately so long studies show per-job progress.
+    for record in submit_study(spec, host=args.host, port=args.port, timeout=args.timeout):
+        sys.stdout.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        sys.stdout.flush()
+        if args.table and record.get("type") == "study" and record.get("complete"):
+            table = str(record.get("table", ""))
+    return table
+
+
 def _cmd_simulators(args: argparse.Namespace) -> str:
     from repro.simulators.backend import active_simulation_kernel, available_backends
 
@@ -441,6 +495,8 @@ _FIGURE_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "cache": _cmd_cache,
     "pipelines": _cmd_pipelines,
     "simulators": _cmd_simulators,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 
@@ -539,6 +595,63 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "simulators", help="list the registered simulator backends"
     )
+
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived study service (see docs/service.md)",
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST, help=f"bind address (default {DEFAULT_HOST})")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"bind port; 0 picks an ephemeral port (default {DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent disk cache directory; shared across services it "
+        "doubles as the artifact store for --shard splits "
+        "(default: the REPRO_CACHE_DIR environment variable)",
+    )
+    serve.add_argument(
+        "--exec-workers",
+        type=_positive_int,
+        default=1,
+        help="backend-invocation worker threads (default 1: the win is "
+        "dedup and cache residency, not parallelism)",
+    )
+    serve.add_argument(
+        "--shard",
+        default=None,
+        help="simulate only the k/N slice of the simulation key space "
+        "(e.g. 1/2); out-of-shard cache misses are deferred, not computed",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a study to a running `repro serve` daemon (NDJSON out)",
+    )
+    submit.add_argument("--host", default=DEFAULT_HOST)
+    submit.add_argument("--port", type=int, default=DEFAULT_PORT)
+    submit.add_argument("--timeout", type=float, default=300.0, help="socket timeout in seconds")
+    submit.add_argument("--stats", action="store_true", help="print the daemon's /v1/stats snapshot instead of submitting")
+    submit.add_argument("--spec-json", default=None, help="full study spec as a JSON object (overrides the flags below)")
+    submit.add_argument("--app", default=None, help="application registry name (see `repro apps`)")
+    submit.add_argument("--qubits", type=_positive_int, default=3)
+    submit.add_argument("--circuits", type=_positive_int, default=1)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--metric", default="hop", choices=("hop", "xed", "xeb", "tvd"))
+    submit.add_argument("--catalogue", default="google", choices=("google", "rigetti", "table2"))
+    submit.add_argument("--sets", nargs="+", default=None, help="instruction-set subset (default: whole catalogue)")
+    submit.add_argument("--topology", default="line", choices=("line", "ring", "grid"))
+    submit.add_argument("--pipeline", default="default")
+    submit.add_argument("--shots", type=_positive_int, default=3000)
+    submit.add_argument("--backend", default="auto")
+    submit.add_argument("--error-scale", type=float, default=1.0)
+    submit.add_argument("--table", action="store_true", help="also print the merged study table after the NDJSON stream")
 
     design = subparsers.add_parser("design", help="greedy instruction-set design")
     design.add_argument("--grid", type=int, default=4, help="fSim candidate grid points per axis")

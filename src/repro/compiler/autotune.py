@@ -74,6 +74,14 @@ AUTOTUNE_BLOB_KIND = "autotune"
 
 CANDIDATES_ENV_VAR = "REPRO_AUTOTUNE_PIPELINES"
 
+TUNER_CACHE_SIZE_ENV_VAR = "REPRO_TUNER_CACHE_SIZE"
+"""Environment variable overriding the verdict memory-tier LRU bound.
+Read once, when the process-global cache is constructed at import time
+(the ``REPRO_COMPILE_CACHE_SIZE`` contract); parsing policy:
+:func:`repro.config.positive_int_env`."""
+
+_DEFAULT_TUNER_CACHE_SIZE = 8192
+
 _DEFAULT_CANDIDATES = ("default", "optimized", "fused")
 """Candidate pipelines the tuner scores unless told otherwise: the paper's
 toolflow, the peephole-cancellation variant and the SU(4) pre-fusion
@@ -185,10 +193,11 @@ class TunerVerdictCache:
     Mirrors :class:`~repro.core.pipeline.CompilationCache` in shape
     (thread-safe, hit/miss counters, LRU bound) but stores the tiny
     :class:`TunerVerdict` records, which are much cheaper than compiled
-    circuits and therefore get a generous default bound.
+    circuits and therefore get a generous default bound (overridable for
+    the global instance via ``REPRO_TUNER_CACHE_SIZE``).
     """
 
-    def __init__(self, max_entries: int = 8192):
+    def __init__(self, max_entries: int = _DEFAULT_TUNER_CACHE_SIZE):
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[Tuple, TunerVerdict]" = OrderedDict()
         self._lock = threading.Lock()
@@ -235,7 +244,14 @@ class TunerVerdictCache:
                 self._entries.popitem(last=False)
 
 
-_GLOBAL_TUNER_CACHE = TunerVerdictCache()
+def _default_tuner_cache_size() -> int:
+    """Global verdict-cache bound, configurable via ``REPRO_TUNER_CACHE_SIZE``."""
+    from repro.config import positive_int_env
+
+    return positive_int_env(TUNER_CACHE_SIZE_ENV_VAR, _DEFAULT_TUNER_CACHE_SIZE)
+
+
+_GLOBAL_TUNER_CACHE = TunerVerdictCache(max_entries=_default_tuner_cache_size())
 
 
 def global_tuner_cache() -> TunerVerdictCache:

@@ -1,0 +1,77 @@
+"""Shared configuration helpers: one policy for environment knobs.
+
+Every tunable cache bound in the library is an environment variable
+parsed the same way, with the same failure policy:
+
+* **Unset/empty** means "use the documented default" -- the variables are
+  opt-in overrides, never required configuration.
+* **Invalid** values -- non-numeric, zero or negative -- fall back to the
+  default **with a :class:`RuntimeWarning`** naming the variable and the
+  offending value.  Silently clamping (the pre-PR-3 behaviour of
+  ``REPRO_COMPILE_CACHE_SIZE``) turned a typo into a single-entry cache
+  and an unexplained slowdown; warn-and-default makes the typo visible
+  without breaking the run.
+* Whether a variable is read **once** (at module import / first use) or
+  **on every call** is a per-knob contract documented at the call site;
+  this module only owns the parsing.  See the "Environment variables"
+  section of ``docs/service.md`` for the full catalogue and each knob's
+  read policy.
+
+Before this module the parse-warn-default dance was duplicated (with
+drifting messages and fallbacks) across ``repro.core.pipeline``,
+``repro.simulators.noise_program``, ``repro.caching.disk`` and the
+autotuner; they all route through :func:`positive_int_env` now.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+
+def positive_int_env(
+    name: str,
+    default: Optional[int],
+    *,
+    invalid_note: Optional[str] = None,
+    stacklevel: int = 3,
+) -> Optional[int]:
+    """Parse environment variable ``name`` as a positive (>= 1) integer.
+
+    Returns ``default`` when the variable is unset or empty.  Non-numeric,
+    zero or negative values emit a :class:`RuntimeWarning` (mentioning the
+    variable name, so tests can match on it) and also return ``default``.
+
+    Parameters
+    ----------
+    name:
+        Environment variable to read.
+    default:
+        Value used for unset *and* invalid inputs.  ``None`` is a valid
+        default for knobs whose absence means "unbounded"/"disabled"
+        (e.g. ``REPRO_CACHE_MAX_BYTES``).
+    invalid_note:
+        Tail of the warning message describing the fallback; defaults to
+        ``"using the default of {default}"``.
+    stacklevel:
+        Passed to :func:`warnings.warn`; the default of 3 attributes the
+        warning to the caller of the function that consulted the
+        environment (typically the public cache API), not this helper.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        note = invalid_note or f"using the default of {default}"
+        warnings.warn(
+            f"ignoring invalid {name}={raw!r} (need a positive integer); {note}",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )
+        return default
+    return value

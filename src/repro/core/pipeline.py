@@ -451,6 +451,10 @@ class CompilationCache:
 
 _DEFAULT_COMPILE_CACHE_SIZE = 4096
 
+COMPILE_CACHE_SIZE_ENV_VAR = "REPRO_COMPILE_CACHE_SIZE"
+"""Environment variable overriding the global memory-cache bound.  Read
+once, when the process-global cache is constructed at import time."""
+
 
 def _default_cache_size() -> int:
     """Global memory-cache bound, configurable via ``REPRO_COMPILE_CACHE_SIZE``.
@@ -459,25 +463,11 @@ def _default_cache_size() -> int:
     documented default (4096) with a warning, instead of being silently
     clamped; a zero-entry cache would defeat the determinism-preserving
     side-effect replay without telling anyone why everything got slow.
+    Parsing policy: :func:`repro.config.positive_int_env`.
     """
-    import warnings
+    from repro.config import positive_int_env
 
-    raw = os.environ.get("REPRO_COMPILE_CACHE_SIZE", "").strip()
-    if not raw:
-        return _DEFAULT_COMPILE_CACHE_SIZE
-    try:
-        size = int(raw)
-    except ValueError:
-        size = 0
-    if size < 1:
-        warnings.warn(
-            f"ignoring invalid REPRO_COMPILE_CACHE_SIZE={raw!r} (need a positive "
-            f"integer); using the default of {_DEFAULT_COMPILE_CACHE_SIZE}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return _DEFAULT_COMPILE_CACHE_SIZE
-    return size
+    return positive_int_env(COMPILE_CACHE_SIZE_ENV_VAR, _DEFAULT_COMPILE_CACHE_SIZE)
 
 
 _GLOBAL_COMPILATION_CACHE = CompilationCache(max_entries=_default_cache_size())

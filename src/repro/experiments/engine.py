@@ -117,8 +117,9 @@ _IDEAL_CACHE: "OrderedDict[str, np.ndarray]" = OrderedDict()
 _IDEAL_CACHE_LOCK = threading.Lock()
 _IDEAL_CACHE_STATS = {"hits": 0, "misses": 0}
 _IDEAL_CACHE_MAX_ENTRIES = 1024
-"""FIFO bound: distinct wide circuits would otherwise accumulate
-2^n-sized vectors for the process lifetime."""
+"""LRU bound (hits refresh recency, like every other in-process tier):
+distinct wide circuits would otherwise accumulate 2^n-sized vectors for
+the process lifetime."""
 
 
 def ideal_distribution_cached(circuit: QuantumCircuit) -> np.ndarray:
@@ -129,18 +130,26 @@ def ideal_distribution_cached(circuit: QuantumCircuit) -> np.ndarray:
     studies, repeated benchmark runs) paid the exponential-cost statevector
     simulation again each time.  This cache keys on the circuit *content*
     so every study in the process shares one vector per distinct circuit.
+
+    Eviction is LRU: a hit refreshes the entry's recency, so in a
+    long-lived process (the ``repro serve`` daemon) hot benchmark
+    circuits survive bursts of one-off traffic.  (It used to evict FIFO
+    while the sim-result and compile caches were LRU -- exactly the
+    workloads a daemon keeps hot were the first evicted.)
     """
     key = circuit_fingerprint(circuit)
     with _IDEAL_CACHE_LOCK:
         cached = _IDEAL_CACHE.get(key)
         if cached is not None:
             _IDEAL_CACHE_STATS["hits"] += 1
+            _IDEAL_CACHE.move_to_end(key)
             return cached
         _IDEAL_CACHE_STATS["misses"] += 1
     value = ideal_probabilities(circuit)
     value.setflags(write=False)
     with _IDEAL_CACHE_LOCK:
         _IDEAL_CACHE[key] = value
+        _IDEAL_CACHE.move_to_end(key)
         while len(_IDEAL_CACHE) > _IDEAL_CACHE_MAX_ENTRIES:
             _IDEAL_CACHE.popitem(last=False)
     return value
@@ -409,6 +418,221 @@ def run_parallel(
 
 
 # ---------------------------------------------------------------------------
+# Schedulable units
+#
+# ``run_study`` below decomposes into four phases that external schedulers
+# (notably the ``repro serve`` daemon, :mod:`repro.service`) drive job by
+# job: *prepare* (compile + lower + key), *fetch* (consult the two cache
+# tiers), *execute* (invoke the backend) and *store* (populate the tiers),
+# plus a *merge* fold at the end.  The functions are factored out rather
+# than inlined so a scheduler can interleave jobs from concurrent studies,
+# coalesce identical in-flight work on the shared cache keys, and still
+# produce bit-identical :class:`StudyResult` payloads -- ``run_study``
+# itself is just the serial canonical-order driver over these same units.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PreparedJob:
+    """One compiled study job, ready to simulate.
+
+    The schedulable unit between the compile and simulate phases: the
+    compiled circuit, its lowered noise program, the readout/permutation
+    scalars the simulator consumes, the *effective* backend that will
+    produce the numbers and the content-addressed simulation cache key.
+    Everything here is immutable or treated as such, so a scheduler may
+    hold prepared jobs from many studies and execute them in any order --
+    only the *prepare* phase (device RNG) is order-sensitive.
+    """
+
+    job: ExperimentJob
+    compiled: CompiledCircuit
+    program: NoiseProgram
+    readout_error: Optional[List[float]]
+    program_order: List[int]
+    options: SimulationOptions
+    backend: SimulatorBackend
+    cache_key: Tuple
+
+    def simulation_arguments(self) -> Tuple:
+        """Positional arguments for :func:`_simulate_job` (picklable)."""
+        return (
+            self.program,
+            self.readout_error,
+            self.program_order,
+            self.options,
+            self.backend,
+        )
+
+
+def prepare_job(
+    job: ExperimentJob,
+    circuit: QuantumCircuit,
+    device: Device,
+    instruction_set: InstructionSet,
+    *,
+    decomposer: Optional[NuOpDecomposer] = None,
+    options: Optional[SimulationOptions] = None,
+    approximate: bool = True,
+    use_noise_adaptivity: bool = True,
+    pipeline: str = "default",
+    compilation_cache: Optional[CompilationCache] = None,
+    disk_cache: Optional[object] = None,
+    backend: Optional[SimulatorBackend] = None,
+    compile_fn: Optional[Callable[..., CompiledCircuit]] = None,
+) -> PreparedJob:
+    """Compile one job and derive everything its simulate node needs.
+
+    This is the order-sensitive phase: compiling may lazily sample
+    calibration data from the device's private RNG, so callers must
+    invoke ``prepare_job`` for a study's jobs serially in canonical order
+    (:meth:`StudyPlan.jobs`).  ``compile_fn`` lets a scheduler wrap the
+    compile step -- the service's in-flight coalescing substitutes a
+    wrapper that waits for an identical concurrent compilation, then
+    re-runs :func:`~repro.core.pipeline.compile_circuit_cached` itself so
+    the memory hit replays gate-type registrations on *this* device.  The
+    wrapper must be call-compatible with ``compile_circuit_cached``.
+    """
+    decomposer = decomposer if decomposer is not None else NuOpDecomposer()
+    options = options or SimulationOptions()
+    backend_obj = resolve_backend(backend if backend is not None else options.method)
+    compile = compile_fn if compile_fn is not None else compile_circuit_cached
+    compiled = compile(
+        circuit,
+        device,
+        instruction_set,
+        decomposer=decomposer,
+        approximate=approximate,
+        use_noise_adaptivity=use_noise_adaptivity,
+        error_scale=job.error_scale,
+        pipeline=pipeline,
+        cache=compilation_cache,
+        disk_cache=disk_cache,
+    )
+    program = noise_program_for(compiled, device)
+    readout = (
+        device.readout_errors_for(compiled.physical_qubits)
+        if options.apply_readout_error
+        else None
+    )
+    order = [compiled.final_mapping[q] for q in range(compiled.circuit.num_qubits)]
+    effective_backend = backend_obj.effective_backend(program, options)
+    key = simulation_cache_key(program, readout, order, effective_backend, options)
+    return PreparedJob(
+        job=job,
+        compiled=compiled,
+        program=program,
+        readout_error=readout,
+        program_order=order,
+        options=options,
+        backend=effective_backend,
+        cache_key=key,
+    )
+
+
+def fetch_cached_simulation(
+    prepared: PreparedJob, sim_disk: Optional[object] = None
+) -> Optional[Tuple[np.ndarray, str]]:
+    """Consult the simulation-cache tiers for a prepared job.
+
+    Returns ``(vector, source)`` with ``source`` one of ``"memory"`` or
+    ``"disk"``, or ``None`` on a full miss.  Side effects mirror the
+    engine's historical two-tier walk exactly (counter order included):
+    a memory hit is backfilled to the disk tier when absent there (so
+    fresh processes warm-start from the same directory), and a disk hit
+    is promoted into the memory LRU.
+    """
+    key = prepared.cache_key
+    cached = _simulation_cache_get(key)
+    if cached is not None:
+        if sim_disk is not None and not sim_disk.has_simulation(key):
+            # Backfill: the vector exists only in this process's memory
+            # tier (e.g. the earlier study ran without a cache dir, or
+            # with a different one) -- persist it so fresh processes
+            # warm-start from this directory too.
+            sim_disk.put_simulation(key, cached)
+        return cached, "memory"
+    if sim_disk is not None:
+        vector = sim_disk.get_simulation(key)
+        if vector is not None:
+            return _simulation_cache_put(key, np.asarray(vector)), "disk"
+    return None
+
+
+def execute_prepared_simulation(prepared: PreparedJob) -> np.ndarray:
+    """Run a prepared job's simulate node inline (one backend invocation).
+
+    Pure: seeds its own RNG from the job's options and touches no shared
+    state, so schedulers may run prepared jobs concurrently and in any
+    order.  Does *not* consult or populate the caches -- pair with
+    :func:`fetch_cached_simulation` and :func:`store_simulation`.
+    """
+    return _simulate_job(*prepared.simulation_arguments())
+
+
+def store_simulation(
+    prepared: PreparedJob,
+    vector: np.ndarray,
+    sim_disk: Optional[object] = None,
+) -> np.ndarray:
+    """Populate both cache tiers with a freshly computed vector.
+
+    Returns the frozen (read-only) array the memory tier now holds; use
+    that for all further reads.  Only call for *computed* vectors --
+    cache hits are already stored, and re-writing them would break the CI
+    warm-start "no file changed" check.
+    """
+    vector = _simulation_cache_put(prepared.cache_key, vector)
+    if sim_disk is not None:
+        sim_disk.put_simulation(prepared.cache_key, vector)
+    return vector
+
+
+def merge_study_results(
+    application: str,
+    metric_name: str,
+    metric: MetricFunction,
+    plan: StudyPlan,
+    ideal_by_index: Sequence[np.ndarray],
+    compiled: Dict[ExperimentJob, CompiledCircuit],
+    measured: Dict[ExperimentJob, np.ndarray],
+) -> StudyResult:
+    """Score and fold job results into a :class:`StudyResult`.
+
+    Folds in canonical plan order regardless of the order ``measured``
+    was produced in, so the merged payload is independent of scheduling
+    -- the property that makes warm service responses byte-identical to
+    cold ones.
+    """
+    from repro.compiler.manager import aggregate_pass_stats, merge_aggregated_pass_stats
+
+    study = StudyResult(application=application, metric_name=metric_name)
+    for set_name in plan.set_names:
+        result = InstructionSetResult(instruction_set=set_name, metric_name=metric_name)
+        for index in range(plan.num_circuits):
+            job = ExperimentJob(
+                set_name=set_name,
+                circuit_index=index,
+                error_scale=plan.error_scales.get(set_name, 1.0),
+            )
+            value = metric(measured[job], ideal_by_index[index])
+            job_compiled = compiled[job]
+            result.metric_values.append(float(value))
+            result.two_qubit_counts.append(job_compiled.two_qubit_gate_count)
+            result.swap_counts.append(job_compiled.num_swaps)
+            for label, count in job_compiled.gate_type_usage.items():
+                result.gate_type_usage[label] = result.gate_type_usage.get(label, 0) + count
+            result.pipeline_usage[job_compiled.pipeline_name] = (
+                result.pipeline_usage.get(job_compiled.pipeline_name, 0) + 1
+            )
+            merge_aggregated_pass_stats(
+                result.pass_stats, aggregate_pass_stats(job_compiled.pass_stats)
+            )
+        study.per_set[set_name] = result
+    return study
+
+
+# ---------------------------------------------------------------------------
 # Study execution
 # ---------------------------------------------------------------------------
 
@@ -512,58 +736,34 @@ def run_study(
             except Exception:
                 pool = None
 
-    compiled: Dict[ExperimentJob, CompiledCircuit] = {}
-    sim_tasks: Dict[ExperimentJob, Tuple] = {}
-    sim_keys: Dict[ExperimentJob, Tuple] = {}
+    prepared: Dict[ExperimentJob, PreparedJob] = {}
     measured: Dict[ExperimentJob, np.ndarray] = {}
     cached_jobs = set()
     futures = {}
     try:
         for job in jobs:
-            compiled[job] = compile_circuit_cached(
+            unit = prepare_job(
+                job,
                 circuits[job.circuit_index],
                 device,
                 instruction_sets[job.set_name],
                 decomposer=decomposer,
+                options=options,
                 approximate=approximate,
                 use_noise_adaptivity=use_noise_adaptivity,
-                error_scale=job.error_scale,
                 pipeline=pipeline,
-                cache=compilation_cache,
+                compilation_cache=compilation_cache,
                 disk_cache=disk_cache,
+                backend=backend_obj,
             )
-            job_compiled = compiled[job]
-            program = noise_program_for(job_compiled, device)
-            readout = (
-                device.readout_errors_for(job_compiled.physical_qubits)
-                if options.apply_readout_error
-                else None
-            )
-            order = [
-                job_compiled.final_mapping[q]
-                for q in range(job_compiled.circuit.num_qubits)
-            ]
-            effective_backend = backend_obj.effective_backend(program, options)
-            key = simulation_cache_key(program, readout, order, effective_backend, options)
-            sim_keys[job] = key
-            sim_tasks[job] = (program, readout, order, options, effective_backend)
-            cached = _simulation_cache_get(key)
-            if cached is not None and sim_disk is not None and not sim_disk.has_simulation(key):
-                # Backfill: the vector exists only in this process's memory
-                # tier (e.g. the earlier study ran without a cache dir, or
-                # with a different one) -- persist it so fresh processes
-                # warm-start from this directory too.
-                sim_disk.put_simulation(key, cached)
-            if cached is None and sim_disk is not None:
-                vector = sim_disk.get_simulation(key)
-                if vector is not None:
-                    cached = _simulation_cache_put(key, np.asarray(vector))
-            if cached is not None:
-                measured[job] = cached
+            prepared[job] = unit
+            hit = fetch_cached_simulation(unit, sim_disk)
+            if hit is not None:
+                measured[job] = hit[0]
                 cached_jobs.add(job)
                 continue
             if pool is not None:
-                futures[job] = pool.submit(_simulate_job, *sim_tasks[job])
+                futures[job] = pool.submit(_simulate_job, *unit.simulation_arguments())
 
         if pool is not None and futures:
             try:
@@ -577,7 +777,7 @@ def run_study(
                 _warn_executor_fallback(type(pool).__name__, error)
         for job in jobs:
             if job not in measured:
-                measured[job] = _simulate_job(*sim_tasks[job])
+                measured[job] = execute_prepared_simulation(prepared[job])
     finally:
         if pool is not None:
             pool.shutdown()
@@ -588,34 +788,14 @@ def run_study(
     for job in jobs:
         if job in cached_jobs:
             continue
-        measured[job] = _simulation_cache_put(sim_keys[job], measured[job])
-        if sim_disk is not None:
-            sim_disk.put_simulation(sim_keys[job], measured[job])
+        measured[job] = store_simulation(prepared[job], measured[job], sim_disk)
 
-    # Score + merge, in canonical order.
-    from repro.compiler.manager import aggregate_pass_stats, merge_aggregated_pass_stats
-
-    study = StudyResult(application=application, metric_name=metric_name)
-    for set_name in plan.set_names:
-        result = InstructionSetResult(instruction_set=set_name, metric_name=metric_name)
-        for index in range(plan.num_circuits):
-            job = ExperimentJob(
-                set_name=set_name,
-                circuit_index=index,
-                error_scale=plan.error_scales.get(set_name, 1.0),
-            )
-            value = metric(measured[job], ideal_by_index[index])
-            job_compiled = compiled[job]
-            result.metric_values.append(float(value))
-            result.two_qubit_counts.append(job_compiled.two_qubit_gate_count)
-            result.swap_counts.append(job_compiled.num_swaps)
-            for label, count in job_compiled.gate_type_usage.items():
-                result.gate_type_usage[label] = result.gate_type_usage.get(label, 0) + count
-            result.pipeline_usage[job_compiled.pipeline_name] = (
-                result.pipeline_usage.get(job_compiled.pipeline_name, 0) + 1
-            )
-            merge_aggregated_pass_stats(
-                result.pass_stats, aggregate_pass_stats(job_compiled.pass_stats)
-            )
-        study.per_set[set_name] = result
-    return study
+    return merge_study_results(
+        application,
+        metric_name,
+        metric,
+        plan,
+        ideal_by_index,
+        {job: unit.compiled for job, unit in prepared.items()},
+        measured,
+    )

@@ -1,0 +1,29 @@
+"""Long-lived study service: ``repro serve`` / ``repro submit``.
+
+The engine (:mod:`repro.experiments.engine`) already makes individual
+studies cheap to re-run through its content-addressed cache tiers; this
+package makes those tiers *shared infrastructure*.  A daemon process
+(:mod:`repro.service.server`) keeps the in-process caches warm across
+requests, deduplicates concurrent identical work through an in-flight
+futures table (:mod:`repro.service.dedup`), and streams per-job results
+back to clients as NDJSON (:mod:`repro.service.protocol`,
+:mod:`repro.service.client`).
+
+See ``docs/service.md`` for the protocol and the dedup semantics.
+"""
+
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ShardSpec,
+    StudySpec,
+    SUPPORTED_METRICS,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ShardSpec",
+    "StudySpec",
+    "SUPPORTED_METRICS",
+]

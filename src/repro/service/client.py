@@ -1,0 +1,85 @@
+"""Client for the ``repro serve`` daemon (stdlib ``http.client`` only).
+
+:func:`submit_study` is a generator: records arrive as the daemon
+streams them, so a caller watching a long study sees per-job progress
+lines rather than one final blob.  ``repro submit`` (the CLI) prints
+them as NDJSON; tests and benchmarks consume them directly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, Optional, Union
+
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    StudySpec,
+    decode_record,
+)
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a request or reported an in-stream error."""
+
+
+def submit_study(
+    spec: Union[StudySpec, Dict[str, object]],
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 300.0,
+) -> Iterator[Dict[str, object]]:
+    """POST a study spec; yield protocol records as the daemon streams them.
+
+    Accepts a :class:`StudySpec` or its JSON-dict form (validated
+    client-side first, so typos fail before touching the daemon).  An
+    in-stream ``error`` record raises :class:`ServiceError` -- by then
+    earlier records were already yielded, mirroring what actually
+    happened server-side.
+    """
+    if isinstance(spec, dict):
+        spec = StudySpec.from_json_dict(spec)
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            "POST",
+            "/v1/studies",
+            body=json.dumps(spec.to_json_dict()),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        if response.status != 200:
+            detail = response.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (ValueError, AttributeError):
+                pass
+            raise ServiceError(f"daemon returned {response.status}: {detail}")
+        for line in response:
+            record = decode_record(line)
+            if record is None:
+                continue
+            if record.get("type") == "error":
+                raise ServiceError(str(record.get("error", "unknown service error")))
+            yield record
+    finally:
+        connection.close()
+
+
+def fetch_stats(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 30.0,
+) -> Dict[str, object]:
+    """GET the daemon's ``/v1/stats`` snapshot."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", "/v1/stats")
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+        if response.status != 200:
+            raise ServiceError(f"daemon returned {response.status}: {body}")
+        return json.loads(body)
+    finally:
+        connection.close()

@@ -1,0 +1,132 @@
+"""In-flight job deduplication: the third cache tier.
+
+The memory and disk tiers deduplicate work that *finished*; this table
+deduplicates work that is *happening*.  Keyed by the same content
+digests the cache tiers use, it guarantees that N concurrent identical
+jobs cost one backend invocation: the first arrival becomes the owner
+and runs the work, later arrivals attach to the owner's future.
+
+Two attachment patterns, matching the two kinds of engine work:
+
+:meth:`InFlightTable.submit`
+    Asynchronous, for **simulate** nodes.  The owner's scheduled task
+    computes the vector *and stores it in the cache tiers* before the
+    future resolves; the done callback then retires the key.  Waiters
+    share the future's result directly -- simulation is pure, so one
+    vector serves everyone.
+
+:meth:`InFlightTable.coalesce`
+    Synchronous, for **compile** nodes.  Compilation has a per-study
+    side effect the result alone cannot carry: a cold compile registers
+    gate types against the *calling study's* device, advancing its
+    private calibration RNG.  A waiter therefore does not take the
+    owner's result -- it waits for the owner to finish (so the
+    compilation cache is populated), then re-runs the compile itself,
+    which is a memory hit that replays the registrations on the waiter's
+    own device.  The expensive work happens once; the cheap replay
+    happens per study, exactly as determinism requires.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class InFlightTable:
+    """Futures keyed by content digest; one owner per key, many waiters.
+
+    Thread-safe.  Keys retire as soon as their work completes (or
+    fails), so the table only ever holds *currently running* work --
+    completed results live in the real cache tiers, and a failed key
+    leaves the table immediately so the next arrival retries instead of
+    inheriting a poisoned future.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._futures: Dict[Hashable, Future] = {}
+        self._stats = {"started": 0, "coalesced": 0, "completed": 0, "failed": 0}
+
+    def submit(
+        self, key: Hashable, schedule: Callable[[], "Future[T]"]
+    ) -> "Tuple[Future[T], bool]":
+        """Attach to in-flight work under ``key``, scheduling it if absent.
+
+        Returns ``(future, owner)``.  When no work is in flight the
+        ``schedule`` thunk is invoked (under the table lock -- it must
+        only *enqueue*, e.g. ``executor.submit``, never run the work
+        inline) and its future registered; the caller is the owner
+        (``owner=True``).  Otherwise the existing future is returned and
+        the arrival is counted as coalesced.  The key retires via a done
+        callback, so schedule the *full* job -- compute **and** cache
+        store -- under the future: by the time the key is gone, the
+        cache tiers already serve the result.
+        """
+        with self._lock:
+            existing = self._futures.get(key)
+            if existing is not None:
+                self._stats["coalesced"] += 1
+                return existing, False
+            future = schedule()
+            self._futures[key] = future
+            self._stats["started"] += 1
+        future.add_done_callback(lambda f, key=key: self._retire(key, f))
+        return future, True
+
+    def coalesce(self, key: Hashable, fn: Callable[[], T]) -> Tuple[T, bool]:
+        """Run ``fn`` under ``key``, or wait for the identical run in flight.
+
+        Returns ``(result, owner)``.  The owner runs ``fn`` and resolves
+        the shared future; waiters block until the owner finishes, then
+        **re-run ``fn`` themselves** and return their own result (for
+        cached compiles that re-run is a memory hit whose side-effect
+        replay the waiter's device needs -- see the module docstring).
+        An owner's exception propagates to the owner and is *not*
+        inherited by waiters: they re-run ``fn`` and surface whatever it
+        does for them.
+        """
+        with self._lock:
+            existing = self._futures.get(key)
+            if existing is None:
+                future: Future = Future()
+                self._futures[key] = future
+                self._stats["started"] += 1
+                owner = True
+            else:
+                future = existing
+                self._stats["coalesced"] += 1
+                owner = False
+        if owner:
+            try:
+                result = fn()
+            except BaseException as error:
+                self._retire(key, None, failed=True)
+                future.set_exception(error)
+                raise
+            self._retire(key, None, failed=False)
+            future.set_result(result)
+            return result, True
+        try:
+            future.result()
+        except BaseException:
+            # Owner failed; fall through -- the re-run below either
+            # succeeds (transient failure) or raises for this caller too.
+            pass
+        return fn(), False
+
+    def _retire(self, key: Hashable, future, failed: Optional[bool] = None) -> None:
+        """Drop ``key`` and count the outcome (done callback / coalesce)."""
+        if failed is None:
+            failed = future is not None and future.exception() is not None
+        with self._lock:
+            self._futures.pop(key, None)
+            self._stats["failed" if failed else "completed"] += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus the current in-flight key count."""
+        with self._lock:
+            return {**self._stats, "inflight": len(self._futures)}

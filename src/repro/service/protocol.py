@@ -1,0 +1,246 @@
+"""Wire protocol of the study service: specs, shards and NDJSON records.
+
+A client describes a study as a :class:`StudySpec` -- a flat, JSON-round-
+trippable description built entirely from *registry names* (application,
+instruction-set catalogue, metric, backend, pipeline) plus plain scalars,
+so a spec constructed on one host builds the identical study on any
+other.  :meth:`StudySpec.fingerprint` digests the canonical JSON form;
+the server uses it to label responses and tests use it to assert two
+submissions describe the same work.
+
+Responses stream as NDJSON (one JSON object per line, UTF-8):
+
+``{"type": "job", ...}``
+    One line per study job, in canonical plan order.  Carries the job
+    coordinates (``set``, ``circuit``, ``error_scale``), the scored
+    metric ``value`` and ``source`` -- where the measured distribution
+    came from: ``"memory"`` / ``"disk"`` (cache tiers), ``"backend"``
+    (this request invoked the simulator), ``"inflight"`` (coalesced onto
+    a concurrent identical job) or ``"deferred"`` (out-of-shard miss;
+    ``value`` is ``null``).
+``{"type": "study", ...}``
+    The merged study payload: ``rows`` (one per instruction set) and the
+    ``table`` rendering, plus ``complete``/``deferred``.  This line is
+    deterministic -- byte-identical across cold, warm and coalesced
+    requests for the same spec -- because the engine's caches replay
+    bit-identical vectors and the merge folds in canonical order.
+``{"type": "stats", ...}``
+    Per-request counters (jobs by source, backend invocations).  Last
+    line; explicitly *not* deterministic across requests.
+``{"type": "error", ...}``
+    Terminal failure; no further lines follow.
+
+Records are encoded with sorted keys and compact separators
+(:func:`encode_record`), which is what makes byte-wise comparison of the
+``study`` line meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+"""Default bind address of ``repro serve`` (loopback only: the protocol
+is unauthenticated by design -- multi-host deployments share work through
+the disk cache tier, not by exposing the socket)."""
+
+SUPPORTED_METRICS: Dict[str, str] = {
+    "hop": "HOP",
+    "xed": "XED",
+    "xeb": "XEB",
+    "tvd": "TVD",
+}
+"""Spec metric names -> display names.  ``success_rate`` is deliberately
+absent: it scores against a known target bitstring, which a generic
+(application, qubits) spec does not carry."""
+
+SUPPORTED_CATALOGUES = ("google", "rigetti", "table2")
+SUPPORTED_TOPOLOGIES = ("line", "ring", "grid")
+
+
+def resolve_metric(name: str) -> Tuple[str, Callable[[np.ndarray, np.ndarray], float]]:
+    """Map a spec metric name to ``(display_name, metric_function)``."""
+    key = name.lower()
+    if key == "hop":
+        from repro.metrics.hop import heavy_output_probability
+
+        return "HOP", heavy_output_probability
+    if key == "xed":
+        from repro.metrics.xeb import cross_entropy_difference
+
+        return "XED", cross_entropy_difference
+    if key == "xeb":
+        from repro.metrics.xeb import normalized_linear_xeb_fidelity
+
+        return "XEB", normalized_linear_xeb_fidelity
+    if key == "tvd":
+        from repro.metrics.distributions import total_variation_distance
+
+        return "TVD", total_variation_distance
+    known = ", ".join(sorted(SUPPORTED_METRICS))
+    raise ValueError(f"unknown metric {name!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A JSON-round-trippable description of one instruction-set study.
+
+    Every field is a registry name or a plain scalar -- no live objects
+    -- so equal specs build equal studies in any process, and
+    :meth:`fingerprint` is a stable identity for dedup and testing.
+    """
+
+    application: str
+    num_qubits: int
+    num_circuits: int = 1
+    seed: int = 0
+    metric: str = "hop"
+    catalogue: str = "google"
+    sets: Optional[Tuple[str, ...]] = None
+    """Subset of the catalogue's instruction sets, in catalogue order;
+    ``None`` selects the whole catalogue."""
+    topology: str = "line"
+    device_seed: int = 7
+    pipeline: str = "default"
+    shots: int = 3000
+    sim_seed: int = 11
+    trajectories: int = 30
+    backend: str = "auto"
+    error_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if int(self.num_qubits) < 2:
+            raise ValueError(f"num_qubits must be >= 2, got {self.num_qubits}")
+        if int(self.num_circuits) < 1:
+            raise ValueError(f"num_circuits must be >= 1, got {self.num_circuits}")
+        if self.metric.lower() not in SUPPORTED_METRICS:
+            known = ", ".join(sorted(SUPPORTED_METRICS))
+            raise ValueError(f"unknown metric {self.metric!r}; known: {known}")
+        if self.catalogue not in SUPPORTED_CATALOGUES:
+            raise ValueError(
+                f"unknown catalogue {self.catalogue!r}; known: {', '.join(SUPPORTED_CATALOGUES)}"
+            )
+        if self.topology not in SUPPORTED_TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; known: {', '.join(SUPPORTED_TOPOLOGIES)}"
+            )
+        if self.sets is not None:
+            object.__setattr__(self, "sets", tuple(str(name) for name in self.sets))
+        if float(self.error_scale) <= 0:
+            raise ValueError(f"error_scale must be positive, got {self.error_scale}")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (tuples become lists)."""
+        payload = asdict(self)
+        if payload["sets"] is not None:
+            payload["sets"] = list(payload["sets"])
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "StudySpec":
+        """Inverse of :meth:`to_json_dict`; rejects unknown keys loudly."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"study spec must be a JSON object, got {type(payload).__name__}")
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown study-spec field(s): {', '.join(unknown)}")
+        if "application" not in payload:
+            raise ValueError("study spec requires an 'application'")
+        if "num_qubits" not in payload:
+            raise ValueError("study spec requires 'num_qubits'")
+        data = dict(payload)
+        if data.get("sets") is not None:
+            data["sets"] = tuple(data["sets"])
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical (sorted, compact) JSON form."""
+        canonical = json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A ``k/N`` slice of the simulation key space.
+
+    A service started with ``--shard 2/3`` *prepares* (compiles) every
+    job of every study -- compilation is order-sensitive and cheap -- but
+    only *simulates* jobs whose cache key hashes into its slice.
+    Out-of-shard jobs are served from the cache tiers when present and
+    otherwise **deferred** (reported, not computed).  N hosts pointed at
+    a shared disk-cache directory therefore split a study's simulation
+    work without coordinating: each computes its slice into the shared
+    tier, and a final submission to any one host completes from disk.
+    """
+
+    index: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError(f"shard total must be >= 1, got {self.total}")
+        if not 0 <= self.index < self.total:
+            raise ValueError(
+                f"shard index must be in [0, {self.total}), got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, raw: str) -> "ShardSpec":
+        """Parse the CLI form ``k/N`` (1-based ``k``, e.g. ``1/2``, ``2/2``)."""
+        parts = raw.strip().split("/")
+        if len(parts) != 2:
+            raise ValueError(f"shard must look like k/N (e.g. 1/2), got {raw!r}")
+        try:
+            k, n = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(f"shard must look like k/N (e.g. 1/2), got {raw!r}") from None
+        if not 1 <= k <= n:
+            raise ValueError(f"shard index must satisfy 1 <= k <= N, got {raw!r}")
+        return cls(index=k - 1, total=n)
+
+    def owns(self, cache_key: Tuple) -> bool:
+        """Whether a simulation cache key falls in this shard's slice.
+
+        Hashes through :func:`repro.caching.disk.cache_key_digest` -- the
+        same fold the disk tier uses for file names -- so every host
+        computes the same partition from the key alone.
+        """
+        if self.total == 1:
+            return True
+        from repro.caching.disk import cache_key_digest
+
+        return int(cache_key_digest(cache_key), 16) % self.total == self.index
+
+    def __str__(self) -> str:
+        return f"{self.index + 1}/{self.total}"
+
+
+def encode_record(record: Dict[str, object]) -> bytes:
+    """One NDJSON line: canonical JSON (sorted keys, compact) + newline.
+
+    Canonical encoding is load-bearing: it is what makes "byte-identical
+    ``study`` line" a meaningful acceptance check across requests.
+    """
+    return (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_record(line: bytes) -> Optional[Dict[str, object]]:
+    """Parse one NDJSON line; ``None`` for blank lines."""
+    text = line.strip()
+    if not text:
+        return None
+    record = json.loads(text)
+    if not isinstance(record, dict):
+        raise ValueError(f"NDJSON record must be a JSON object, got: {text[:80]!r}")
+    return record

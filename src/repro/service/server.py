@@ -1,0 +1,501 @@
+"""The ``repro serve`` daemon: a long-lived study service over the engine.
+
+One process, started once, serving many study submissions.  What a
+daemon buys over one-shot ``repro fig10`` invocations:
+
+* the **in-process cache tiers** (compilation, noise programs, ideal
+  distributions, simulation results, autotuner verdicts) stay warm
+  across requests instead of dying with each CLI process;
+* **concurrent identical requests** coalesce onto one execution through
+  the in-flight futures table (:mod:`repro.service.dedup`) -- two
+  clients submitting the same study simultaneously cost one set of
+  backend invocations, not two;
+* the **disk tier doubles as a shared artifact store**: services started
+  with ``--shard k/N`` against a common cache directory split a study's
+  simulation work by key range without any coordination protocol.
+
+The container this runs in is single-CPU: the win is deduplication and
+cache residency, not parallelism.  ``exec_workers`` therefore defaults
+to 1; raising it only helps when backend invocations block on something
+other than the CPU.
+
+Execution model per request (:meth:`StudyService.run_study_spec`):
+
+1. *Build* the study from the spec's registry names (fresh device per
+   request -- determinism requires each study to sample calibration
+   through its own RNG in canonical order).
+2. *Prepare* every job serially in canonical order.  Compiles route
+   through :meth:`~repro.service.dedup.InFlightTable.coalesce`, so an
+   identical compile already running in another request is awaited and
+   replayed rather than recomputed.
+3. *Resolve* each job: cache tiers first (memory, then disk), then the
+   in-flight table (attach to a concurrent identical simulation), then
+   -- if this service's shard owns the key -- schedule the backend
+   invocation; out-of-shard misses are deferred.
+4. *Stream* one NDJSON ``job`` record per job in canonical order, then
+   the deterministic ``study`` record, then a ``stats`` record.
+
+The HTTP layer is stdlib-only (``http.server``): POST ``/v1/studies``
+streams the NDJSON response; GET ``/v1/stats`` and ``/v1/health`` return
+JSON snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.service.dedup import InFlightTable
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ShardSpec,
+    StudySpec,
+    encode_record,
+    resolve_metric,
+)
+
+
+class StudyService:
+    """The daemon's engine-facing core (usable in-process, without HTTP).
+
+    Thread-safe: requests arrive on HTTP handler threads and share the
+    two in-flight tables, the executor and the counters.  Engine-level
+    shared state (the global caches) carries its own locks; per-study
+    state (the device and its RNG) is created fresh per request and
+    never shared.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        exec_workers: int = 1,
+        shard: Optional[ShardSpec] = None,
+    ) -> None:
+        from repro.caching.disk import disk_cache_for, get_global_disk_cache
+
+        self.shard = shard
+        self._sim_disk = (
+            disk_cache_for(cache_dir) if cache_dir else get_global_disk_cache()
+        )
+        self._compiles = InFlightTable()
+        self._simulations = InFlightTable()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(int(exec_workers), 1),
+            thread_name_prefix="repro-serve-exec",
+        )
+        self._lock = threading.Lock()
+        self._counters = {
+            "studies": 0,
+            "jobs": 0,
+            "jobs_memory": 0,
+            "jobs_disk": 0,
+            "jobs_backend": 0,
+            "jobs_inflight": 0,
+            "jobs_deferred": 0,
+        }
+
+    # -- study construction -------------------------------------------------
+
+    def build_study(self, spec: StudySpec) -> Dict[str, object]:
+        """Materialise a spec into the objects ``run_study_spec`` drives.
+
+        Everything comes from registries keyed by the spec's names, so
+        equal specs materialise into studies with equal content
+        fingerprints in any process -- the property the cache tiers and
+        the in-flight tables key on.
+        """
+        from repro.applications.registry import build_suite
+        from repro.core.instruction_sets import (
+            google_catalogue,
+            rigetti_catalogue,
+            table2_catalogue,
+        )
+        from repro.devices.synthetic import synthetic_device
+        from repro.experiments.runner import SimulationOptions
+        from repro.simulators.backend import available_backends, resolve_backend
+
+        if spec.backend != "auto" and spec.backend not in available_backends():
+            known = ", ".join(sorted(available_backends()))
+            raise ValueError(f"unknown backend {spec.backend!r}; known: {known}")
+        catalogues = {
+            "google": google_catalogue,
+            "rigetti": rigetti_catalogue,
+            "table2": table2_catalogue,
+        }
+        catalogue = catalogues[spec.catalogue]()
+        if spec.sets is None:
+            instruction_sets = dict(catalogue)
+        else:
+            unknown = sorted(set(spec.sets) - set(catalogue))
+            if unknown:
+                known = ", ".join(catalogue)
+                raise ValueError(
+                    f"unknown instruction set(s) {', '.join(unknown)} "
+                    f"for catalogue {spec.catalogue!r}; known: {known}"
+                )
+            # Catalogue order, not request order: canonical job order must
+            # be a property of the study content, never of spelling.
+            instruction_sets = {
+                name: catalogue[name] for name in catalogue if name in set(spec.sets)
+            }
+        metric_name, metric = resolve_metric(spec.metric)
+        circuits = build_suite(
+            spec.application, spec.num_qubits, spec.num_circuits, spec.seed
+        )
+        device = synthetic_device(
+            max(spec.num_qubits, 2), spec.topology, seed=spec.device_seed
+        )
+        options = SimulationOptions(
+            shots=spec.shots, seed=spec.sim_seed, trajectories=spec.trajectories
+        )
+        return {
+            "circuits": circuits,
+            "device": device,
+            "instruction_sets": instruction_sets,
+            "metric_name": metric_name,
+            "metric": metric,
+            "options": options,
+            "backend": resolve_backend(spec.backend),
+        }
+
+    # -- dedup-aware compile wrapper ----------------------------------------
+
+    def _coalescing_compile_fn(self) -> Callable:
+        """A ``compile_circuit_cached`` wrapper routed through the table.
+
+        The coalesce key is content-addressed *independently of pipeline
+        resolution* (it uses the pipeline's requested name, so it also
+        covers ``pipeline="auto"``): two requests at the same point of
+        identical studies hold devices with identical calibration
+        fingerprints, hence compute identical keys.  The waiter's re-run
+        (see :meth:`InFlightTable.coalesce`) is then a compilation-cache
+        memory hit that replays gate-type registrations on the waiter's
+        own device.
+        """
+        from repro.circuits.hashing import (
+            circuit_fingerprint,
+            instruction_set_fingerprint,
+        )
+        from repro.core.pipeline import _decomposer_fingerprint, compile_circuit_cached
+
+        def compile_fn(circuit, device, instruction_set, **kwargs):
+            key = (
+                "service-compile",
+                circuit_fingerprint(circuit),
+                device.calibration_fingerprint(),
+                instruction_set_fingerprint(instruction_set),
+                _decomposer_fingerprint(kwargs["decomposer"]),
+                str(kwargs.get("pipeline", "default")),
+                bool(kwargs.get("approximate", True)),
+                bool(kwargs.get("use_noise_adaptivity", True)),
+                float(kwargs.get("error_scale", 1.0)),
+            )
+            result, _owner = self._compiles.coalesce(
+                key,
+                lambda: compile_circuit_cached(circuit, device, instruction_set, **kwargs),
+            )
+            return result
+
+        return compile_fn
+
+    # -- request execution ---------------------------------------------------
+
+    def run_study_spec(self, spec: StudySpec) -> Iterator[Dict[str, object]]:
+        """Execute one study spec; yield protocol records in stream order.
+
+        Builds (and therefore validates) the study *eagerly* -- unknown
+        registry names raise here, before the HTTP layer commits to a
+        200 -- then returns the streaming generator.  In-process callers
+        (tests, benchmarks) iterate the result directly.
+        """
+        return self._stream_study(spec, self.build_study(spec))
+
+    def _stream_study(
+        self, spec: StudySpec, parts: Dict[str, object]
+    ) -> Iterator[Dict[str, object]]:
+        from repro.experiments.engine import (
+            ExperimentJob,
+            PreparedJob,
+            StudyPlan,
+            execute_prepared_simulation,
+            fetch_cached_simulation,
+            ideal_distribution_cached,
+            merge_study_results,
+            prepare_job,
+            store_simulation,
+        )
+
+        plan = StudyPlan(
+            set_names=list(parts["instruction_sets"]),
+            num_circuits=len(parts["circuits"]),
+            error_scales={
+                name: float(spec.error_scale) for name in parts["instruction_sets"]
+            }
+            if float(spec.error_scale) != 1.0
+            else {},
+        )
+        jobs = plan.jobs()
+        ideal_by_index = [
+            ideal_distribution_cached(circuit) for circuit in parts["circuits"]
+        ]
+
+        compile_fn = self._coalescing_compile_fn()
+        prepared: Dict[ExperimentJob, PreparedJob] = {}
+        # Values are source strings; scheduled jobs hold a transient
+        # ("owner", invoked) marker until their future resolves.
+        sources: Dict[ExperimentJob, object] = {}
+        measured: Dict[ExperimentJob, object] = {}
+        futures: Dict[ExperimentJob, Future] = {}
+
+        # Prepare serially in canonical order (device RNG), resolving each
+        # job against the tiers as soon as it is prepared so in-flight
+        # submissions overlap the remaining compiles.
+        for job in jobs:
+            unit = prepare_job(
+                job,
+                parts["circuits"][job.circuit_index],
+                parts["device"],
+                parts["instruction_sets"][job.set_name],
+                options=parts["options"],
+                pipeline=spec.pipeline,
+                disk_cache=self._sim_disk,
+                backend=parts["backend"],
+                compile_fn=compile_fn,
+            )
+            prepared[job] = unit
+            hit = fetch_cached_simulation(unit, self._sim_disk)
+            if hit is not None:
+                measured[job], sources[job] = hit
+                continue
+            if self.shard is not None and not self.shard.owns(unit.cache_key):
+                sources[job] = "deferred"
+                continue
+
+            invoked = {"backend": False}
+
+            def task(unit=unit, invoked=invoked):
+                # Re-check the tiers first: a concurrent identical job may
+                # have stored and retired its in-flight key in the gap
+                # between this request's cache miss and its submit.  The
+                # in-flight table only retires a key *after* the store, so
+                # post-retirement arrivals always hit here.
+                hit = fetch_cached_simulation(unit, self._sim_disk)
+                if hit is not None:
+                    return hit[0]
+                invoked["backend"] = True
+                vector = execute_prepared_simulation(unit)
+                # Store *before* the future resolves: the in-flight key
+                # retires on completion, and by then the tiers must
+                # already serve the result (no gap for a third arrival
+                # to recompute in).
+                return store_simulation(unit, vector, self._sim_disk)
+
+            future, owner = self._simulations.submit(
+                unit.cache_key, lambda task=task: self._executor.submit(task)
+            )
+            # Source is resolved after the future completes: an owner whose
+            # task found the tiers already populated reports the cache, not
+            # the backend, so per-request `executed` equals real backend
+            # invocations.
+            sources[job] = ("owner", invoked) if owner else "inflight"
+            futures[job] = future
+
+        # Collect and stream per-job records in canonical order.
+        deferred = 0
+        for index, job in enumerate(jobs):
+            if job in futures:
+                measured[job] = futures[job].result()
+            if isinstance(sources[job], tuple):
+                _, invoked_flag = sources[job]
+                # A rare owner whose task was answered by the tiers (see
+                # the re-check in `task`) counts as a memory hit.
+                sources[job] = "backend" if invoked_flag["backend"] else "memory"
+            source = sources[job]
+            record: Dict[str, object] = {
+                "type": "job",
+                "index": index,
+                "set": job.set_name,
+                "circuit": job.circuit_index,
+                "error_scale": job.error_scale,
+                "source": source,
+                "value": None,
+            }
+            if source == "deferred":
+                deferred += 1
+            else:
+                record["value"] = float(
+                    parts["metric"](measured[job], ideal_by_index[job.circuit_index])
+                )
+            with self._lock:
+                self._counters["jobs"] += 1
+                self._counters[f"jobs_{source}"] += 1
+            yield record
+
+        complete = deferred == 0
+        study_record: Dict[str, object] = {
+            "type": "study",
+            "fingerprint": spec.fingerprint(),
+            "application": spec.application,
+            "metric": parts["metric_name"],
+            "complete": complete,
+            "deferred": deferred,
+        }
+        if complete:
+            study = merge_study_results(
+                spec.application,
+                parts["metric_name"],
+                parts["metric"],
+                plan,
+                ideal_by_index,
+                {job: unit.compiled for job, unit in prepared.items()},
+                measured,
+            )
+            study_record["rows"] = study.rows()
+            study_record["table"] = study.format_table()
+        with self._lock:
+            self._counters["studies"] += 1
+        yield study_record
+        yield {
+            "type": "stats",
+            "executed": sum(1 for s in sources.values() if s == "backend"),
+            "coalesced": sum(1 for s in sources.values() if s == "inflight"),
+            "from_memory": sum(1 for s in sources.values() if s == "memory"),
+            "from_disk": sum(1 for s in sources.values() if s == "disk"),
+            "deferred": deferred,
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Service-lifetime counters plus every engine cache's counters."""
+        from repro.core.pipeline import global_compilation_cache
+        from repro.experiments.engine import ideal_cache_stats, simulation_cache_stats
+        from repro.simulators.backend import backend_invocation_counts
+        from repro.simulators.noise_program import noise_program_cache_stats
+
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "service": counters,
+            "shard": str(self.shard) if self.shard is not None else None,
+            "inflight_compiles": self._compiles.stats(),
+            "inflight_simulations": self._simulations.stats(),
+            "backend_invocations": backend_invocation_counts(),
+            "caches": {
+                "compilation_memory": global_compilation_cache().stats(),
+                "ideal_distributions": ideal_cache_stats(),
+                "noise_programs": noise_program_cache_stats(),
+                "simulation_memory": simulation_cache_stats(),
+                "disk": self._sim_disk.stats() if self._sim_disk is not None else None,
+            },
+        }
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer (stdlib only)
+# ---------------------------------------------------------------------------
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes: POST /v1/studies (NDJSON stream), GET /v1/stats, /v1/health."""
+
+    # HTTP/1.0 keeps the streaming body close-delimited: no Content-Length
+    # needed, no chunked framing, and http.client reads until EOF.
+    protocol_version = "HTTP/1.0"
+    service: StudyService  # injected by make_http_server
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # quiet: the daemon's stdout is the operator's console
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/v1/health":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.service.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/v1/studies":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            spec = StudySpec.from_json_dict(json.loads(self.rfile.read(length)))
+            stream = self.service.run_study_spec(spec)  # validates eagerly
+        except (ValueError, TypeError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            for record in stream:
+                self.wfile.write(encode_record(record))
+                self.wfile.flush()
+        except BrokenPipeError:
+            pass  # client went away mid-stream; nothing to clean up
+        except Exception as error:  # stream already started: error in-band
+            try:
+                self.wfile.write(
+                    encode_record(
+                        {"type": "error", "error": f"{type(error).__name__}: {error}"}
+                    )
+                )
+            except BrokenPipeError:
+                pass
+
+
+def make_http_server(
+    service: StudyService, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server around ``service`` (port 0 = ephemeral)."""
+    handler = type("BoundServiceHandler", (_ServiceHandler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache_dir: Optional[str] = None,
+    exec_workers: int = 1,
+    shard: Optional[ShardSpec] = None,
+) -> str:
+    """Run the daemon until interrupted; returns a farewell line.
+
+    Prints the listening address (flushed) once the socket is bound, so
+    wrappers -- the CI smoke test, shell scripts -- can wait for that
+    line before submitting.
+    """
+    service = StudyService(cache_dir=cache_dir, exec_workers=exec_workers, shard=shard)
+    server = make_http_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    shard_note = f" shard={shard}" if shard is not None else ""
+    print(
+        f"repro serve listening on http://{bound_host}:{bound_port}{shard_note}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return "repro serve: shut down"

@@ -38,9 +38,7 @@ calibration fingerprint but not the program lowered for this circuit).
 from __future__ import annotations
 
 import hashlib
-import os
 import threading
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -227,41 +225,26 @@ _DEFAULT_PROGRAM_CACHE_SIZE = 256
 so a few hundred distinct compiled circuits stay comfortably in memory."""
 
 PROGRAM_CACHE_SIZE_ENV_VAR = "REPRO_PROGRAM_CACHE_SIZE"
-"""Environment variable overriding the noise-program LRU bound."""
-
-_PROGRAM_CACHE_MAX_ENTRIES: Optional[int] = None
-"""Resolved bound; ``None`` until first use (tests reset it via
-:func:`clear_noise_program_cache` so the env var is re-read)."""
+"""Environment variable overriding the noise-program LRU bound.  Read on
+**every** consultation of the bound -- the same policy
+``active_simulation_kernel`` and ``get_global_disk_cache`` follow -- so a
+long-lived daemon picks up runtime changes without a restart.  (It used
+to be frozen into a module global on first use, silently ignoring later
+changes.)"""
 
 
 def _program_cache_bound() -> int:
     """The noise-program LRU bound, configurable via the environment.
 
-    Invalid values -- non-numeric, zero or negative -- fall back to the
-    documented default with a warning instead of being silently clamped
-    (the same policy ``REPRO_COMPILE_CACHE_SIZE`` follows).
+    Re-reads ``REPRO_PROGRAM_CACHE_SIZE`` on every call.  Invalid values
+    -- non-numeric, zero or negative -- fall back to the documented
+    default with a warning instead of being silently clamped
+    (:func:`repro.config.positive_int_env`, the policy every cache-bound
+    variable shares).
     """
-    global _PROGRAM_CACHE_MAX_ENTRIES
-    if _PROGRAM_CACHE_MAX_ENTRIES is not None:
-        return _PROGRAM_CACHE_MAX_ENTRIES
-    raw = os.environ.get(PROGRAM_CACHE_SIZE_ENV_VAR, "").strip()
-    if not raw:
-        _PROGRAM_CACHE_MAX_ENTRIES = _DEFAULT_PROGRAM_CACHE_SIZE
-        return _PROGRAM_CACHE_MAX_ENTRIES
-    try:
-        size = int(raw)
-    except ValueError:
-        size = 0
-    if size < 1:
-        warnings.warn(
-            f"ignoring invalid {PROGRAM_CACHE_SIZE_ENV_VAR}={raw!r} (need a "
-            f"positive integer); using the default of {_DEFAULT_PROGRAM_CACHE_SIZE}",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        size = _DEFAULT_PROGRAM_CACHE_SIZE
-    _PROGRAM_CACHE_MAX_ENTRIES = size
-    return _PROGRAM_CACHE_MAX_ENTRIES
+    from repro.config import positive_int_env
+
+    return positive_int_env(PROGRAM_CACHE_SIZE_ENV_VAR, _DEFAULT_PROGRAM_CACHE_SIZE)
 
 
 def noise_program_for(compiled: "CompiledCircuit", device: "Device") -> NoiseProgram:
@@ -313,13 +296,11 @@ def noise_program_cache_stats() -> Dict[str, int]:
 def clear_noise_program_cache() -> None:
     """Drop every cached program and reset the counters (tests/benchmarks).
 
-    Also forgets the resolved LRU bound so the next use re-reads
-    ``REPRO_PROGRAM_CACHE_SIZE`` -- tests exercise the knob by setting
-    the variable and clearing the cache.
+    The LRU bound needs no reset: ``REPRO_PROGRAM_CACHE_SIZE`` is
+    re-read on every consultation, so environment changes take effect
+    immediately whether or not the cache is cleared.
     """
-    global _PROGRAM_CACHE_MAX_ENTRIES
     with _PROGRAM_CACHE_LOCK:
         _PROGRAM_CACHE.clear()
         _PROGRAM_CACHE_STATS["hits"] = 0
         _PROGRAM_CACHE_STATS["misses"] = 0
-        _PROGRAM_CACHE_MAX_ENTRIES = None

@@ -1,0 +1,93 @@
+"""The shared environment-variable parsing policy (`repro.config`).
+
+One helper, four callers (compile-cache size, tuner-cache size, program-
+cache size, disk-cache byte budget).  The policy under test: unset or
+blank means the default, valid positive integers pass through, and
+anything else -- non-numeric, zero, negative -- warns (naming the
+variable) and falls back to the caller's documented default instead of
+silently clamping or raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import positive_int_env
+
+VAR = "REPRO_TEST_POSITIVE_INT"
+
+
+class TestPositiveIntEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert positive_int_env(VAR, 42) == 42
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv(VAR, "   ")
+        assert positive_int_env(VAR, 42) == 42
+
+    def test_none_default_passes_through(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert positive_int_env(VAR, None) is None
+
+    def test_valid_value_parses(self, monkeypatch):
+        monkeypatch.setenv(VAR, " 17 ")
+        assert positive_int_env(VAR, 42) == 17
+
+    @pytest.mark.parametrize("raw", ["many", "0", "-3", "1.5"])
+    def test_invalid_warns_and_defaults(self, monkeypatch, raw):
+        monkeypatch.setenv(VAR, raw)
+        with pytest.warns(RuntimeWarning, match=VAR):
+            assert positive_int_env(VAR, 42) == 42
+
+    def test_invalid_note_overrides_warning_tail(self, monkeypatch):
+        monkeypatch.setenv(VAR, "nope")
+        with pytest.warns(RuntimeWarning, match="stays unbounded"):
+            assert positive_int_env(VAR, None, invalid_note="stays unbounded") is None
+
+
+class TestCallerWiring:
+    """Each consolidated caller still reads its documented variable/default."""
+
+    def test_program_cache_bound(self, monkeypatch):
+        from repro.simulators.noise_program import (
+            PROGRAM_CACHE_SIZE_ENV_VAR,
+            _program_cache_bound,
+        )
+
+        monkeypatch.setenv(PROGRAM_CACHE_SIZE_ENV_VAR, "7")
+        assert _program_cache_bound() == 7
+        # Every-call read policy: a later change takes effect immediately,
+        # no module reload, no cache clear.
+        monkeypatch.setenv(PROGRAM_CACHE_SIZE_ENV_VAR, "9")
+        assert _program_cache_bound() == 9
+        monkeypatch.delenv(PROGRAM_CACHE_SIZE_ENV_VAR)
+        assert _program_cache_bound() == 256
+
+    def test_compile_cache_default(self, monkeypatch):
+        from repro.core.pipeline import COMPILE_CACHE_SIZE_ENV_VAR, _default_cache_size
+
+        monkeypatch.delenv(COMPILE_CACHE_SIZE_ENV_VAR, raising=False)
+        assert _default_cache_size() == 4096
+        monkeypatch.setenv(COMPILE_CACHE_SIZE_ENV_VAR, "11")
+        assert _default_cache_size() == 11
+
+    def test_tuner_cache_default(self, monkeypatch):
+        from repro.compiler.autotune import (
+            TUNER_CACHE_SIZE_ENV_VAR,
+            _default_tuner_cache_size,
+        )
+
+        monkeypatch.delenv(TUNER_CACHE_SIZE_ENV_VAR, raising=False)
+        assert _default_tuner_cache_size() == 8192
+        monkeypatch.setenv(TUNER_CACHE_SIZE_ENV_VAR, "13")
+        assert _default_tuner_cache_size() == 13
+
+    def test_disk_cache_max_bytes_unbounded_default(self, monkeypatch):
+        from repro.caching.disk import MAX_BYTES_ENV_VAR, _default_max_bytes
+
+        monkeypatch.delenv(MAX_BYTES_ENV_VAR, raising=False)
+        assert _default_max_bytes() is None
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "bogus")
+        with pytest.warns(RuntimeWarning, match=MAX_BYTES_ENV_VAR):
+            assert _default_max_bytes() is None

@@ -196,3 +196,61 @@ class TestNoDeviceCopyDeterminism:
         vector = next(iter(_SIM_CACHE.values()))
         with pytest.raises((ValueError, RuntimeError)):
             vector[0] = 1.0
+
+
+class TestIdealCacheLRU:
+    """The ideal-distribution cache evicts least-*recently-used*, not FIFO.
+
+    Regression guard: hits used to leave recency untouched, so a daemon's
+    hottest circuits -- the ones hit on every request -- were the first
+    evicted once one-off traffic filled the bound.
+    """
+
+    def test_hit_refreshes_recency(self, monkeypatch):
+        from repro.experiments import engine
+        from repro.experiments.engine import ideal_cache_stats, ideal_distribution_cached
+
+        circuits = [
+            qv_circuit(2, rng=np.random.default_rng(index)) for index in range(3)
+        ]
+        clear_experiment_caches()
+        monkeypatch.setattr(engine, "_IDEAL_CACHE_MAX_ENTRIES", 2)
+
+        ideal_distribution_cached(circuits[0])  # miss: cache [0]
+        ideal_distribution_cached(circuits[1])  # miss: cache [0, 1]
+        ideal_distribution_cached(circuits[0])  # hit: refreshes 0 -> [1, 0]
+        ideal_distribution_cached(circuits[2])  # miss: evicts LRU -> [0, 2]
+
+        before = ideal_cache_stats()
+        ideal_distribution_cached(circuits[0])  # must still be cached
+        after = ideal_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+        ideal_distribution_cached(circuits[1])  # was evicted: a miss
+        assert ideal_cache_stats()["misses"] == after["misses"] + 1
+
+    def test_stats_report_entries_and_bound(self, monkeypatch):
+        from repro.experiments import engine
+        from repro.experiments.engine import ideal_cache_stats, ideal_distribution_cached
+
+        clear_experiment_caches()
+        monkeypatch.setattr(engine, "_IDEAL_CACHE_MAX_ENTRIES", 2)
+        for index in range(3):
+            ideal_distribution_cached(qv_circuit(2, rng=np.random.default_rng(index)))
+        stats = ideal_cache_stats()
+        assert stats["entries"] == 2
+        assert stats["max_entries"] == 2
+        assert stats["hits"] == 0
+        assert stats["misses"] == 3
+
+    def test_hit_returns_identical_vector(self):
+        from repro.experiments.engine import ideal_distribution_cached
+
+        circuit = qv_circuit(2, rng=np.random.default_rng(0))
+        clear_experiment_caches()
+        first = ideal_distribution_cached(circuit)
+        second = ideal_distribution_cached(circuit)
+        assert second is first
+        with pytest.raises((ValueError, RuntimeError)):
+            second[0] = 1.0
