@@ -79,6 +79,39 @@ def pytest_runtest_logreport(report):
         )
 
 
+_BASELINE_FIELDS = ("baseline_s", "reference_s", "sequential_s", "serial_s")
+"""Recognised baseline-timing fields, in lookup order."""
+
+_MEASURED_FIELDS = ("batched_s", "fused_s", "optimized_s", "measured_s", "warm_wall_s")
+"""Recognised measured-timing fields, in lookup order."""
+
+
+def _derive_speedups(records: Dict[str, Dict[str, object]]) -> None:
+    """Fill in ``speedup`` for every record that reports a baseline.
+
+    A benchmark that records a baseline timing (``baseline_s`` /
+    ``reference_s`` / ...) next to a measured timing (``batched_s`` /
+    ``fused_s`` / ...) gets ``speedup = baseline / measured`` derived
+    here, so the JSON artifact is uniformly diffable across PRs even when
+    the benchmark itself only recorded raw timings.  Records that already
+    attached an explicit ``speedup`` are left untouched.
+    """
+    for fields in records.values():
+        if "speedup" in fields:
+            continue
+        baseline = next(
+            (fields[key] for key in _BASELINE_FIELDS if key in fields), None
+        )
+        measured = next(
+            (fields[key] for key in _MEASURED_FIELDS if key in fields), None
+        )
+        try:
+            if baseline is not None and measured is not None and float(measured) > 0:
+                fields["speedup"] = round(float(baseline) / float(measured), 2)
+        except (TypeError, ValueError):
+            continue
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Merge this session's records into the benchmark JSON file."""
     if not _BENCH_RECORDS:
@@ -96,6 +129,7 @@ def pytest_sessionfinish(session, exitstatus):
         merged = {}
     for name, fields in _BENCH_RECORDS.items():
         merged.setdefault(name, {}).update(fields)
+    _derive_speedups(merged)
     payload = {
         "schema": BENCH_JSON_SCHEMA,
         "benchmarks": [

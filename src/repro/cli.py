@@ -265,6 +265,7 @@ def _in_process_cache_report() -> str:
     from repro.compiler.autotune import global_tuner_cache
     from repro.core.pipeline import global_compilation_cache
     from repro.experiments.engine import ideal_cache_stats, simulation_cache_stats
+    from repro.simulators.array_ops import array_backend_stats
     from repro.simulators.noise_program import noise_program_cache_stats
 
     sections = {
@@ -274,6 +275,8 @@ def _in_process_cache_report() -> str:
         "autotuner verdicts": global_tuner_cache().stats(),
         "simulation results (memory)": simulation_cache_stats(),
     }
+    for name, stats in sorted(array_backend_stats().items()):
+        sections[f"batched replay ({name})"] = stats
     rows = [
         {"cache": name, "field": key, "value": value}
         for name, stats in sections.items()
@@ -317,6 +320,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         cache_dir=args.cache_dir,
         exec_workers=args.exec_workers,
         shard=shard,
+        batch=args.batch,
     )
 
 
@@ -346,6 +350,7 @@ def _cmd_submit(args: argparse.Namespace) -> str:
             shots=args.shots,
             backend=args.backend,
             error_scale=args.error_scale,
+            error_scales=tuple(args.error_scales) if args.error_scales else None,
         )
     table = ""
     # Stream records as the daemon produces them: one NDJSON line per
@@ -359,7 +364,9 @@ def _cmd_submit(args: argparse.Namespace) -> str:
 
 
 def _cmd_simulators(args: argparse.Namespace) -> str:
+    from repro.simulators.array_ops import active_array_backend, available_array_backends
     from repro.simulators.backend import active_simulation_kernel, available_backends
+    from repro.simulators.superop import sim_batch_max_bytes
 
     rows = [
         {
@@ -369,12 +376,19 @@ def _cmd_simulators(args: argparse.Namespace) -> str:
         }
         for name, backend in sorted(available_backends().items())
     ]
+    array_names = ", ".join(sorted(available_array_backends()))
     return (
         "Registered simulator backends\n"
         + render_table(rows)
         + f"\n\nactive kernel: {active_simulation_kernel()} "
         "(REPRO_SIM_KERNEL=fused|reference; fused = one contraction per\n"
         "fused channel group, reference = the pinned bit-identical replay)\n"
+        f"active array backend: {active_array_backend().name} "
+        f"(REPRO_ARRAY_BACKEND={array_names}; unavailable\n"
+        "backends degrade to numpy with a warning)\n"
+        f"batch working-set cap: {sim_batch_max_bytes()} bytes "
+        "(REPRO_SIM_BATCH_MAX_BYTES; bounds the\n"
+        "(B, 2^n, 2^n) rho stack of one batched-replay pass)\n"
         "\nSelect with --backend on fig9/fig10/fig10f, backend= on run_study,\n"
         "or SimulationOptions(method=...); 'auto' dispatches by qubit count\n"
         "(density-matrix up to max_density_matrix_qubits, else trajectory)."
@@ -629,6 +643,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate only the k/N slice of the simulation key space "
         "(e.g. 1/2); out-of-shard cache misses are deferred, not computed",
     )
+    serve.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="batched replay of same-structure cache misses: 1 disables "
+        "(default), 0 batches up to the REPRO_SIM_BATCH_MAX_BYTES cap, "
+        "N>=2 caps groups at N jobs (see docs/simulators.md)",
+    )
 
     submit = subparsers.add_parser(
         "submit",
@@ -651,6 +673,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--shots", type=_positive_int, default=3000)
     submit.add_argument("--backend", default="auto")
     submit.add_argument("--error-scale", type=float, default=1.0)
+    submit.add_argument(
+        "--error-scales",
+        nargs="+",
+        type=float,
+        default=None,
+        help="error-scale sweep: each scale != 1 adds a '<set>-<scale>x' "
+        "alias of every selected set (the fig10 FullfSim-2x pattern); "
+        "sweep jobs share structure, so a --batch'ed daemon vectorises them",
+    )
     submit.add_argument("--table", action="store_true", help="also print the merged study table after the NDJSON stream")
 
     design = subparsers.add_parser("design", help="greedy instruction-set design")

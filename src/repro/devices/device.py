@@ -96,6 +96,17 @@ class Device:
         """Gate-type keys with calibration data on every edge."""
         return sorted(self._registered_types)
 
+    def registered_type_scales(self) -> Dict[str, float]:
+        """Error-scale each registered gate type was calibrated with.
+
+        Registration is first-wins (:meth:`ensure_gate_types` skips keys
+        that already have calibration), so a type's stored error rates
+        carry exactly this factor.  The error-scale sweeps use it to apply
+        a job's scale *relative* to the registration when lowering noise
+        programs (:func:`repro.simulators.noise_program.noise_program_for`).
+        """
+        return dict(self._registered_types)
+
     def register_gate_type(
         self,
         type_key: str,

@@ -99,6 +99,7 @@ from repro.experiments.runner import (
     MetricFunction,
     SimulationOptions,
     StudyResult,
+    finalize_measured_distribution,
     simulate_noise_program,
 )
 from repro.simulators.backend import SimulatorBackend, resolve_backend
@@ -106,6 +107,11 @@ from repro.simulators.noise_program import (
     NoiseProgram,
     clear_noise_program_cache,
     noise_program_for,
+)
+from repro.simulators.superop import (
+    max_batch_items,
+    superop_program_for,
+    superop_structure_key,
 )
 from repro.simulators.statevector import ideal_probabilities
 
@@ -509,7 +515,7 @@ def prepare_job(
         cache=compilation_cache,
         disk_cache=disk_cache,
     )
-    program = noise_program_for(compiled, device)
+    program = noise_program_for(compiled, device, error_scale=job.error_scale)
     readout = (
         device.readout_errors_for(compiled.physical_qubits)
         if options.apply_readout_error
@@ -568,6 +574,103 @@ def execute_prepared_simulation(prepared: PreparedJob) -> np.ndarray:
     :func:`fetch_cached_simulation` and :func:`store_simulation`.
     """
     return _simulate_job(*prepared.simulation_arguments())
+
+
+# ---------------------------------------------------------------------------
+# Batched replay grouping (SimulationOptions.batch != 1)
+#
+# An error-scale sweep simulates B variants of the *same* compiled circuit
+# whose noise programs share fused-group structure (identical qubit
+# supports per group; only the channel tensors differ with the scale).
+# Rather than B sequential replays, the engine groups such prepared jobs
+# by a BatchKey and lets the backend run each group as ONE vectorised
+# pass over a stacked (B, 2^n, 2^n) rho tensor
+# (:meth:`~repro.simulators.backend.SimulatorBackend.run_batch`), then
+# fans the per-job distributions back out through the unchanged per-job
+# cache keys -- memory/disk tiers, dedup and ``repro serve`` see
+# individual jobs exactly as before.
+# ---------------------------------------------------------------------------
+
+
+def batch_signature(prepared: PreparedJob) -> Optional[Tuple]:
+    """The ``BatchKey`` of a prepared job, or ``None`` when unbatchable.
+
+    Jobs may share one vectorised backend pass iff they agree on this
+    key: same effective backend (name *and* kernel-dependent version),
+    same simulation-options fingerprint, and the same fused-group
+    *structure* -- :func:`~repro.simulators.superop.superop_structure_key`
+    of the lowered program, i.e. identical per-group qubit supports (the
+    error-scale-sweep case: channel tensors differ, shapes do not).
+    Backends that cannot batch this program (reference kernel, trajectory,
+    estimator, too many qubits) opt out via ``supports_batched_run``.
+    """
+    backend = prepared.backend
+    if not backend.supports_batched_run(prepared.program, prepared.options):
+        return None
+    structure = superop_structure_key(superop_program_for(prepared.program))
+    return (
+        backend.name,
+        int(backend.version),
+        prepared.options.fingerprint(),
+        structure,
+    )
+
+
+def group_prepared_for_batch(
+    prepared_units: Sequence[PreparedJob],
+) -> List[List[PreparedJob]]:
+    """Partition prepared jobs into batched-replay groups.
+
+    Jobs with equal :func:`batch_signature` land in one group, chunked to
+    at most :func:`~repro.simulators.superop.max_batch_items` members (the
+    ``REPRO_SIM_BATCH_MAX_BYTES`` working-set cap combined with the
+    ``SimulationOptions.batch`` group-size knob); unbatchable jobs become
+    singleton groups.  Group order follows first appearance and members
+    keep their input order, so downstream folds stay deterministic.
+    """
+    grouped: "OrderedDict[Tuple, List[PreparedJob]]" = OrderedDict()
+    ordered_groups: List[List[PreparedJob]] = []
+    for unit in prepared_units:
+        signature = batch_signature(unit)
+        if signature is None:
+            ordered_groups.append([unit])
+            continue
+        if signature not in grouped:
+            grouped[signature] = []
+            ordered_groups.append(grouped[signature])
+        grouped[signature].append(unit)
+    chunked: List[List[PreparedJob]] = []
+    for group in ordered_groups:
+        limit = max_batch_items(
+            group[0].program.num_qubits, int(group[0].options.batch)
+        )
+        for start in range(0, len(group), limit):
+            chunked.append(group[start : start + limit])
+    return chunked
+
+
+def execute_prepared_batch(group: Sequence[PreparedJob]) -> List[np.ndarray]:
+    """Run one batched-replay group; returns per-job measured distributions.
+
+    Singleton groups take the ordinary sequential path
+    (:func:`execute_prepared_simulation`) so a "batch of one" stays
+    bit-identical to an unbatched run.  Larger groups make one
+    ``run_batch`` backend pass (one invocation-counter tick) and then
+    finalize each job exactly as the sequential path does -- same per-job
+    RNG seed, readout error and output permutation
+    (:func:`repro.experiments.runner.finalize_measured_distribution`).
+    """
+    group = list(group)
+    if len(group) == 1:
+        return [execute_prepared_simulation(group[0])]
+    backend = group[0].backend
+    raw = backend.run_batch([unit.program for unit in group], group[0].options)
+    return [
+        finalize_measured_distribution(
+            probabilities, unit.options, unit.readout_error, unit.program_order
+        )
+        for probabilities, unit in zip(raw, group)
+    ]
 
 
 def store_simulation(
@@ -665,7 +768,11 @@ def run_study(
     workers:
         Size of the simulation worker pool.  ``None``/1 runs everything
         inline; ``0`` uses every CPU core.  Output is bit-identical for
-        every value.
+        every value.  When ``options.batch != 1`` the pool is bypassed:
+        cache misses are grouped by :func:`batch_signature` and executed
+        as vectorised batched-replay passes instead (see the batched
+        replay section above), results landing under the same per-job
+        cache keys.
     compilation_cache:
         Cache for compile nodes (default: the process-global cache).
     pipeline:
@@ -726,8 +833,13 @@ def run_study(
     # The pool payload is the immutable noise program plus scalars -- the
     # Device itself never crosses the worker boundary (the engine used to
     # deep-copy it per job).
+    # Batched replay (options.batch != 1): cache misses are grouped by
+    # batch_signature and executed as vectorised backend passes inline,
+    # instead of fanning individual jobs out to a worker pool -- on this
+    # container one stacked contraction beats process parallelism.
+    batching = int(options.batch) != 1
     pool: Optional[Executor] = None
-    if effective_workers > 1 and len(jobs) > 1:
+    if not batching and effective_workers > 1 and len(jobs) > 1:
         try:
             pool = ProcessPoolExecutor(max_workers=effective_workers)
         except Exception:
@@ -764,6 +876,12 @@ def run_study(
                 continue
             if pool is not None:
                 futures[job] = pool.submit(_simulate_job, *unit.simulation_arguments())
+
+        if batching:
+            miss_units = [prepared[job] for job in jobs if job not in measured]
+            for group in group_prepared_for_batch(miss_units):
+                for unit, vector in zip(group, execute_prepared_batch(group)):
+                    measured[unit.job] = vector
 
         if pool is not None and futures:
             try:

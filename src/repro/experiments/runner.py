@@ -23,6 +23,7 @@ from repro.core.instruction_sets import InstructionSet
 from repro.core.pipeline import CompiledCircuit, compile_circuit
 from repro.devices.device import Device
 from repro.metrics.distributions import permute_distribution
+from repro.simulators.array_ops import validate_array_backend_env
 from repro.simulators.backend import SimulatorBackend, resolve_backend
 from repro.simulators.density_matrix import (
     MAX_DENSITY_MATRIX_QUBITS,
@@ -52,6 +53,16 @@ class SimulationOptions:
     reproduces the historical qubit-threshold dispatch; an explicit
     ``backend=`` argument to :func:`simulate_compiled` /
     :func:`repro.experiments.engine.run_study` takes precedence."""
+    batch: int = 1
+    """Batched-replay group-size cap for the study engine: ``1`` (the
+    default) disables batching, ``0`` means "as large as the
+    ``REPRO_SIM_BATCH_MAX_BYTES`` memory cap allows", and ``N >= 2`` caps
+    groups at ``N`` jobs (still bounded by the memory cap).  Excluded from
+    :meth:`fingerprint` for the same reason as ``method``: batching is an
+    execution strategy, not part of the measured distribution -- batched
+    results land under the same per-job cache keys as sequential ones
+    (held to the fused kernel's ``<= 1e-10`` bar), so warm batched runs
+    reuse sequential entries and vice versa."""
 
     def __post_init__(self) -> None:
         if int(self.shots) <= 0:
@@ -71,6 +82,14 @@ class SimulationOptions:
                 f"density-matrix simulator's hard cap of {MAX_DENSITY_MATRIX_QUBITS} "
                 f"qubits, got {self.max_density_matrix_qubits}"
             )
+        if int(self.batch) < 0:
+            raise ValueError(
+                "SimulationOptions.batch must be >= 0 (0 = memory-cap bound, "
+                f"1 = disabled, N = group-size cap), got {self.batch}"
+            )
+        # Fail a typo'd REPRO_ARRAY_BACKEND here, at option construction,
+        # instead of warning mid-study from a worker thread.
+        validate_array_backend_env()
 
     def fingerprint(self) -> str:
         """Content digest of every field that shapes a measured distribution.
@@ -81,6 +100,10 @@ class SimulationOptions:
         and version are separate key components, so including the
         requested method here would only split cache entries between
         ``backend=`` and ``method=`` spellings of the same run.
+        ``batch`` is excluded for the same reason (see its field doc):
+        batched and sequential execution produce the same distribution,
+        so splitting their cache entries would orphan every warm result
+        whenever the knob changed.
         """
         return hash_scalars(
             "simulation-options",
@@ -108,6 +131,25 @@ def simulate_noise_program(
     is safe to run on worker pools.
     """
     probabilities = backend.run(program, options)
+    return finalize_measured_distribution(
+        probabilities, options, readout_error, program_order
+    )
+
+
+def finalize_measured_distribution(
+    probabilities: np.ndarray,
+    options: SimulationOptions,
+    readout_error: Optional[Sequence[float]] = None,
+    program_order: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Shot-sample a backend distribution and permute it to program order.
+
+    The backend-independent tail of :func:`simulate_noise_program`, split
+    out so the engine's batched path can run one vectorised backend pass
+    and still finalize each job identically to the sequential path (same
+    per-job RNG seeded from ``options``, same readout error, same
+    permutation).
+    """
     counts = sample_counts(
         probabilities,
         options.shots,

@@ -113,6 +113,14 @@ class StudySpec:
     trajectories: int = 30
     backend: str = "auto"
     error_scale: float = 1.0
+    error_scales: Optional[Tuple[float, ...]] = None
+    """Error-scale sweep: each scale != 1 adds a ``<set>-<scale>x`` alias
+    of every selected instruction set, compiled with that error-rate
+    multiplier (the Figure 10 ``FullfSim-2x`` pattern).  The sweep's jobs
+    share compiled-circuit and noise-program *structure*, which is
+    exactly what the engine's batched replay groups into one vectorised
+    pass per circuit (see ``repro serve --batch``).  ``None`` means no
+    sweep; scales multiply on top of ``error_scale``."""
 
     def __post_init__(self) -> None:
         if int(self.num_qubits) < 2:
@@ -134,12 +142,32 @@ class StudySpec:
             object.__setattr__(self, "sets", tuple(str(name) for name in self.sets))
         if float(self.error_scale) <= 0:
             raise ValueError(f"error_scale must be positive, got {self.error_scale}")
+        if self.error_scales is not None:
+            scales = tuple(float(scale) for scale in self.error_scales)
+            if not scales:
+                raise ValueError("error_scales must be non-empty when given")
+            for scale in scales:
+                if scale <= 0:
+                    raise ValueError(f"error_scales must be positive, got {scale}")
+            if len(set(scales)) != len(scales):
+                raise ValueError(f"error_scales must be distinct, got {scales}")
+            object.__setattr__(self, "error_scales", scales)
 
     def to_json_dict(self) -> Dict[str, object]:
-        """Plain-JSON form (tuples become lists)."""
+        """Plain-JSON form (tuples become lists).
+
+        ``error_scales`` is omitted entirely when unset (rather than
+        serialised as ``null``) so specs written before the field existed
+        keep their canonical JSON -- and therefore their
+        :meth:`fingerprint` -- unchanged.
+        """
         payload = asdict(self)
         if payload["sets"] is not None:
             payload["sets"] = list(payload["sets"])
+        if payload["error_scales"] is None:
+            del payload["error_scales"]
+        else:
+            payload["error_scales"] = list(payload["error_scales"])
         return payload
 
     @classmethod
@@ -158,6 +186,8 @@ class StudySpec:
         data = dict(payload)
         if data.get("sets") is not None:
             data["sets"] = tuple(data["sets"])
+        if data.get("error_scales") is not None:
+            data["error_scales"] = tuple(data["error_scales"])
         return cls(**data)
 
     def fingerprint(self) -> str:

@@ -74,10 +74,22 @@ class StudyService:
         cache_dir: Optional[str] = None,
         exec_workers: int = 1,
         shard: Optional[ShardSpec] = None,
+        batch: int = 1,
     ) -> None:
         from repro.caching.disk import disk_cache_for, get_global_disk_cache
 
         self.shard = shard
+        self.batch = int(batch)
+        """Batched-replay knob (``repro serve --batch``): ``1`` keeps the
+        per-job scheduling path, ``0``/``N>=2`` makes each request queue
+        its owned cache misses and execute same-structure groups as one
+        vectorised backend pass between NDJSON flushes (see
+        :func:`repro.experiments.engine.group_prepared_for_batch`).  An
+        execution-strategy knob of the *server*, deliberately not a
+        :class:`~repro.service.protocol.StudySpec` field: it never changes
+        study content, cache keys or the ``study`` record bytes."""
+        if self.batch < 0:
+            raise ValueError(f"batch must be >= 0, got {batch}")
         self._sim_disk = (
             disk_cache_for(cache_dir) if cache_dir else get_global_disk_cache()
         )
@@ -96,6 +108,7 @@ class StudyService:
             "jobs_backend": 0,
             "jobs_inflight": 0,
             "jobs_deferred": 0,
+            "batched_passes": 0,
         }
 
     # -- study construction -------------------------------------------------
@@ -150,12 +163,38 @@ class StudyService:
             max(spec.num_qubits, 2), spec.topology, seed=spec.device_seed
         )
         options = SimulationOptions(
-            shots=spec.shots, seed=spec.sim_seed, trajectories=spec.trajectories
+            shots=spec.shots,
+            seed=spec.sim_seed,
+            trajectories=spec.trajectories,
+            batch=self.batch,
         )
+        # Error-scale sweep: each scale != 1 aliases every selected set to
+        # a "<name>-<scale>x" variant compiled with that multiplier (the
+        # Figure 10 FullfSim-2x pattern), multiplying on top of the base
+        # error_scale.  Sweep jobs share compiled-circuit and noise-program
+        # structure, which is exactly what batched replay groups.
+        base_scale = float(spec.error_scale)
+        error_scales: Dict[str, float] = {}
+        if spec.error_scales:
+            swept = {}
+            for name, instruction_set in instruction_sets.items():
+                swept[name] = instruction_set
+                if base_scale != 1.0:
+                    error_scales[name] = base_scale
+                for scale in spec.error_scales:
+                    if float(scale) == 1.0:
+                        continue
+                    alias = f"{name}-{scale:g}x"
+                    swept[alias] = instruction_set
+                    error_scales[alias] = base_scale * float(scale)
+            instruction_sets = swept
+        elif base_scale != 1.0:
+            error_scales = {name: base_scale for name in instruction_sets}
         return {
             "circuits": circuits,
             "device": device,
             "instruction_sets": instruction_sets,
+            "error_scales": error_scales,
             "metric_name": metric_name,
             "metric": metric,
             "options": options,
@@ -221,8 +260,10 @@ class StudyService:
             ExperimentJob,
             PreparedJob,
             StudyPlan,
+            execute_prepared_batch,
             execute_prepared_simulation,
             fetch_cached_simulation,
+            group_prepared_for_batch,
             ideal_distribution_cached,
             merge_study_results,
             prepare_job,
@@ -232,11 +273,7 @@ class StudyService:
         plan = StudyPlan(
             set_names=list(parts["instruction_sets"]),
             num_circuits=len(parts["circuits"]),
-            error_scales={
-                name: float(spec.error_scale) for name in parts["instruction_sets"]
-            }
-            if float(spec.error_scale) != 1.0
-            else {},
+            error_scales=dict(parts["error_scales"]),
         )
         jobs = plan.jobs()
         ideal_by_index = [
@@ -250,6 +287,12 @@ class StudyService:
         sources: Dict[ExperimentJob, object] = {}
         measured: Dict[ExperimentJob, object] = {}
         futures: Dict[ExperimentJob, Future] = {}
+        # Batched mode (self.batch != 1): owned misses queue here as
+        # (unit, job_future, invoked) instead of going to the executor one
+        # by one; after the prepare loop they are grouped by structure and
+        # each group runs as one vectorised backend pass.
+        pending_batch = []
+        request_batch = {"passes": 0}
 
         # Prepare serially in canonical order (device RNG), resolving each
         # job against the tiers as soon as it is prepared so in-flight
@@ -277,6 +320,21 @@ class StudyService:
 
             invoked = {"backend": False}
 
+            if self.batch != 1:
+                # Register a bare per-job future under the cache key so
+                # concurrent identical jobs still coalesce onto it; the
+                # owner's group task resolves it (store-before-resolve,
+                # like the per-job path) once the batch executes.
+                job_future: Future = Future()
+                future, owner = self._simulations.submit(
+                    unit.cache_key, lambda job_future=job_future: job_future
+                )
+                if owner:
+                    pending_batch.append((unit, job_future, invoked))
+                sources[job] = ("owner", invoked) if owner else "inflight"
+                futures[job] = future
+                continue
+
             def task(unit=unit, invoked=invoked):
                 # Re-check the tiers first: a concurrent identical job may
                 # have stored and retired its in-flight key in the gap
@@ -303,6 +361,51 @@ class StudyService:
             # invocations.
             sources[job] = ("owner", invoked) if owner else "inflight"
             futures[job] = future
+
+        if pending_batch:
+            entry_for = {id(entry[0]): entry for entry in pending_batch}
+
+            def run_group(group):
+                entries = [entry_for[id(unit)] for unit in group]
+                try:
+                    remaining = []
+                    for unit, job_future, invoked in entries:
+                        # Re-check the tiers (same reason as the per-job
+                        # task): a concurrent request may have stored this
+                        # key after our miss.
+                        hit = fetch_cached_simulation(unit, self._sim_disk)
+                        if hit is not None:
+                            job_future.set_result(hit[0])
+                        else:
+                            remaining.append((unit, job_future, invoked))
+                    if not remaining:
+                        return
+                    vectors = execute_prepared_batch(
+                        [unit for unit, _, _ in remaining]
+                    )
+                    if len(remaining) > 1:
+                        with self._lock:
+                            self._counters["batched_passes"] += 1
+                            request_batch["passes"] += 1
+                    for (unit, job_future, invoked), vector in zip(
+                        remaining, vectors
+                    ):
+                        invoked["backend"] = True
+                        job_future.set_result(
+                            store_simulation(unit, vector, self._sim_disk)
+                        )
+                except BaseException as error:  # resolve waiters, don't hang
+                    for _, job_future, _ in entries:
+                        if not job_future.done():
+                            job_future.set_exception(error)
+
+            # One executor task per structure group: each group is a
+            # single vectorised pass (singletons fall back to the
+            # sequential path inside execute_prepared_batch).
+            for group in group_prepared_for_batch(
+                [entry[0] for entry in pending_batch]
+            ):
+                self._executor.submit(run_group, group)
 
         # Collect and stream per-job records in canonical order.
         deferred = 0
@@ -366,6 +469,7 @@ class StudyService:
             "from_memory": sum(1 for s in sources.values() if s == "memory"),
             "from_disk": sum(1 for s in sources.values() if s == "disk"),
             "deferred": deferred,
+            "batched_passes": request_batch["passes"],
         }
 
     # -- introspection -------------------------------------------------------
@@ -374,6 +478,7 @@ class StudyService:
         """Service-lifetime counters plus every engine cache's counters."""
         from repro.core.pipeline import global_compilation_cache
         from repro.experiments.engine import ideal_cache_stats, simulation_cache_stats
+        from repro.simulators.array_ops import array_backend_stats
         from repro.simulators.backend import backend_invocation_counts
         from repro.simulators.noise_program import noise_program_cache_stats
 
@@ -382,6 +487,8 @@ class StudyService:
         return {
             "service": counters,
             "shard": str(self.shard) if self.shard is not None else None,
+            "batch": self.batch,
+            "array_backends": array_backend_stats(),
             "inflight_compiles": self._compiles.stats(),
             "inflight_simulations": self._simulations.stats(),
             "backend_invocations": backend_invocation_counts(),
@@ -476,6 +583,7 @@ def serve(
     cache_dir: Optional[str] = None,
     exec_workers: int = 1,
     shard: Optional[ShardSpec] = None,
+    batch: int = 1,
 ) -> str:
     """Run the daemon until interrupted; returns a farewell line.
 
@@ -483,12 +591,15 @@ def serve(
     wrappers -- the CI smoke test, shell scripts -- can wait for that
     line before submitting.
     """
-    service = StudyService(cache_dir=cache_dir, exec_workers=exec_workers, shard=shard)
+    service = StudyService(
+        cache_dir=cache_dir, exec_workers=exec_workers, shard=shard, batch=batch
+    )
     server = make_http_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
     shard_note = f" shard={shard}" if shard is not None else ""
+    batch_note = f" batch={batch}" if int(batch) != 1 else ""
     print(
-        f"repro serve listening on http://{bound_host}:{bound_port}{shard_note}",
+        f"repro serve listening on http://{bound_host}:{bound_port}{shard_note}{batch_note}",
         flush=True,
     )
     try:

@@ -1,0 +1,339 @@
+"""Pluggable array-operations layer for the simulation kernels.
+
+The fused superoperator kernels (:mod:`repro.simulators.superop`) are a
+handful of dense-linear-algebra primitives -- ``tensordot``, batched
+``matmul``, ``transpose``, ``reshape``, ``einsum``, ``stack`` -- applied
+to complex tensors.  Nothing about them is numpy-specific: the same
+contractions run unchanged on any array library exposing the numpy API
+surface (the ``DensityMatrixBase``/CUDA backend split in quantumsim and
+Cirq's density-matrix simulator follow the same pattern).  This module
+is the seam: an :class:`ArrayBackend` protocol with a named registry,
+a numpy default, and an optional ``cupy`` adapter that **degrades to
+numpy with a warning** when CUDA/cupy is unavailable (this container
+has no GPU; the adapter exists so one does not require a code change).
+
+Selection is the ``REPRO_ARRAY_BACKEND`` environment variable, re-read
+on every :func:`active_array_backend` call (so tests and child processes
+can switch without re-importing).  Policy mirrors ``REPRO_SIM_KERNEL``:
+unknown values warn **once per distinct invalid value per process** and
+fall back to numpy -- a long-lived ``repro serve`` daemon must not emit
+the same warning per request.  :class:`~repro.experiments.runner.SimulationOptions`
+additionally validates the variable *eagerly* at option construction
+(:func:`validate_array_backend_env`), so a typo raises a ``ValueError``
+before a study starts instead of warning mid-study from a worker.
+
+The numpy backend binds the ``np.*`` functions directly, so kernels
+routed through it execute the *identical* numpy calls they made before
+this layer existed -- numerics (and therefore the fused kernel's pinned
+``<= 1e-10`` deviation bar and simulation-cache versions) are unchanged.
+
+Batched-replay accounting lives here too: every vectorised pass through
+:func:`repro.simulators.superop.apply_superop_program_batch` records one
+pass and its item count against the active backend's name
+(:func:`record_batched_apply`), surfaced by ``repro cache stats`` and the
+service's ``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+ARRAY_BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
+"""Environment variable selecting the array-operations backend."""
+
+DEFAULT_ARRAY_BACKEND = "numpy"
+
+
+class ArrayBackend:
+    """The minimal array-API surface the simulation kernels contract over.
+
+    Implementations must be stateless (one shared instance serves every
+    caller and worker thread).  ``asarray`` moves host data onto the
+    backend's device; ``to_numpy`` brings results back (identity for
+    numpy).  Everything in between operates on backend-native arrays.
+    """
+
+    name: str = "abstract"
+    description: str = ""
+
+    def asarray(self, array, dtype=None):
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        raise NotImplementedError
+
+    def tensordot(self, a, b, axes):
+        raise NotImplementedError
+
+    def matmul(self, a, b):
+        raise NotImplementedError
+
+    def transpose(self, array, axes):
+        raise NotImplementedError
+
+    def reshape(self, array, shape):
+        raise NotImplementedError
+
+    def einsum(self, subscripts, *operands):
+        raise NotImplementedError
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        raise NotImplementedError
+
+    def is_available(self) -> bool:
+        """Whether the backend can actually run on this host."""
+        return True
+
+
+class NumpyArrayBackend(ArrayBackend):
+    """The default: plain numpy, binding ``np.*`` directly.
+
+    Kernels routed through this backend execute the identical numpy
+    calls they made before the array-ops layer existed, so results are
+    bit-identical to the pre-layer fused kernels.
+    """
+
+    name = "numpy"
+    description = "numpy on the host CPU (the default; bit-identical to the pre-layer kernels)"
+
+    def asarray(self, array, dtype=None):
+        return np.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    tensordot = staticmethod(np.tensordot)
+    matmul = staticmethod(np.matmul)
+
+    def transpose(self, array, axes):
+        return np.transpose(array, axes)
+
+    def reshape(self, array, shape):
+        return np.reshape(array, shape)
+
+    def einsum(self, subscripts, *operands):
+        return np.einsum(subscripts, *operands)
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return np.stack(arrays, axis=axis)
+
+
+class CupyArrayBackend(ArrayBackend):
+    """GPU adapter over ``cupy`` (same API surface as numpy).
+
+    This container ships no GPU/cupy, so the adapter's main observable
+    behaviour here is its **degradation contract**: resolving ``cupy``
+    when the import fails returns the numpy backend with a
+    :class:`RuntimeWarning` instead of crashing the study -- the env
+    knob stays portable across hosts with and without CUDA.
+    """
+
+    name = "cupy"
+    description = "cupy on the GPU (degrades to numpy with a warning when unavailable)"
+
+    def __init__(self) -> None:
+        try:  # pragma: no cover - exercised only on CUDA hosts
+            import cupy  # type: ignore
+
+            self._cupy = cupy
+        except Exception:
+            self._cupy = None
+
+    def is_available(self) -> bool:
+        return self._cupy is not None
+
+    # pragma-no-cover rationale: every method below requires a working
+    # cupy install; the degradation path (resolve -> numpy) is what CI
+    # exercises.
+    def asarray(self, array, dtype=None):  # pragma: no cover
+        return self._cupy.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:  # pragma: no cover
+        return self._cupy.asnumpy(array)
+
+    def tensordot(self, a, b, axes):  # pragma: no cover
+        return self._cupy.tensordot(a, b, axes=axes)
+
+    def matmul(self, a, b):  # pragma: no cover
+        return self._cupy.matmul(a, b)
+
+    def transpose(self, array, axes):  # pragma: no cover
+        return self._cupy.transpose(array, axes)
+
+    def reshape(self, array, shape):  # pragma: no cover
+        return self._cupy.reshape(array, shape)
+
+    def einsum(self, subscripts, *operands):  # pragma: no cover
+        return self._cupy.einsum(subscripts, *operands)
+
+    def stack(self, arrays: Sequence, axis: int = 0):  # pragma: no cover
+        return self._cupy.stack(arrays, axis=axis)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_array_backend(backend: ArrayBackend, overwrite: bool = False) -> None:
+    """Add an array backend to the registry under its ``name``."""
+    with _REGISTRY_LOCK:
+        if not overwrite and backend.name in _REGISTRY:
+            raise ValueError(f"array backend {backend.name!r} is already registered")
+        _REGISTRY[backend.name] = backend
+
+
+def available_array_backends() -> Dict[str, ArrayBackend]:
+    """Registered array backends by name (a copy)."""
+    with _REGISTRY_LOCK:
+        return dict(_REGISTRY)
+
+
+def resolve_array_backend(name: str) -> ArrayBackend:
+    """Look up an array backend by name, degrading unavailable ones to numpy.
+
+    Unknown names raise ``ValueError`` (listing the known ones); known
+    but unavailable backends -- ``cupy`` without a CUDA install -- warn
+    once per process and return the numpy default, so the same
+    environment works on GPU and CPU hosts.
+    """
+    with _REGISTRY_LOCK:
+        backend = _REGISTRY.get(name)
+    if backend is None:
+        known = ", ".join(sorted(available_array_backends()))
+        raise ValueError(f"unknown array backend {name!r}; known backends: {known}")
+    if not backend.is_available():
+        _warn_once(
+            ("unavailable", backend.name),
+            f"array backend {backend.name!r} is not available on this host "
+            f"(import failed); falling back to {DEFAULT_ARRAY_BACKEND!r}",
+        )
+        with _REGISTRY_LOCK:
+            return _REGISTRY[DEFAULT_ARRAY_BACKEND]
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# Environment selection (re-read per call, warn once per invalid value)
+# ---------------------------------------------------------------------------
+
+_WARNED: set = set()
+_WARNED_LOCK = threading.Lock()
+
+
+def _warn_once(key, message: str) -> None:
+    """Emit ``message`` as a RuntimeWarning at most once per ``key``.
+
+    A long-lived daemon consults the environment on every request;
+    per-process dedup keeps an invalid value from flooding its log while
+    still surfacing each *distinct* mistake.
+    """
+    with _WARNED_LOCK:
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
+def reset_array_backend_warnings() -> None:
+    """Forget which invalid/unavailable values already warned (tests)."""
+    with _WARNED_LOCK:
+        _WARNED.clear()
+
+
+def active_array_backend() -> ArrayBackend:
+    """The selected array backend (numpy unless overridden).
+
+    Reads ``REPRO_ARRAY_BACKEND`` on every call.  Unknown values fall
+    back to numpy with a warning emitted once per distinct invalid value
+    per process; :func:`validate_array_backend_env` offers the strict
+    (raising) check for option-construction time.
+    """
+    raw = os.environ.get(ARRAY_BACKEND_ENV_VAR, "").strip().lower()
+    if not raw or raw == DEFAULT_ARRAY_BACKEND:
+        with _REGISTRY_LOCK:
+            return _REGISTRY[DEFAULT_ARRAY_BACKEND]
+    try:
+        return resolve_array_backend(raw)
+    except ValueError:
+        known = ", ".join(sorted(available_array_backends()))
+        _warn_once(
+            ("invalid", raw),
+            f"ignoring invalid {ARRAY_BACKEND_ENV_VAR}={raw!r} (known backends: "
+            f"{known}); using {DEFAULT_ARRAY_BACKEND!r}",
+        )
+        with _REGISTRY_LOCK:
+            return _REGISTRY[DEFAULT_ARRAY_BACKEND]
+
+
+def validate_array_backend_env() -> Optional[str]:
+    """Raise ``ValueError`` when ``REPRO_ARRAY_BACKEND`` names no backend.
+
+    The eager companion to :func:`active_array_backend`'s lenient read:
+    called from ``SimulationOptions.__post_init__`` so a typo'd backend
+    name fails at option construction -- in the caller's stack frame,
+    before any compile or worker gets involved -- instead of warning
+    mid-study.  Returns the (lower-cased) requested name, or ``None``
+    when the variable is unset.  Availability is *not* checked here:
+    ``cupy`` on a CPU-only host is a valid request that degrades at
+    resolve time, not a spec error.
+    """
+    raw = os.environ.get(ARRAY_BACKEND_ENV_VAR, "").strip().lower()
+    if not raw:
+        return None
+    if raw not in available_array_backends():
+        known = ", ".join(sorted(available_array_backends()))
+        raise ValueError(
+            f"{ARRAY_BACKEND_ENV_VAR}={raw!r} names no registered array "
+            f"backend (known: {known})"
+        )
+    return raw
+
+
+# ---------------------------------------------------------------------------
+# Batched-replay accounting (per backend name)
+# ---------------------------------------------------------------------------
+
+_BATCH_STATS: Dict[str, Dict[str, int]] = {}
+_BATCH_STATS_LOCK = threading.Lock()
+
+
+def record_batched_apply(backend_name: str, items: int) -> None:
+    """Count one vectorised pass of ``items`` stacked density matrices."""
+    with _BATCH_STATS_LOCK:
+        entry = _BATCH_STATS.setdefault(
+            backend_name, {"batched_passes": 0, "batched_items": 0}
+        )
+        entry["batched_passes"] += 1
+        entry["batched_items"] += int(items)
+
+
+def array_backend_stats() -> Dict[str, Dict[str, int]]:
+    """Per-array-backend batched-replay counters since the last reset.
+
+    ``batched_passes`` counts vectorised kernel passes; ``batched_items``
+    the total density matrices they carried (so ``items / passes`` is the
+    realised mean batch size).  Surfaced by ``repro cache stats`` and the
+    service ``/v1/stats`` payload.
+    """
+    with _BATCH_STATS_LOCK:
+        return {name: dict(entry) for name, entry in _BATCH_STATS.items()}
+
+
+def reset_array_backend_stats() -> None:
+    """Zero the batched-replay counters (tests/benchmarks)."""
+    with _BATCH_STATS_LOCK:
+        _BATCH_STATS.clear()
+
+
+for _backend in (NumpyArrayBackend(), CupyArrayBackend()):
+    register_array_backend(_backend)
+del _backend

@@ -58,7 +58,7 @@ import abc
 import os
 import threading
 import warnings
-from typing import TYPE_CHECKING, Dict, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 
 import numpy as np
 
@@ -72,7 +72,9 @@ from repro.simulators.noise_program import NoiseProgram
 from repro.simulators.statevector import apply_gate, zero_state, zero_states
 from repro.simulators.superop import (
     apply_superop_program,
+    apply_superop_program_batch,
     apply_trajectory_plan_to_states,
+    batch_superop_programs,
     superop_program_for,
     trajectory_plan_for,
 )
@@ -88,24 +90,41 @@ SIM_KERNELS = ("fused", "reference")
 """Recognised kernel names, fastest first (the first is the default)."""
 
 
+_WARNED_INVALID_KERNELS: set = set()
+_WARNED_INVALID_KERNELS_LOCK = threading.Lock()
+
+
+def reset_simulation_kernel_warnings() -> None:
+    """Forget which invalid kernel values already warned (tests)."""
+    with _WARNED_INVALID_KERNELS_LOCK:
+        _WARNED_INVALID_KERNELS.clear()
+
+
 def active_simulation_kernel() -> str:
     """The selected simulation kernel (``fused`` unless overridden).
 
     Reads ``REPRO_SIM_KERNEL`` on every call so tests and child processes
     can switch kernels without re-importing; unknown values fall back to
     the default with a warning instead of silently changing numerics.
+    The warning fires once per distinct invalid value per process -- this
+    function runs on every simulate call, and a long-lived ``repro
+    serve`` daemon must not repeat the same warning per request.
     """
     raw = os.environ.get(SIM_KERNEL_ENV_VAR, "").strip().lower()
     if not raw:
         return SIM_KERNELS[0]
     if raw not in SIM_KERNELS:
-        known = ", ".join(SIM_KERNELS)
-        warnings.warn(
-            f"ignoring invalid {SIM_KERNEL_ENV_VAR}={raw!r} (known kernels: "
-            f"{known}); using {SIM_KERNELS[0]!r}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        with _WARNED_INVALID_KERNELS_LOCK:
+            first_time = raw not in _WARNED_INVALID_KERNELS
+            _WARNED_INVALID_KERNELS.add(raw)
+        if first_time:
+            known = ", ".join(SIM_KERNELS)
+            warnings.warn(
+                f"ignoring invalid {SIM_KERNEL_ENV_VAR}={raw!r} (known kernels: "
+                f"{known}); using {SIM_KERNELS[0]!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return SIM_KERNELS[0]
     return raw
 
@@ -127,6 +146,33 @@ class SimulatorBackend(abc.ABC):
     @abc.abstractmethod
     def run(self, program: NoiseProgram, options: "SimulationOptions") -> np.ndarray:
         """Output probability distribution (slot order) of ``program``."""
+
+    def supports_batched_run(
+        self, program: NoiseProgram, options: "SimulationOptions"
+    ) -> bool:
+        """Whether :meth:`run_batch` can vectorise over programs like this one.
+
+        The engine only groups prepared jobs whose effective backend
+        answers ``True``; everything else keeps the per-job ``run`` path.
+        Default: no batching.
+        """
+        return False
+
+    def run_batch(
+        self, programs: Sequence[NoiseProgram], options: "SimulationOptions"
+    ) -> List[np.ndarray]:
+        """Output distributions for same-structure ``programs`` in one pass.
+
+        Programs must share fused-group *structure* (same qubit supports
+        per group -- the error-scale-sweep case); results are returned in
+        input order and must match per-program :meth:`run` to within the
+        fused kernel's ``<= 1e-10`` bar.  Counts **one** invocation per
+        vectorised pass, so invocation counters still prove warm studies
+        did no backend work.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not implement batched runs"
+        )
 
     def effective_backend(
         self, program: NoiseProgram, options: "SimulationOptions"
@@ -222,6 +268,50 @@ class DensityMatrixBackend(SimulatorBackend):
         else:
             rho = apply_program_to_density_matrix(program, rho)
         return DensityMatrixResult(density_matrix=rho, num_qubits=n).probabilities()
+
+    def supports_batched_run(
+        self, program: NoiseProgram, options: "SimulationOptions"
+    ) -> bool:
+        """Batched replay exists only for the fused superoperator kernel.
+
+        The reference kernel is the byte-identity baseline and stays a
+        strictly sequential per-program replay.
+        """
+        return (
+            active_simulation_kernel() == "fused"
+            and program.num_qubits <= MAX_DENSITY_MATRIX_QUBITS
+        )
+
+    def run_batch(
+        self, programs: Sequence[NoiseProgram], options: "SimulationOptions"
+    ) -> List[np.ndarray]:
+        """One vectorised fused replay over a stack of |0><0| matrices.
+
+        Stacks the per-program fused-group tensors into ``(B, 4^k, 4^k)``
+        operators (:func:`~repro.simulators.superop.batch_superop_programs`)
+        and applies each group with a single batched contraction.  Falls
+        back to sequential ``run`` calls when the fused kernel is not
+        active (each counting its own invocation, preserving reference
+        semantics exactly).
+        """
+        programs = list(programs)
+        if not programs:
+            return []
+        if not self.supports_batched_run(programs[0], options):
+            return [self.run(program, options) for program in programs]
+        _count_invocation(self.name)
+        n = programs[0].num_qubits
+        dim = 2**n
+        program_batch = batch_superop_programs(
+            [superop_program_for(program) for program in programs]
+        )
+        rhos = np.zeros((len(programs), dim, dim), dtype=complex)
+        rhos[:, 0, 0] = 1.0
+        evolved = apply_superop_program_batch(program_batch, rhos)
+        return [
+            DensityMatrixResult(density_matrix=rho, num_qubits=n).probabilities()
+            for rho in evolved
+        ]
 
 
 class TrajectoryBackend(SimulatorBackend):

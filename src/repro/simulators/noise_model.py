@@ -11,7 +11,7 @@ T1, T2 and gate durations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import Operation
@@ -76,6 +76,48 @@ class NoiseModel:
         """Register the error rate of a gate type on an edge."""
         edge = _canonical_edge(pair)
         self.two_qubit_error.setdefault(edge, {})[type_key] = float(error_rate)
+
+    def scaled_two_qubit(
+        self,
+        scale: float,
+        registered_scales: Optional[Dict[str, float]] = None,
+    ) -> "NoiseModel":
+        """A copy whose two-qubit error rates are ``scale``x the *unscaled* calibration.
+
+        This is the noise-program side of the Figure 10 error-scale sweeps:
+        the compiled circuit is replayed under calibration whose two-qubit
+        quality is uniformly ``scale``x worse, without re-registering gate
+        types (which would perturb the device's calibration RNG and the
+        compilation caches).  Single-qubit rates, T1/T2 and readout error
+        are untouched -- the same quantities :meth:`Device.register_gate_type
+        <repro.devices.device.Device.register_gate_type>` leaves alone.
+
+        ``registered_scales`` maps type keys to the scale they were
+        *registered* with; stored rates already carry that factor, so each
+        rate is multiplied by ``scale / registered`` (exactly 1.0 when the
+        job's scale matches the registration -- no float round-trip).  Rates
+        are capped at 1.0, mirroring registration.
+        """
+        registered = registered_scales or {}
+        factor = float(scale)
+
+        def rescaled(type_key: str, rate: float) -> float:
+            multiplier = factor / float(registered.get(type_key, 1.0))
+            if multiplier == 1.0:
+                return rate
+            return min(rate * multiplier, 1.0)
+
+        return replace(
+            self,
+            two_qubit_error={
+                edge: {
+                    type_key: rescaled(type_key, rate)
+                    for type_key, rate in per_edge.items()
+                }
+                for edge, per_edge in self.two_qubit_error.items()
+            },
+            default_two_qubit_error=min(self.default_two_qubit_error * factor, 1.0),
+        )
 
     def qubit_t1(self, qubit: int) -> float:
         """T1 relaxation time of ``qubit``."""

@@ -247,19 +247,34 @@ def _program_cache_bound() -> int:
     return positive_int_env(PROGRAM_CACHE_SIZE_ENV_VAR, _DEFAULT_PROGRAM_CACHE_SIZE)
 
 
-def noise_program_for(compiled: "CompiledCircuit", device: "Device") -> NoiseProgram:
+def noise_program_for(
+    compiled: "CompiledCircuit", device: "Device", error_scale: float = 1.0
+) -> NoiseProgram:
     """The (cached) noise program of a compiled circuit on a device.
 
     Keyed by the compiled circuit's content, the device's calibration
-    fingerprint and the physical-qubit placement, so the expensive channel
-    construction runs once per distinct (compiled circuit x calibration)
-    instead of once per simulation -- the density-matrix path used to
-    rebuild it per run and the trajectory path per batch.
+    fingerprint, the physical-qubit placement and the error scale, so the
+    expensive channel construction runs once per distinct (compiled
+    circuit x calibration) instead of once per simulation -- the
+    density-matrix path used to rebuild it per run and the trajectory
+    path per batch.
+
+    ``error_scale`` lowers the program against calibration whose
+    two-qubit error rates are uniformly that much worse (the Figure 10
+    sweep semantics), **relative to the registration scale** each gate
+    type was calibrated with -- gate types a scaled instruction-set
+    variant registered itself are not scaled twice.  The compiled circuit
+    and therefore the program *structure* are untouched: sweep variants
+    of one job replay the same moments with rescaled channel tensors,
+    which is exactly what batched replay
+    (:func:`repro.simulators.superop.apply_superop_program_batch`) groups.
     """
+    scale = float(error_scale)
     key = (
         circuit_fingerprint(compiled.circuit),
         device.calibration_fingerprint(),
         tuple(compiled.physical_qubits),
+        scale,
     )
     with _PROGRAM_CACHE_LOCK:
         cached = _PROGRAM_CACHE.get(key)
@@ -268,8 +283,11 @@ def noise_program_for(compiled: "CompiledCircuit", device: "Device") -> NoisePro
             _PROGRAM_CACHE.move_to_end(key)
             return cached
         _PROGRAM_CACHE_STATS["misses"] += 1
+    model = device.noise_model
+    if scale != 1.0:
+        model = model.scaled_two_qubit(scale, device.registered_type_scales())
     program = build_noise_program(
-        compiled.circuit, device.noise_model, list(compiled.physical_qubits)
+        compiled.circuit, model, list(compiled.physical_qubits)
     )
     program.fingerprint()  # compute once outside any lock; replays share it
     bound = _program_cache_bound()

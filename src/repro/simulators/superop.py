@@ -46,16 +46,44 @@ Lowered artefacts are derived lazily per :class:`NoiseProgram` and cached
 on the program instance itself (programs are immutable and process-wide
 cached, so the lowering cost is paid once per distinct compiled circuit
 -- and rides along when programs are pickled to worker pools).
+
+Two extensions sit on top of the single-rho kernels:
+
+* **Array-ops routing** -- every contraction goes through the pluggable
+  :mod:`repro.simulators.array_ops` backend (numpy default, selected by
+  ``REPRO_ARRAY_BACKEND``).  The numpy backend binds ``np.*`` directly,
+  so default-path numerics are unchanged; a GPU backend slots in without
+  touching the kernels.
+* **Batched replay** -- :func:`apply_superop_program_batch` applies one
+  program (or a :func:`batch_superop_programs` stack of
+  structure-identical programs, e.g. an error-scale sweep's B noise
+  programs over one compiled circuit) to a ``(B, 2^n, 2^n)`` stack of
+  density matrices in one vectorised pass per fused group: a batched
+  ``matmul`` of the ``(B, 4^k, 4^k)`` stacked group tensors against the
+  ``(B, 4^k, 4^{n-k})`` rho views, with the batch axis-permutation plans
+  precomputed at lowering time.  Per item the GEMM operands and shapes
+  equal the sequential :func:`apply_superop_program` contraction, so
+  batched results track per-job fused replay to ``<= 1e-10``
+  (``tests/test_batched_replay.py`` pins it).  The
+  ``REPRO_SIM_BATCH_MAX_BYTES`` cap (:func:`max_batch_items`) bounds the
+  ``B x 4^n`` working set the same warn-and-default way the other env
+  knobs are parsed.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.config import positive_int_env
+from repro.simulators.array_ops import (
+    ArrayBackend,
+    active_array_backend,
+    record_batched_apply,
+)
 from repro.simulators.noise import KrausChannel
 from repro.simulators.noise_program import NoiseProgram
 
@@ -158,6 +186,12 @@ class FusedGroup:
     """Axes of the ``(2,) * 2n`` rho tensor to contract against."""
     inverse: Tuple[int, ...]
     """Axis permutation restoring canonical rho axis order afterwards."""
+    batch_forward: Tuple[int, ...]
+    """Permutation moving this group's axes to the front of a batched
+    ``(B,) + (2,) * 2n`` rho stack (batch axis stays first)."""
+    batch_restore: Tuple[int, ...]
+    """Inverse of :attr:`batch_forward` composed with the group
+    application's axis layout: restores ``(B,) + canonical`` order."""
 
 
 @dataclass(frozen=True)
@@ -192,9 +226,8 @@ def _finalise_group(pending: _PendingGroup, num_qubits: int) -> FusedGroup:
     k = len(qubits)
     tensor = np.ascontiguousarray(pending.matrix.reshape((2,) * (4 * k)))
     rho_axes = tuple(qubits) + tuple(num_qubits + q for q in qubits)
-    current = list(rho_axes) + [
-        axis for axis in range(2 * num_qubits) if axis not in rho_axes
-    ]
+    rest = [axis for axis in range(2 * num_qubits) if axis not in rho_axes]
+    current = list(rho_axes) + rest
     position = {axis: index for index, axis in enumerate(current)}
     inverse = tuple(position[axis] for axis in range(2 * num_qubits))
     return FusedGroup(
@@ -204,6 +237,8 @@ def _finalise_group(pending: _PendingGroup, num_qubits: int) -> FusedGroup:
         input_axes=tuple(range(2 * k, 4 * k)),
         rho_axes=rho_axes,
         inverse=inverse,
+        batch_forward=(0,) + tuple(axis + 1 for axis in current),
+        batch_restore=(0,) + tuple(index + 1 for index in inverse),
     )
 
 
@@ -273,15 +308,220 @@ def lower_noise_program(program: NoiseProgram) -> SuperopProgram:
     )
 
 
-def apply_superop_program(superop_program: SuperopProgram, rho: np.ndarray) -> np.ndarray:
-    """Replay a lowered program on a density matrix: one contraction per group."""
+def _device(ops: ArrayBackend, array: np.ndarray):
+    """A precomputed (host) plan tensor, moved to the backend's device.
+
+    The numpy backend passes arrays through untouched; non-numpy
+    backends copy per call (device-resident plan caching is future
+    work -- this container has no GPU to measure it on).
+    """
+    if ops.name == "numpy":
+        return array
+    return ops.asarray(array)  # pragma: no cover - needs a non-numpy backend
+
+
+def apply_superop_program(
+    superop_program: SuperopProgram,
+    rho: np.ndarray,
+    ops: Optional[ArrayBackend] = None,
+) -> np.ndarray:
+    """Replay a lowered program on a density matrix: one contraction per group.
+
+    Contractions route through the active array backend
+    (:func:`repro.simulators.array_ops.active_array_backend`); the numpy
+    default binds the identical ``np.tensordot``/``np.transpose`` calls
+    this function always made, so default-path results are unchanged.
+    """
+    if ops is None:
+        ops = active_array_backend()
     n = superop_program.num_qubits
-    tensor = np.asarray(rho, dtype=complex).reshape((2,) * (2 * n))
+    tensor = ops.reshape(ops.asarray(rho, dtype=complex), (2,) * (2 * n))
     for group in superop_program.groups:
-        tensor = np.tensordot(group.tensor, tensor, axes=(group.input_axes, group.rho_axes))
-        tensor = np.transpose(tensor, group.inverse)
+        tensor = ops.tensordot(
+            _device(ops, group.tensor), tensor, axes=(group.input_axes, group.rho_axes)
+        )
+        tensor = ops.transpose(tensor, group.inverse)
     dim = 2**n
-    return tensor.reshape(dim, dim)
+    return ops.to_numpy(ops.reshape(tensor, (dim, dim)))
+
+
+# ---------------------------------------------------------------------------
+# Batched replay: one vectorised pass over a (B, 2^n, 2^n) rho stack
+# ---------------------------------------------------------------------------
+
+SIM_BATCH_MAX_BYTES_ENV_VAR = "REPRO_SIM_BATCH_MAX_BYTES"
+"""Environment variable capping the batched-replay working set (bytes)."""
+
+DEFAULT_SIM_BATCH_MAX_BYTES = 256 * 1024 * 1024
+"""Default working-set cap (256 MiB): at the ``MAX_DENSITY_MATRIX_QUBITS``
+width of 12 qubits one density matrix is ``16 * 4^12`` = 256 MiB, so the
+default admits batching only where it is safe, and hundreds of items at
+the 4-6 qubit benchmark widths."""
+
+
+def sim_batch_max_bytes() -> int:
+    """The batched-replay working-set cap, re-read from the environment.
+
+    Parsed with the shared warn-and-default policy
+    (:func:`repro.config.positive_int_env`): unset means the 256 MiB
+    default, invalid values warn and use the default.
+    """
+    return positive_int_env(SIM_BATCH_MAX_BYTES_ENV_VAR, DEFAULT_SIM_BATCH_MAX_BYTES)
+
+
+def max_batch_items(num_qubits: int, batch_option: int = 0) -> int:
+    """Largest batch size the memory cap (and the ``batch`` knob) admits.
+
+    Working-set model: each batch item carries an input and an output
+    ``2^n x 2^n`` complex128 density matrix through a vectorised pass
+    (``2 * 16 * 4^n`` bytes; the per-group stacked operator tensors are
+    ``B * 16^k`` and dominated by the rho stack for every fused group the
+    lowering emits).  ``batch_option`` follows
+    :class:`~repro.experiments.runner.SimulationOptions.batch` semantics:
+    ``0`` means cap-only, values ``>= 2`` additionally bound the group
+    size.  Never returns less than 1.
+    """
+    per_item = 2 * 16 * (4**num_qubits)
+    limit = max(1, sim_batch_max_bytes() // per_item)
+    if batch_option and int(batch_option) > 1:
+        limit = min(limit, int(batch_option))
+    return int(limit)
+
+
+@dataclass(frozen=True)
+class BatchedFusedGroup:
+    """One fused group of B structure-identical programs, stacked."""
+
+    qubits: Tuple[int, ...]
+    stacked: np.ndarray
+    """The B group superoperators as one ``(B, 4^k, 4^k)`` tensor."""
+    batch_forward: Tuple[int, ...]
+    batch_restore: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SuperopProgramBatch:
+    """B structure-identical superoperator programs, stacked per group.
+
+    The error-scale sweep artefact: the same compiled circuit lowered
+    against B noise strengths yields programs whose fused groups share
+    supports and order but differ in channel tensors.  Stacking each
+    group into ``(B, 4^k, 4^k)`` lets one batched ``matmul`` per group
+    replay all B simulations at once.
+    """
+
+    num_qubits: int
+    batch_size: int
+    groups: Tuple[BatchedFusedGroup, ...]
+
+
+def superop_structure_key(superop_program: SuperopProgram) -> Tuple:
+    """The fused-group *structure* of a program: width plus group supports.
+
+    Two programs with equal structure keys differ at most in their
+    channel tensors, which is exactly the condition under which
+    :func:`batch_superop_programs` can stack them.  Cheap (no array
+    hashing) because batch grouping runs per prepared job.
+    """
+    return (superop_program.num_qubits,) + tuple(
+        group.qubits for group in superop_program.groups
+    )
+
+
+def batch_superop_programs(
+    programs: Sequence[SuperopProgram],
+) -> SuperopProgramBatch:
+    """Stack structure-identical programs for one vectorised replay.
+
+    Raises ``ValueError`` when the programs' fused-group structures
+    differ (the grouping layer in :mod:`repro.experiments.engine` keys on
+    :func:`superop_structure_key` precisely so this never fires in
+    production -- it guards direct callers).
+    """
+    if not programs:
+        raise ValueError("cannot batch an empty program sequence")
+    first = programs[0]
+    key = superop_structure_key(first)
+    for program in programs[1:]:
+        if superop_structure_key(program) != key:
+            raise ValueError(
+                "superoperator programs have mismatched fused-group structure "
+                "and cannot be stacked into one batch"
+            )
+    groups = []
+    for index, template in enumerate(first.groups):
+        stacked = np.ascontiguousarray(
+            np.stack([program.groups[index].superoperator for program in programs])
+        )
+        groups.append(
+            BatchedFusedGroup(
+                qubits=template.qubits,
+                stacked=stacked,
+                batch_forward=template.batch_forward,
+                batch_restore=template.batch_restore,
+            )
+        )
+    return SuperopProgramBatch(
+        num_qubits=first.num_qubits, batch_size=len(programs), groups=tuple(groups)
+    )
+
+
+def apply_superop_program_batch(
+    program_batch_or_program: Union[SuperopProgram, SuperopProgramBatch],
+    rhos: np.ndarray,
+    ops: Optional[ArrayBackend] = None,
+) -> np.ndarray:
+    """Replay on a ``(B, 2^n, 2^n)`` stack: one vectorised pass per group.
+
+    Accepts either a :class:`SuperopProgramBatch` (per-item group
+    tensors -- the error-scale sweep case) or a single
+    :class:`SuperopProgram` applied to every item (identical program,
+    B initial states).  Per group the batched contraction is a
+    ``matmul`` of the ``(B, 4^k, 4^k)`` (or broadcast ``(4^k, 4^k)``)
+    operator stack against the ``(B, 4^k, 4^{n-k})`` rho views, with the
+    batch axis permutations precomputed at lowering time -- per item the
+    GEMM operands equal the sequential :func:`apply_superop_program`
+    contraction, which is what keeps batched results within ``1e-10`` of
+    per-job fused replay.  Records one pass of ``B`` items against the
+    active array backend's counters.
+    """
+    if ops is None:
+        ops = active_array_backend()
+    if isinstance(program_batch_or_program, SuperopProgram):
+        num_qubits = program_batch_or_program.num_qubits
+        groups = program_batch_or_program.groups
+        operator_of = lambda group: _device(ops, group.superoperator)  # noqa: E731
+    else:
+        num_qubits = program_batch_or_program.num_qubits
+        groups = program_batch_or_program.groups
+        operator_of = lambda group: _device(ops, group.stacked)  # noqa: E731
+    rhos = np.asarray(rhos, dtype=complex)
+    if rhos.ndim != 3 or rhos.shape[1] != rhos.shape[2] or rhos.shape[1] != 2**num_qubits:
+        raise ValueError(
+            f"expected a (B, {2**num_qubits}, {2**num_qubits}) density-matrix "
+            f"stack, got shape {rhos.shape}"
+        )
+    batch = rhos.shape[0]
+    if (
+        isinstance(program_batch_or_program, SuperopProgramBatch)
+        and batch != program_batch_or_program.batch_size
+    ):
+        raise ValueError(
+            f"rho stack carries {batch} items but the program batch carries "
+            f"{program_batch_or_program.batch_size}"
+        )
+    tensor = ops.reshape(ops.asarray(rhos, dtype=complex), (batch,) + (2,) * (2 * num_qubits))
+    permuted_shape = (batch,) + (2,) * (2 * num_qubits)
+    for group in groups:
+        k = len(group.qubits)
+        view = ops.transpose(tensor, group.batch_forward)
+        view = ops.reshape(view, (batch, 4**k, 4 ** (num_qubits - k)))
+        out = ops.matmul(operator_of(group), view)
+        out = ops.reshape(out, permuted_shape)
+        tensor = ops.transpose(out, group.batch_restore)
+    record_batched_apply(ops.name, batch)
+    dim = 2**num_qubits
+    return ops.to_numpy(ops.reshape(tensor, (batch, dim, dim)))
 
 
 # ---------------------------------------------------------------------------
@@ -375,44 +615,54 @@ def lower_trajectory_program(program: NoiseProgram) -> TrajectoryPlan:
 
 
 def _apply_operator_single(
-    state_tensor: np.ndarray, plan: ChannelPlan, index: int
+    state_tensor: np.ndarray, plan: ChannelPlan, index: int, ops: ArrayBackend
 ) -> np.ndarray:
     """Apply branch ``index`` to one ``(2,) * n`` state tensor."""
-    result = np.tensordot(
-        plan.stacked[index], state_tensor, axes=(plan.operator_input_axes, plan.state_axes)
+    result = ops.tensordot(
+        _device(ops, plan.stacked[index]),
+        state_tensor,
+        axes=(plan.operator_input_axes, plan.state_axes),
     )
-    return np.transpose(result, plan.single_inverse)
+    return ops.transpose(result, plan.single_inverse)
 
 
 def _apply_operator_batch(
-    states_tensor: np.ndarray, plan: ChannelPlan, index: int
+    states_tensor: np.ndarray, plan: ChannelPlan, index: int, ops: ArrayBackend
 ) -> np.ndarray:
     """Apply branch ``index`` to a ``(T,) + (2,) * n`` state stack."""
-    result = np.tensordot(
-        plan.stacked[index],
+    result = ops.tensordot(
+        _device(ops, plan.stacked[index]),
         states_tensor,
         axes=(plan.operator_input_axes, plan.batch_state_axes),
     )
-    return np.transpose(result, plan.batch_inverse)
+    return ops.transpose(result, plan.batch_inverse)
 
 
-def _apply_stacked_single(state_tensor: np.ndarray, plan: ChannelPlan) -> np.ndarray:
+def _apply_stacked_single(
+    state_tensor: np.ndarray, plan: ChannelPlan, ops: ArrayBackend
+) -> np.ndarray:
     """All ``m`` branches of one state at once; returns ``(m, 2^n)``."""
-    result = np.tensordot(
-        plan.stacked, state_tensor, axes=(plan.stacked_input_axes, plan.state_axes)
+    result = ops.tensordot(
+        _device(ops, plan.stacked),
+        state_tensor,
+        axes=(plan.stacked_input_axes, plan.state_axes),
     )
-    result = np.transpose(result, plan.stacked_single_inverse)
-    return result.reshape(plan.num_branches, -1)
+    result = ops.transpose(result, plan.stacked_single_inverse)
+    return ops.reshape(result, (plan.num_branches, -1))
 
 
-def _apply_stacked_batch(states_tensor: np.ndarray, plan: ChannelPlan) -> np.ndarray:
+def _apply_stacked_batch(
+    states_tensor: np.ndarray, plan: ChannelPlan, ops: ArrayBackend
+) -> np.ndarray:
     """All ``m`` branches of a ``(T,)``-stack at once; returns ``(m, T, 2^n)``."""
-    result = np.tensordot(
-        plan.stacked, states_tensor, axes=(plan.stacked_input_axes, plan.batch_state_axes)
+    result = ops.tensordot(
+        _device(ops, plan.stacked),
+        states_tensor,
+        axes=(plan.stacked_input_axes, plan.batch_state_axes),
     )
-    result = np.transpose(result, plan.stacked_batch_inverse)
+    result = ops.transpose(result, plan.stacked_batch_inverse)
     batch = result.shape[1]
-    return result.reshape(plan.num_branches, batch, -1)
+    return ops.reshape(result, (plan.num_branches, batch, -1))
 
 
 def apply_trajectory_plan_to_state(
@@ -424,21 +674,24 @@ def apply_trajectory_plan_to_state(
     (gates, single-operator channels) draw nothing; stochastic channels
     draw once via ``rng.choice`` over the branch weights.
     """
+    ops = active_array_backend()
     n = trajectory_plan.num_qubits
-    tensor = np.asarray(state, dtype=complex).reshape((2,) * n)
+    tensor = ops.reshape(ops.asarray(state, dtype=complex), (2,) * n)
     for plan in trajectory_plan.channel_plans:
         if plan.num_branches == 1:
-            tensor = _apply_operator_single(tensor, plan, 0)
+            tensor = _apply_operator_single(tensor, plan, 0, ops)
             continue
-        branches = _apply_stacked_single(tensor, plan)
-        weights = np.einsum("mi,mi->m", branches, branches.conj()).real
+        branches = _apply_stacked_single(tensor, plan, ops)
+        weights = np.asarray(
+            ops.to_numpy(ops.einsum("mi,mi->m", branches, branches.conj()))
+        ).real
         total = weights.sum()
         if total <= 0:
             raise RuntimeError("channel produced zero total probability")
         choice = rng.choice(plan.num_branches, p=weights / total)
         branch = branches[choice]
-        tensor = (branch / np.linalg.norm(branch)).reshape((2,) * n)
-    return tensor.reshape(-1)
+        tensor = ops.reshape(branch / np.linalg.norm(branch), (2,) * n)
+    return np.asarray(ops.to_numpy(ops.reshape(tensor, (-1,))))
 
 
 def apply_trajectory_plan_to_states(
@@ -461,24 +714,27 @@ def apply_trajectory_plan_to_states(
         from repro.simulators.trajectory import _BRANCH_STORAGE_LIMIT
 
         branch_storage_limit = _BRANCH_STORAGE_LIMIT
+    ops = active_array_backend()
     n = trajectory_plan.num_qubits
     num_trajectories = states.shape[0]
-    tensor = np.asarray(states, dtype=complex).reshape((num_trajectories,) + (2,) * n)
+    tensor = ops.reshape(
+        ops.asarray(states, dtype=complex), (num_trajectories,) + (2,) * n
+    )
     for plan in trajectory_plan.channel_plans:
         if plan.num_branches == 1:
-            tensor = _apply_operator_batch(tensor, plan, 0)
+            tensor = _apply_operator_batch(tensor, plan, 0, ops)
             continue
         m = plan.num_branches
-        keep_branches = m * tensor.size <= branch_storage_limit
-        branches: Optional[np.ndarray] = None
+        keep_branches = m * num_trajectories * 2**n <= branch_storage_limit
+        branches = None
         if keep_branches:
-            branches = _apply_stacked_batch(tensor, plan)
+            branches = np.asarray(ops.to_numpy(_apply_stacked_batch(tensor, plan, ops)))
             weights = np.einsum("mti,mti->mt", branches, branches.conj()).real
         else:
             weights = np.empty((m, num_trajectories))
             for index in range(m):
-                candidate = _apply_operator_batch(tensor, plan, index)
-                flat = candidate.reshape(num_trajectories, -1)
+                candidate = _apply_operator_batch(tensor, plan, index, ops)
+                flat = np.asarray(ops.to_numpy(candidate)).reshape(num_trajectories, -1)
                 weights[index] = np.einsum("ti,ti->t", flat, flat.conj()).real
         totals = weights.sum(axis=0)
         if np.any(totals <= 0):
@@ -489,21 +745,24 @@ def apply_trajectory_plan_to_states(
         if branches is not None:
             chosen = branches[choices, np.arange(num_trajectories)]
             norms = np.sqrt(np.einsum("ti,ti->t", chosen, chosen.conj()).real)
-            tensor = (chosen / norms[:, None]).reshape((num_trajectories,) + (2,) * n)
+            tensor = ops.asarray(
+                (chosen / norms[:, None]).reshape((num_trajectories,) + (2,) * n)
+            )
             continue
+        host_tensor = np.asarray(ops.to_numpy(tensor))
         output = np.empty((num_trajectories, 2**n), dtype=complex)
         for index in range(m):
             mask = choices == index
             if not np.any(mask):
                 continue
-            subset = tensor[mask]
-            chosen = _apply_operator_batch(subset, plan, index).reshape(
-                int(mask.sum()), -1
-            )
+            subset = ops.asarray(host_tensor[mask])
+            chosen = np.asarray(
+                ops.to_numpy(_apply_operator_batch(subset, plan, index, ops))
+            ).reshape(int(mask.sum()), -1)
             norms = np.sqrt(np.einsum("ti,ti->t", chosen, chosen.conj()).real)
             output[mask] = chosen / norms[:, None]
-        tensor = output.reshape((num_trajectories,) + (2,) * n)
-    return tensor.reshape(num_trajectories, -1)
+        tensor = ops.asarray(output.reshape((num_trajectories,) + (2,) * n))
+    return np.asarray(ops.to_numpy(ops.reshape(tensor, (num_trajectories, -1))))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,176 @@
+"""The pluggable array-operations layer behind the simulation kernels.
+
+Contracts:
+
+* the **numpy backend** binds ``np.*`` directly, so routed kernels
+  execute identical numpy calls (bit-identity of the fused kernels);
+* the **registry** resolves by name, rejects unknown names loudly and
+  degrades known-but-unavailable backends (cupy without CUDA) to numpy
+  with a single warning;
+* the ``REPRO_ARRAY_BACKEND`` **env knob** is re-read per call, warns
+  once per distinct invalid value per process, and
+  :class:`~repro.experiments.runner.SimulationOptions` validates it
+  eagerly -- a typo raises ``ValueError`` at option construction;
+* the **batched-replay counters** accumulate per backend name.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import SimulationOptions
+from repro.simulators.array_ops import (
+    ARRAY_BACKEND_ENV_VAR,
+    ArrayBackend,
+    CupyArrayBackend,
+    NumpyArrayBackend,
+    active_array_backend,
+    array_backend_stats,
+    available_array_backends,
+    record_batched_apply,
+    register_array_backend,
+    reset_array_backend_stats,
+    reset_array_backend_warnings,
+    resolve_array_backend,
+    validate_array_backend_env,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    reset_array_backend_warnings()
+    yield
+    reset_array_backend_warnings()
+
+
+class TestNumpyBackend:
+    def test_registered_and_default(self, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV_VAR, raising=False)
+        assert "numpy" in available_array_backends()
+        assert active_array_backend().name == "numpy"
+
+    def test_ops_match_numpy_bitwise(self, rng):
+        ops = resolve_array_backend("numpy")
+        a = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4, 2)) + 1j * rng.normal(size=(4, 4, 2))
+        assert np.array_equal(
+            ops.tensordot(a, b, axes=([1], [0])), np.tensordot(a, b, axes=([1], [0]))
+        )
+        stacked = ops.stack([a, a.T])
+        assert np.array_equal(
+            ops.matmul(stacked, stacked), np.matmul(np.stack([a, a.T]), np.stack([a, a.T]))
+        )
+        assert np.array_equal(
+            ops.transpose(b, (2, 0, 1)), np.transpose(b, (2, 0, 1))
+        )
+        assert np.array_equal(ops.reshape(b, (2, -1)), np.reshape(b, (2, -1)))
+        assert np.array_equal(
+            ops.einsum("ij,jk->ik", a, a), np.einsum("ij,jk->ik", a, a)
+        )
+        assert ops.to_numpy(ops.asarray([1.0, 2.0])).dtype == np.float64
+        assert ops.is_available()
+
+
+class TestRegistry:
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ValueError, match="numpy"):
+            resolve_array_backend("tpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_array_backend(NumpyArrayBackend())
+
+    def test_unavailable_backend_degrades_to_numpy_with_one_warning(self):
+        class MissingBackend(ArrayBackend):
+            name = "missing-device"
+
+            def is_available(self) -> bool:
+                return False
+
+        from repro.simulators import array_ops
+
+        register_array_backend(MissingBackend(), overwrite=True)
+        try:
+            with pytest.warns(RuntimeWarning, match="missing-device"):
+                resolved = resolve_array_backend("missing-device")
+            assert resolved.name == "numpy"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert resolve_array_backend("missing-device").name == "numpy"
+        finally:
+            with array_ops._REGISTRY_LOCK:
+                array_ops._REGISTRY.pop("missing-device", None)
+
+    def test_cupy_adapter_degrades_when_cupy_absent(self):
+        adapter = CupyArrayBackend()
+        if adapter.is_available():  # pragma: no cover - CUDA hosts only
+            pytest.skip("cupy is installed here; degradation path not reachable")
+        with pytest.warns(RuntimeWarning, match="cupy"):
+            assert resolve_array_backend("cupy").name == "numpy"
+
+
+class TestEnvKnob:
+    def test_env_selects_and_rereads_per_call(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "numpy")
+        assert active_array_backend().name == "numpy"
+        monkeypatch.delenv(ARRAY_BACKEND_ENV_VAR)
+        assert active_array_backend().name == "numpy"
+
+    def test_invalid_value_warns_once_per_distinct_value(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "gpu9000")
+        with pytest.warns(RuntimeWarning, match="gpu9000"):
+            assert active_array_backend().name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert active_array_backend().name == "numpy"
+        # A *different* invalid value gets its own (single) warning.
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "gpu9001")
+        with pytest.warns(RuntimeWarning, match="gpu9001"):
+            assert active_array_backend().name == "numpy"
+
+    def test_validate_raises_on_unknown_and_passes_known(self, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV_VAR, raising=False)
+        assert validate_array_backend_env() is None
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "numpy")
+        assert validate_array_backend_env() == "numpy"
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "gpu9000")
+        with pytest.raises(ValueError, match="gpu9000"):
+            validate_array_backend_env()
+
+    def test_simulation_options_validate_array_backend_eagerly(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "gpu9000")
+        with pytest.raises(ValueError, match="gpu9000"):
+            SimulationOptions()
+        # cupy-on-CPU is a valid *request* (degrades at resolve time, not
+        # a spec error), so option construction must accept it.
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "cupy")
+        SimulationOptions()
+
+    def test_simulation_options_validate_batch(self):
+        with pytest.raises(ValueError, match="batch"):
+            SimulationOptions(batch=-1)
+        assert SimulationOptions(batch=0).batch == 0
+        assert SimulationOptions(batch=7).batch == 7
+
+    def test_batch_excluded_from_fingerprint(self):
+        assert (
+            SimulationOptions(batch=0).fingerprint()
+            == SimulationOptions(batch=1).fingerprint()
+            == SimulationOptions(batch=7).fingerprint()
+        )
+
+
+class TestBatchCounters:
+    def test_record_and_reset(self):
+        reset_array_backend_stats()
+        record_batched_apply("numpy", 5)
+        record_batched_apply("numpy", 2)
+        record_batched_apply("cupy", 3)
+        stats = array_backend_stats()
+        assert stats["numpy"] == {"batched_passes": 2, "batched_items": 7}
+        assert stats["cupy"] == {"batched_passes": 1, "batched_items": 3}
+        reset_array_backend_stats()
+        assert array_backend_stats() == {}

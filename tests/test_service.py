@@ -104,11 +104,22 @@ class TestStudySpec:
             dict(catalogue="ibm"),
             dict(topology="star"),
             dict(error_scale=0.0),
+            dict(error_scales=()),
+            dict(error_scales=(1.0, 0.0)),
+            dict(error_scales=(2.0, 2.0)),
         ],
     )
     def test_invalid_specs_rejected(self, overrides):
         with pytest.raises(ValueError):
             _small_spec(**overrides)
+
+    def test_error_scales_round_trip_and_fingerprint_compat(self):
+        swept = _small_spec(error_scales=(1.0, 2.0))
+        assert StudySpec.from_json_dict(swept.to_json_dict()) == swept
+        assert swept.fingerprint() != _small_spec().fingerprint()
+        # A spec without a sweep serialises exactly as it did before the
+        # field existed, so pre-existing fingerprints stay valid.
+        assert "error_scales" not in _small_spec().to_json_dict()
 
     def test_every_supported_metric_resolves(self):
         from repro.service.protocol import SUPPORTED_METRICS
@@ -388,6 +399,85 @@ class TestStudyService:
         order = [r["set"] for r in forward if r["type"] == "job"]
         assert order == ["S1", "S1", "G3", "G3"]
         assert [r["set"] for r in reversed_ if r["type"] == "job"] == order
+
+
+class TestBatchedService:
+    """``repro serve --batch``: vectorised replay of queued same-structure jobs."""
+
+    def _sweep_spec(self, **overrides):
+        return _small_spec(
+            sets=("FullfSim",), error_scales=(1.0, 2.0, 3.0), **overrides
+        )
+
+    def test_error_scales_expand_to_aliases_in_canonical_order(self, cold_engine):
+        service = StudyService()
+        try:
+            records = list(service.run_study_spec(self._sweep_spec()))
+        finally:
+            service.close()
+        jobs = [r for r in records if r["type"] == "job"]
+        assert [(r["set"], r["error_scale"]) for r in jobs] == [
+            ("FullfSim", 1.0),
+            ("FullfSim", 1.0),
+            ("FullfSim-2x", 2.0),
+            ("FullfSim-2x", 2.0),
+            ("FullfSim-3x", 3.0),
+            ("FullfSim-3x", 3.0),
+        ]
+        (study,) = [r for r in records if r["type"] == "study"]
+        assert [row["instruction_set"] for row in study["rows"]] == [
+            "FullfSim",
+            "FullfSim-2x",
+            "FullfSim-3x",
+        ]
+
+    def test_batched_request_fewer_passes_same_study_bytes(self, cold_engine):
+        spec = self._sweep_spec()
+        sequential_service = StudyService()
+        try:
+            sequential = list(sequential_service.run_study_spec(spec))
+        finally:
+            sequential_service.close()
+        sequential_invocations = _total_invocations()
+        assert sequential[-1]["batched_passes"] == 0
+
+        clear_experiment_caches()
+        reset_backend_invocation_counts()
+        batched_service = StudyService(batch=0)
+        try:
+            batched = list(batched_service.run_study_spec(spec))
+            stats = batched_service.stats()
+        finally:
+            batched_service.close()
+        # One vectorised pass per circuit's structure group (2 circuits x
+        # 3 scales = 6 jobs -> 2 passes) instead of 6 invocations.
+        assert _total_invocations() < sequential_invocations
+        assert batched[-1]["batched_passes"] >= 1
+        assert _sources(batched) == ["backend"] * 6
+        assert stats["service"]["batched_passes"] >= 1
+        assert stats["batch"] == 0
+        assert stats["array_backends"].get("numpy", {}).get("batched_passes", 0) >= 1
+        # The deterministic payload is unchanged by the execution strategy.
+        assert _study_line(batched) == _study_line(sequential)
+
+    def test_warm_batched_submission_is_free_and_identical(self, cold_engine):
+        spec = self._sweep_spec(shots=601)
+        service = StudyService(batch=0)
+        try:
+            cold = list(service.run_study_spec(spec))
+            invocations_after_cold = _total_invocations()
+            warm = list(service.run_study_spec(spec))
+        finally:
+            service.close()
+        assert _total_invocations() == invocations_after_cold
+        assert _sources(warm) == ["memory"] * 6
+        assert warm[-1]["executed"] == 0
+        assert warm[-1]["batched_passes"] == 0
+        assert _study_line(warm) == _study_line(cold)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError, match="batch"):
+            StudyService(batch=-2)
 
 
 class TestSharding:

@@ -158,10 +158,27 @@ class TestFusedKernel:
         monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "reference")
         assert active_simulation_kernel() == "reference"
 
-    def test_invalid_kernel_warns_and_defaults(self, monkeypatch):
-        monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "turbo")
-        with pytest.warns(RuntimeWarning, match="REPRO_SIM_KERNEL"):
-            assert active_simulation_kernel() == "fused"
+    def test_invalid_kernel_warns_once_per_distinct_value(self, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.simulators.backend import reset_simulation_kernel_warnings
+
+        reset_simulation_kernel_warnings()
+        try:
+            monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "turbo")
+            with pytest.warns(RuntimeWarning, match="REPRO_SIM_KERNEL"):
+                assert active_simulation_kernel() == "fused"
+            # Re-read per call, but no re-warn: a long-lived daemon calls
+            # this per simulate and must not flood its log.
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error")
+                assert active_simulation_kernel() == "fused"
+            # A different invalid value gets its own single warning.
+            monkeypatch.setenv(SIM_KERNEL_ENV_VAR, "warp")
+            with pytest.warns(RuntimeWarning, match="warp"):
+                assert active_simulation_kernel() == "fused"
+        finally:
+            reset_simulation_kernel_warnings()
 
     @pytest.mark.parametrize("backend_name", ["density-matrix", "trajectory"])
     def test_kernels_never_share_cache_versions(self, backend_name, monkeypatch):
