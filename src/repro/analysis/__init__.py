@@ -1,0 +1,27 @@
+"""Static verification of the repro stack (the ``repro check`` subsystem).
+
+Three prongs, one per submodule:
+
+* :mod:`repro.analysis.circuit_checks` -- IR invariants of compiled
+  circuits (connectivity, gate-type registration, moment disjointness,
+  schedule monotonicity) plus the opt-in per-pass ``REPRO_VERIFY_PASSES``
+  hook the :class:`~repro.compiler.manager.PassManager` calls.
+* :mod:`repro.analysis.channel_checks` -- CPTP verification of lowered
+  noise programs and fused superoperator groups, sweepable over every
+  registered device x instruction set x error scale.
+* :mod:`repro.analysis.source_lints` -- stdlib-``ast`` lints for
+  repo-specific contracts: cache-key (fingerprint) purity, the
+  ``repro.config`` env-read policy, and cache/lock discipline.
+
+All checkers report :class:`~repro.analysis.findings.Finding` records;
+``repro check [--source|--circuits|--programs]`` is the CLI front end
+and ``docs/analysis.md`` the narrative documentation.  This package
+intentionally imports nothing heavy at the top level -- the compiler's
+per-pass hook must not drag simulator modules into every compile.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, render_findings
+
+__all__ = ["Finding", "render_findings"]

@@ -1,0 +1,299 @@
+"""Channel checkers: CPTP verification of lowered noise programs.
+
+Every noisy simulation in this repo replays either a
+:class:`~repro.simulators.noise_program.NoiseProgram` (gate unitaries +
+Kraus channels) or its fused
+:class:`~repro.simulators.superop.SuperopProgram` lowering (one
+``4^k x 4^k`` superoperator per fused group).  Physicality of those
+artefacts -- each channel trace preserving (``sum_k K_k^† K_k = I``),
+each fused group completely positive (Choi matrix PSD, via the existing
+:func:`repro.simulators.superop.superoperator_to_choi`) and trace
+preserving -- is the channel-level analogue of the IR invariants in
+:mod:`repro.analysis.circuit_checks`: a violation means a wrong-but-
+plausible distribution would be computed, cached under a content key,
+and served to every warm request from then on.
+
+``tests/test_superop.py`` asserted CPTP-ness of a handful of fixtures;
+this module promotes that into a reusable production check, runnable
+against **any** registered device x instruction set x error scale via
+:func:`verify_device_set_cptp` / the ``repro check --programs`` sweep.
+
+All tolerances are configurable; the default matches
+:func:`repro.simulators.superop.is_cptp_superoperator`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.instruction_sets import InstructionSet
+    from repro.devices.device import Device
+    from repro.simulators.noise_program import NoiseProgram
+    from repro.simulators.superop import SuperopProgram
+
+DEFAULT_ATOL = 1e-9
+"""Default absolute tolerance of every physicality comparison; the bar
+:func:`repro.simulators.superop.is_cptp_superoperator` set."""
+
+
+def check_kraus_operators(
+    operators: Sequence[np.ndarray],
+    atol: float = DEFAULT_ATOL,
+    where: str = "",
+) -> List[Finding]:
+    """A Kraus set is square, uniform-dimension and trace preserving.
+
+    Complete positivity is automatic for any map *given* in Kraus form;
+    trace preservation (``sum_k K_k^† K_k = I``) is the contract this
+    verifies -- it is what normalises probabilities after every channel
+    application.
+    """
+    findings: List[Finding] = []
+    if not operators:
+        return [
+            Finding(check="cptp", where=where, message="channel has no Kraus operators")
+        ]
+    mats = [np.asarray(op, dtype=complex) for op in operators]
+    dim = mats[0].shape[0]
+    for index, op in enumerate(mats):
+        if op.ndim != 2 or op.shape != (dim, dim):
+            findings.append(
+                Finding(
+                    check="cptp",
+                    where=where,
+                    message=(
+                        f"Kraus operator {index} has shape {op.shape}, expected "
+                        f"({dim}, {dim})"
+                    ),
+                )
+            )
+    if findings:
+        return findings
+    total = sum(op.conj().T @ op for op in mats)
+    deviation = float(np.max(np.abs(total - np.eye(dim))))
+    if deviation > atol:
+        findings.append(
+            Finding(
+                check="cptp",
+                where=where,
+                message=(
+                    f"channel is not trace preserving: max |sum K^†K - I| = "
+                    f"{deviation:.3e} (atol {atol:.1e})"
+                ),
+            )
+        )
+    return findings
+
+
+def check_unitary(
+    matrix: np.ndarray, atol: float = DEFAULT_ATOL, where: str = ""
+) -> List[Finding]:
+    """A gate matrix is unitary within ``atol``."""
+    mat = np.asarray(matrix, dtype=complex)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        return [
+            Finding(
+                check="unitary",
+                where=where,
+                message=f"gate matrix has non-square shape {mat.shape}",
+            )
+        ]
+    deviation = float(np.max(np.abs(mat.conj().T @ mat - np.eye(mat.shape[0]))))
+    if deviation > atol:
+        return [
+            Finding(
+                check="unitary",
+                where=where,
+                message=(
+                    f"gate matrix is not unitary: max |U^†U - I| = "
+                    f"{deviation:.3e} (atol {atol:.1e})"
+                ),
+            )
+        ]
+    return []
+
+
+def check_superoperator_cptp(
+    superop: np.ndarray, atol: float = DEFAULT_ATOL, where: str = ""
+) -> List[Finding]:
+    """A superoperator is completely positive and trace preserving.
+
+    Complete positivity via the Choi matrix's smallest eigenvalue, trace
+    preservation via its partial trace -- both through the existing
+    :func:`repro.simulators.superop.is_cptp_superoperator`, so checker
+    and kernels agree on the vec convention by construction.
+    """
+    from repro.simulators.superop import is_cptp_superoperator
+
+    completely_positive, trace_preserving = is_cptp_superoperator(superop, atol=atol)
+    findings: List[Finding] = []
+    if not completely_positive:
+        findings.append(
+            Finding(
+                check="cptp",
+                where=where,
+                message=(
+                    "superoperator is not completely positive (Choi matrix has a "
+                    f"negative eigenvalue below -{atol:.1e})"
+                ),
+            )
+        )
+    if not trace_preserving:
+        findings.append(
+            Finding(
+                check="cptp",
+                where=where,
+                message=(
+                    "superoperator is not trace preserving (partial trace of the "
+                    f"Choi matrix deviates from identity beyond {atol:.1e})"
+                ),
+            )
+        )
+    return findings
+
+
+def check_noise_program(
+    program: "NoiseProgram", atol: float = DEFAULT_ATOL, where: str = ""
+) -> List[Finding]:
+    """Every artefact of a lowered noise program is physical.
+
+    Gate matrices unitary; every per-operation and idle Kraus channel
+    trace preserving; moment durations non-negative; channel and gate
+    qubit tuples inside the program register.  Also re-checks moment
+    qubit-disjointness -- the structural invariant batched replay
+    (one contraction per fused group) silently depends on.
+    """
+    from repro.analysis.circuit_checks import check_moment_disjointness
+
+    prefix = f"{where}: " if where else ""
+    findings: List[Finding] = []
+    findings += [
+        Finding(check=f.check, where=f"{prefix}{f.where}", message=f.message)
+        for f in check_moment_disjointness([m.operations for m in program.moments])
+    ]
+    for m_index, moment in enumerate(program.moments):
+        if moment.duration < 0:
+            findings.append(
+                Finding(
+                    check="program",
+                    where=f"{prefix}moment {m_index}",
+                    message=f"negative duration {moment.duration}",
+                )
+            )
+        for o_index, operation in enumerate(moment.operations):
+            loc = f"{prefix}moment {m_index} op {o_index}"
+            findings += check_unitary(operation.matrix, atol=atol, where=loc)
+            findings += _check_program_qubits(operation.qubits, program.num_qubits, loc)
+            for c_index, (channel, qubits) in enumerate(operation.channels):
+                chan_loc = f"{loc} channel {c_index} ({channel.name})"
+                findings += check_kraus_operators(
+                    channel.operators, atol=atol, where=chan_loc
+                )
+                findings += _check_program_qubits(qubits, program.num_qubits, chan_loc)
+        for c_index, (channel, qubits) in enumerate(moment.idle_channels):
+            loc = f"{prefix}moment {m_index} idle {c_index} ({channel.name})"
+            findings += check_kraus_operators(channel.operators, atol=atol, where=loc)
+            findings += _check_program_qubits(qubits, program.num_qubits, loc)
+    return findings
+
+
+def _check_program_qubits(
+    qubits: Sequence[int], num_qubits: int, where: str
+) -> List[Finding]:
+    """Qubit tuples are distinct and inside the program register."""
+    qubits = tuple(qubits)
+    findings: List[Finding] = []
+    if len(set(qubits)) != len(qubits):
+        findings.append(
+            Finding(
+                check="program", where=where, message=f"repeated qubit in {qubits}"
+            )
+        )
+    out = [q for q in qubits if q < 0 or q >= num_qubits]
+    if out:
+        findings.append(
+            Finding(
+                check="program",
+                where=where,
+                message=f"qubit(s) {out} outside the {num_qubits}-qubit register",
+            )
+        )
+    return findings
+
+
+def check_superop_program(
+    program: "SuperopProgram", atol: float = DEFAULT_ATOL, where: str = ""
+) -> List[Finding]:
+    """Every fused group of a superoperator program is CPTP.
+
+    Each group composes a gate conjugation with its trailing channels;
+    compositions of CPTP maps are CPTP, so a violation means the fusion
+    itself (or an input channel) is broken.
+    """
+    prefix = f"{where}: " if where else ""
+    findings: List[Finding] = []
+    for index, group in enumerate(program.groups):
+        loc = f"{prefix}group {index} qubits {group.qubits}"
+        expected = 4 ** len(group.qubits)
+        if group.superoperator.shape != (expected, expected):
+            findings.append(
+                Finding(
+                    check="cptp",
+                    where=loc,
+                    message=(
+                        f"superoperator shape {group.superoperator.shape} does not "
+                        f"match {len(group.qubits)} qubit(s)"
+                    ),
+                )
+            )
+            continue
+        findings += check_superoperator_cptp(group.superoperator, atol=atol, where=loc)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Device x instruction set x error scale sweeps
+# ---------------------------------------------------------------------------
+
+
+def verify_device_set_cptp(
+    device: "Device",
+    instruction_set: "InstructionSet",
+    error_scales: Sequence[float] = (1.0,),
+    num_qubits: int = 2,
+    atol: float = DEFAULT_ATOL,
+    decomposer: Optional[object] = None,
+) -> List[Finding]:
+    """Compile a probe circuit and verify every lowering is CPTP.
+
+    Compiles a ``num_qubits`` GHZ probe for ``instruction_set`` on
+    ``device`` once, lowers it to a :class:`NoiseProgram` at every error
+    scale (the compiled circuit is scale-invariant; only channel tensors
+    rescale), and checks both the Kraus-level program and its fused
+    superoperator lowering.  This is the ``repro check --programs``
+    work-unit and the sweep the channel-checker test matrix runs over
+    every built-in device x Table II set.
+    """
+    from repro.applications.ghz import ghz_circuit
+    from repro.core.pipeline import compile_circuit
+    from repro.simulators.noise_program import noise_program_for
+    from repro.simulators.superop import superop_program_for
+
+    circuit = ghz_circuit(num_qubits)
+    compiled = compile_circuit(
+        circuit, device, instruction_set, decomposer=decomposer
+    )
+    findings: List[Finding] = []
+    for scale in error_scales:
+        where = f"{device.name}/{instruction_set.name}/scale={scale:g}"
+        program = noise_program_for(compiled, device, error_scale=scale)
+        findings += check_noise_program(program, atol=atol, where=where)
+        findings += check_superop_program(
+            superop_program_for(program), atol=atol, where=where
+        )
+    return findings

@@ -1,0 +1,442 @@
+"""IR invariant checkers: does a compiled circuit respect its device?
+
+The paper's premise is that compiled circuits respect device-level
+contracts -- every two-qubit gate on a coupled edge after routing, only
+calibrated gate types emitted, parallel operations on disjoint qubits,
+a monotone non-overlapping schedule.  Seven PRs of compiler/cache growth
+enforce those contracts only indirectly, through bit-identity tests
+against frozen references; this module verifies them *structurally*, so
+a miscompile is caught as "pass X moved a CZ onto a non-edge" instead of
+"the HOP of study Y drifted".
+
+Two entry points:
+
+* :func:`verify_compiled_circuit` -- the standalone post-compile check
+  run by ``repro check --circuits``.
+* :func:`verify_pass_context` -- the per-pass subset re-checked after
+  **every** pass when ``REPRO_VERIFY_PASSES`` is set
+  (:class:`repro.compiler.manager.PassManager` calls it and raises
+  :class:`PassVerificationError` naming the pass that broke an
+  invariant).  The checks are read-only and consume no device RNG, so a
+  verified compile is bit-identical to an unverified one -- CI re-runs a
+  determinism fixture under the flag to pin that.
+
+Checkers return :class:`~repro.analysis.findings.Finding` lists (empty =
+clean) instead of raising, so the CLI can aggregate across artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.circuits.dag import as_moments
+from repro.config import flag_env
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.compiler.manager import PassContext
+    from repro.compiler.scheduling import Schedule
+    from repro.core.instruction_sets import InstructionSet
+    from repro.core.pipeline import CompiledCircuit
+    from repro.devices.device import Device
+
+VERIFY_PASSES_ENV_VAR = "REPRO_VERIFY_PASSES"
+"""Set truthy (``1``/``true``/``yes``/``on``) to re-verify the IR after
+every compiler pass.  Read per :meth:`PassManager.run
+<repro.compiler.manager.PassManager.run>` call -- the same
+read-on-every-use policy as ``REPRO_SIM_KERNEL`` -- so a long-lived
+daemon picks up changes without a restart."""
+
+SCHEDULE_TIME_ATOL = 1e-9
+"""Absolute slack (ns) allowed when comparing schedule times: start and
+duration arithmetic is float, so "non-overlapping" means overlap below
+this tolerance."""
+
+
+def verify_passes_enabled() -> bool:
+    """Whether the opt-in per-pass verification hook is on (env-driven)."""
+    return flag_env(VERIFY_PASSES_ENV_VAR, False)
+
+
+class PassVerificationError(RuntimeError):
+    """A compiler pass left the IR violating a device-contract invariant.
+
+    Raised by :class:`repro.compiler.manager.PassManager` under
+    ``REPRO_VERIFY_PASSES``; names the offending pass so a broken rewrite
+    is attributed at the pass boundary where it happened, not at the end
+    of the pipeline (or worse, at simulation time).
+    """
+
+    def __init__(self, pipeline: str, pass_name: str, findings: Sequence[Finding]):
+        self.pipeline = pipeline
+        self.pass_name = pass_name
+        self.findings = list(findings)
+        details = "\n".join(f"  - {finding.render()}" for finding in self.findings)
+        super().__init__(
+            f"pass {pass_name!r} of pipeline {pipeline!r} broke "
+            f"{len(self.findings)} IR invariant(s):\n{details}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Individual invariants
+# ---------------------------------------------------------------------------
+
+
+def check_qubit_bounds(circuit: "QuantumCircuit") -> List[Finding]:
+    """Every operation acts on distinct qubits inside the register."""
+    findings: List[Finding] = []
+    for index, operation in enumerate(circuit):
+        qubits = tuple(operation.qubits)
+        if len(set(qubits)) != len(qubits):
+            findings.append(
+                Finding(
+                    check="qubit-bounds",
+                    where=f"op {index}",
+                    message=f"{operation.gate.name} acts twice on one qubit: {qubits}",
+                )
+            )
+        out = [q for q in qubits if q < 0 or q >= circuit.num_qubits]
+        if out:
+            findings.append(
+                Finding(
+                    check="qubit-bounds",
+                    where=f"op {index}",
+                    message=(
+                        f"{operation.gate.name} addresses qubit(s) {out} outside "
+                        f"the {circuit.num_qubits}-qubit register"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_moment_disjointness(moments: Sequence[Sequence[object]]) -> List[Finding]:
+    """Operations within one moment touch pairwise-disjoint qubits.
+
+    Accepts any moment structure whose entries expose ``.qubits`` --
+    circuit moments (:func:`repro.circuits.dag.as_moments`) and
+    :class:`~repro.simulators.noise_program.ProgramMoment` operations
+    alike -- because the invariant is what makes "a moment" a layer of
+    *parallel* hardware operations.
+    """
+    findings: List[Finding] = []
+    for index, moment in enumerate(moments):
+        seen = set()
+        for operation in moment:
+            overlap = seen.intersection(operation.qubits)
+            if overlap:
+                findings.append(
+                    Finding(
+                        check="moment-disjoint",
+                        where=f"moment {index}",
+                        message=(
+                            f"qubit(s) {sorted(overlap)} appear in two operations "
+                            "of the same moment"
+                        ),
+                    )
+                )
+            seen.update(operation.qubits)
+    return findings
+
+
+def check_connectivity(
+    circuit: "QuantumCircuit",
+    device: "Device",
+    physical_qubits: Sequence[int],
+) -> List[Finding]:
+    """Every multi-qubit operation lands on a coupled device edge.
+
+    ``physical_qubits`` is the routed slot-to-physical placement
+    (:attr:`CompiledCircuit.physical_qubits`); a routed circuit whose CZ
+    sits on slots mapping to uncoupled physical qubits is exactly the
+    miscompile routing exists to prevent.
+    """
+    findings: List[Finding] = []
+    placement = list(physical_qubits)
+    for index, operation in enumerate(circuit):
+        qubits = tuple(operation.qubits)
+        if len(qubits) < 2:
+            continue
+        if len(qubits) > 2:
+            findings.append(
+                Finding(
+                    check="connectivity",
+                    where=f"op {index}",
+                    message=(
+                        f"{operation.gate.name} acts on {len(qubits)} qubits; the "
+                        "device exposes only one- and two-qubit operations"
+                    ),
+                )
+            )
+            continue
+        slot_a, slot_b = qubits
+        if slot_a >= len(placement) or slot_b >= len(placement):
+            findings.append(
+                Finding(
+                    check="connectivity",
+                    where=f"op {index}",
+                    message=(
+                        f"{operation.gate.name} on slots {qubits} exceeds the "
+                        f"{len(placement)}-slot placement"
+                    ),
+                )
+            )
+            continue
+        phys_a, phys_b = placement[slot_a], placement[slot_b]
+        if not device.topology.are_connected(phys_a, phys_b):
+            findings.append(
+                Finding(
+                    check="connectivity",
+                    where=f"op {index}",
+                    message=(
+                        f"{operation.gate.type_key} on slots {qubits} maps to "
+                        f"physical qubits ({phys_a}, {phys_b}), which are not "
+                        f"coupled on {device.topology.name!r}"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_gate_types_registered(
+    circuit: "QuantumCircuit",
+    device: "Device",
+    emitted_gate_types: Iterable[str] = (),
+) -> List[Finding]:
+    """Emitted and in-circuit two-qubit gate types have calibration data.
+
+    A two-qubit type without a device registration has no error rate or
+    duration: the noise model would fail (or worse, default) when the
+    program is lowered.  ``emitted_gate_types`` is the NuOp pass's record
+    (:attr:`CompiledCircuit.emitted_gate_types`); the circuit's own
+    two-qubit types are checked as well because cleanup passes may only
+    *remove* gates, never emit types NuOp didn't register.
+    """
+    findings: List[Finding] = []
+    registered = set(device.registered_gate_types)
+    for type_key in sorted(set(emitted_gate_types) - registered):
+        findings.append(
+            Finding(
+                check="gate-types",
+                message=(
+                    f"emitted gate type {type_key!r} is not registered on the "
+                    "device (no calibration data)"
+                ),
+            )
+        )
+    in_circuit = {op.gate.type_key for op in circuit if len(op.qubits) == 2}
+    for type_key in sorted(in_circuit - registered):
+        findings.append(
+            Finding(
+                check="gate-types",
+                message=(
+                    f"compiled circuit contains two-qubit type {type_key!r} with "
+                    "no device calibration registration"
+                ),
+            )
+        )
+    return findings
+
+
+def check_instruction_set_membership(
+    circuit: "QuantumCircuit", instruction_set: "InstructionSet"
+) -> List[Finding]:
+    """Every two-qubit gate belongs to the target instruction set.
+
+    Only meaningful for the discrete Table II sets; continuous families
+    (FullXY / FullfSim) admit freshly-parameterised gates by design, so
+    they are skipped (empty findings).
+    """
+    if instruction_set.is_continuous:
+        return []
+    allowed = set(instruction_set.type_keys())
+    in_circuit = {op.gate.type_key for op in circuit if len(op.qubits) == 2}
+    return [
+        Finding(
+            check="instruction-set",
+            message=(
+                f"two-qubit type {type_key!r} is outside instruction set "
+                f"{instruction_set.name!r} ({sorted(allowed)})"
+            ),
+        )
+        for type_key in sorted(in_circuit - allowed)
+    ]
+
+
+def check_mapping_consistency(
+    compiled: "CompiledCircuit", device: "Device"
+) -> List[Finding]:
+    """Placement and qubit mappings are injective and on-device."""
+    findings: List[Finding] = []
+    placement = list(compiled.physical_qubits)
+    if len(set(placement)) != len(placement):
+        findings.append(
+            Finding(
+                check="mapping",
+                message=f"physical placement has duplicate qubits: {placement}",
+            )
+        )
+    # Membership, not a dense range: devices keep vendor qubit ids with
+    # gaps for non-functional qubits (Aspen-8 disables two of 32).
+    device_qubits = set(device.topology.graph.nodes)
+    out = [q for q in placement if q not in device_qubits]
+    if out:
+        findings.append(
+            Finding(
+                check="mapping",
+                message=(
+                    f"placement names physical qubit(s) {out} that are not "
+                    f"functional qubits of {device.topology.name!r}"
+                ),
+            )
+        )
+    for label, mapping in (
+        ("initial_mapping", compiled.initial_mapping),
+        ("final_mapping", compiled.final_mapping),
+    ):
+        slots = list(mapping.values())
+        if len(set(slots)) != len(slots):
+            findings.append(
+                Finding(
+                    check="mapping",
+                    message=f"{label} maps two program qubits to one slot: {mapping}",
+                )
+            )
+        bad = [slot for slot in slots if slot < 0 or slot >= len(placement)]
+        if bad:
+            findings.append(
+                Finding(
+                    check="mapping",
+                    message=(
+                        f"{label} names slot(s) {bad} outside the "
+                        f"{len(placement)}-slot placement"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_schedule(
+    schedule: "Schedule",
+    num_qubits: Optional[int] = None,
+    atol: float = SCHEDULE_TIME_ATOL,
+) -> List[Finding]:
+    """The schedule is monotone and non-overlapping per qubit.
+
+    Program order must respect time order on every qubit (an operation
+    never starts before the previous operation on a shared qubit
+    finished), durations are non-negative, and ``total_duration`` covers
+    the last completion.
+    """
+    findings: List[Finding] = []
+    free_at: dict = {}
+    last_end = 0.0
+    for index, item in enumerate(schedule.operations):
+        if item.duration < -atol:
+            findings.append(
+                Finding(
+                    check="schedule",
+                    where=f"op {index}",
+                    message=f"negative duration {item.duration}",
+                )
+            )
+        for qubit in item.operation.qubits:
+            if num_qubits is not None and (qubit < 0 or qubit >= num_qubits):
+                findings.append(
+                    Finding(
+                        check="schedule",
+                        where=f"op {index}",
+                        message=f"scheduled on qubit {qubit} outside the register",
+                    )
+                )
+                continue
+            if item.start < free_at.get(qubit, 0.0) - atol:
+                findings.append(
+                    Finding(
+                        check="schedule",
+                        where=f"op {index}",
+                        message=(
+                            f"starts at {item.start} while qubit {qubit} is busy "
+                            f"until {free_at[qubit]} (overlap)"
+                        ),
+                    )
+                )
+            free_at[qubit] = max(free_at.get(qubit, 0.0), item.end)
+        last_end = max(last_end, item.end)
+    if schedule.total_duration < last_end - atol:
+        findings.append(
+            Finding(
+                check="schedule",
+                message=(
+                    f"total_duration {schedule.total_duration} is shorter than the "
+                    f"last completion at {last_end}"
+                ),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Aggregate entry points
+# ---------------------------------------------------------------------------
+
+
+def verify_compiled_circuit(
+    compiled: "CompiledCircuit",
+    device: "Device",
+    instruction_set: Optional["InstructionSet"] = None,
+) -> List[Finding]:
+    """Run every post-compile invariant against a :class:`CompiledCircuit`.
+
+    The full contract of ``repro check --circuits``: qubit bounds, moment
+    disjointness, routed connectivity, calibration coverage of the
+    emitted gate types, instruction-set membership (when the set is
+    given and discrete), mapping consistency, and a monotone
+    non-overlapping ASAP schedule under the device's calibrated
+    durations.  Read-only: consumes no device RNG.
+    """
+    from repro.compiler.scheduling import asap_schedule
+
+    findings = check_qubit_bounds(compiled.circuit)
+    findings += check_moment_disjointness(as_moments(compiled.circuit))
+    findings += check_connectivity(compiled.circuit, device, compiled.physical_qubits)
+    findings += check_gate_types_registered(
+        compiled.circuit, device, compiled.emitted_gate_types
+    )
+    if instruction_set is not None:
+        findings += check_instruction_set_membership(compiled.circuit, instruction_set)
+    findings += check_mapping_consistency(compiled, device)
+    schedule = asap_schedule(compiled.circuit, device.noise_model)
+    findings += check_schedule(schedule, compiled.circuit.num_qubits)
+    return findings
+
+
+def verify_pass_context(context: "PassContext") -> List[Finding]:
+    """The per-pass invariant subset for the ``REPRO_VERIFY_PASSES`` hook.
+
+    Only invariants that are meaningful *mid-pipeline* run, gated on
+    which products exist on the context yet: connectivity needs the
+    routing placement, calibration coverage needs NuOp's emitted-type
+    record, the schedule check needs the scheduling pass's product.
+    Everything here is read-only and RNG-free, so enabling verification
+    cannot perturb compilation.
+    """
+    findings = check_qubit_bounds(context.circuit)
+    findings += check_moment_disjointness(as_moments(context.circuit))
+    if context.physical_qubits:
+        findings += check_connectivity(
+            context.circuit, context.device, context.physical_qubits
+        )
+    if context.emitted_gate_types:
+        findings += check_gate_types_registered(
+            context.circuit, context.device, context.emitted_gate_types
+        )
+        if not context.instruction_set.is_continuous:
+            findings += check_instruction_set_membership(
+                context.circuit, context.instruction_set
+            )
+    if context.schedule is not None:
+        findings += check_schedule(context.schedule, context.circuit.num_qubits)
+    return findings

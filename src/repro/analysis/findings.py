@@ -1,0 +1,51 @@
+"""The finding record every ``repro check`` prong reports.
+
+A checker never raises on a violated invariant (except via the opt-in
+:class:`~repro.analysis.circuit_checks.PassVerificationError` hook) --
+it returns a list of :class:`Finding` records so callers can aggregate
+across prongs, render them for humans, or emit them as JSON for CI.
+An empty list means the checked artefact is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant, lint rule or contract.
+
+    Attributes
+    ----------
+    check:
+        Stable rule identifier (``"connectivity"``, ``"cptp"``,
+        ``"env-policy"``, ...); CI and tests match on it.
+    message:
+        Human-readable description of what is wrong, self-contained
+        enough to act on without re-running the checker.
+    where:
+        Locator: a ``path:line`` for source lints, a pass name for the
+        pass hook, a moment/group index or device/set/scale combination
+        for the IR and channel checkers.  Empty when the artefact itself
+        is the location.
+    """
+
+    check: str
+    message: str
+    where: str = ""
+
+    def as_dict(self) -> Dict[str, str]:
+        """Plain-dict form for the ``repro check --json`` report."""
+        return {"check": self.check, "where": self.where, "message": self.message}
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        location = f" [{self.where}]" if self.where else ""
+        return f"{self.check}{location}: {self.message}"
+
+
+def render_findings(findings: Sequence[Finding]) -> List[str]:
+    """Render findings one per line (stable order: as reported)."""
+    return [finding.render() for finding in findings]

@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.hashing import hash_scalars
+from repro.config import str_env
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
     from repro.core.pipeline import CompiledCircuit
@@ -658,7 +659,7 @@ def get_global_disk_cache() -> Optional[DiskCompilationCache]:
             return None
         if _EXPLICIT is not None:
             return _EXPLICIT  # type: ignore[return-value]
-        cache_dir = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+        cache_dir = str_env(CACHE_DIR_ENV_VAR)
         if not cache_dir:
             return None
         return _instance_for(cache_dir)

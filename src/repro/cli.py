@@ -492,6 +492,146 @@ def _cmd_apps(args: argparse.Namespace) -> str:
 # Parser
 # ---------------------------------------------------------------------------
 
+_CHECK_DEVICES = ("sycamore", "aspen-8")
+"""Built-in devices ``repro check`` sweeps (see ``--device``)."""
+
+
+def _check_device_and_catalogue(name: str):
+    """Instantiate a built-in device plus the catalogue evaluated on it."""
+    from repro.core.instruction_sets import google_catalogue, rigetti_catalogue
+    from repro.devices.aspen8 import aspen8_device
+    from repro.devices.sycamore import sycamore_device
+
+    if name == "sycamore":
+        return sycamore_device(), google_catalogue()
+    if name == "aspen-8":
+        return aspen8_device(), rigetti_catalogue()
+    raise ValueError(f"unknown device {name!r}; known: {', '.join(_CHECK_DEVICES)}")
+
+
+def _cmd_check(args: argparse.Namespace) -> str:
+    """``repro check``: the static verification prongs (docs/analysis.md).
+
+    ``--source`` / ``--circuits`` / ``--programs`` select prongs; none
+    selected runs all three.  Exit code 1 when any finding is reported,
+    so CI can gate on it; ``--json`` emits the machine-readable report.
+    """
+    import json
+
+    from repro.analysis.findings import render_findings
+
+    selected = [
+        name for name in ("source", "circuits", "programs") if getattr(args, name)
+    ]
+    if not selected:
+        selected = ["source", "circuits", "programs"]
+    prongs: Dict[str, list] = {}
+
+    if "source" in selected:
+        from repro.analysis.source_lints import run_source_lints
+
+        prongs["source"] = run_source_lints(root=args.root)
+
+    if "circuits" in selected or "programs" in selected:
+        from repro.analysis.channel_checks import (
+            check_noise_program,
+            check_superop_program,
+        )
+        from repro.analysis.circuit_checks import verify_compiled_circuit
+        from repro.applications.ghz import ghz_circuit
+        from repro.core.decomposer import NuOpDecomposer
+        from repro.core.pipeline import compile_circuit
+        from repro.simulators.noise_program import noise_program_for
+        from repro.simulators.superop import superop_program_for
+
+        circuit_findings: list = []
+        program_findings: list = []
+        decomposer = NuOpDecomposer()
+        devices = [args.device] if args.device else list(_CHECK_DEVICES)
+        for device_name in devices:
+            device, catalogue = _check_device_and_catalogue(device_name)
+            if args.sets:
+                unknown = sorted(set(args.sets) - set(catalogue))
+                if unknown:
+                    raise SystemExit(
+                        f"unknown instruction set(s) for {device_name}: "
+                        f"{', '.join(unknown)} (known: {', '.join(catalogue)})"
+                    )
+                names = [name for name in catalogue if name in set(args.sets)]
+            else:
+                names = list(catalogue)
+            for set_name in names:
+                instruction_set = catalogue[set_name]
+                compiled = compile_circuit(
+                    ghz_circuit(args.qubits), device, instruction_set,
+                    decomposer=decomposer,
+                )
+                where = f"{device_name}/{set_name}"
+                if "circuits" in selected:
+                    from repro.analysis.findings import Finding
+
+                    circuit_findings += [
+                        Finding(
+                            check=finding.check,
+                            where=(
+                                f"{where}: {finding.where}"
+                                if finding.where
+                                else where
+                            ),
+                            message=finding.message,
+                        )
+                        for finding in verify_compiled_circuit(
+                            compiled, device, instruction_set
+                        )
+                    ]
+                if "programs" in selected:
+                    for scale in args.scales:
+                        scale_where = f"{where}/scale={scale:g}"
+                        program = noise_program_for(
+                            compiled, device, error_scale=scale
+                        )
+                        program_findings += check_noise_program(
+                            program, atol=args.atol, where=scale_where
+                        )
+                        program_findings += check_superop_program(
+                            superop_program_for(program),
+                            atol=args.atol,
+                            where=scale_where,
+                        )
+        if "circuits" in selected:
+            prongs["circuits"] = circuit_findings
+        if "programs" in selected:
+            prongs["programs"] = program_findings
+
+    total = sum(len(findings) for findings in prongs.values())
+    if total:
+        args.exit_code = 1
+    if getattr(args, "as_json", False):
+        return json.dumps(
+            {
+                "ok": total == 0,
+                "findings": total,
+                "prongs": {
+                    name: [finding.as_dict() for finding in findings]
+                    for name, findings in prongs.items()
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = []
+    for name, findings in prongs.items():
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        lines.append(f"[{name}] {status}")
+        lines.extend(f"  {line}" for line in render_findings(findings))
+    lines.append(
+        "repro check: all prongs clean"
+        if total == 0
+        else f"repro check: {total} finding(s)"
+    )
+    return "\n".join(lines)
+
+
 _FIGURE_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -511,6 +651,7 @@ _FIGURE_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "simulators": _cmd_simulators,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "check": _cmd_check,
 }
 
 
@@ -697,6 +838,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="workloads to weight in the design (qv, qaoa, qft, fh, swap)",
     )
 
+    check = subparsers.add_parser(
+        "check",
+        help="static verification: source lints, IR invariants, CPTP programs "
+        "(see docs/analysis.md)",
+    )
+    check.add_argument(
+        "--source", action="store_true", help="run only the source lints"
+    )
+    check.add_argument(
+        "--circuits", action="store_true", help="run only the IR invariant checkers"
+    )
+    check.add_argument(
+        "--programs", action="store_true", help="run only the CPTP channel checkers"
+    )
+    check.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the machine-readable findings report",
+    )
+    check.add_argument(
+        "--root",
+        default=None,
+        help="source tree for the lints (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--device",
+        choices=_CHECK_DEVICES,
+        default=None,
+        help="restrict the circuit/program sweeps to one built-in device",
+    )
+    check.add_argument(
+        "--sets",
+        nargs="+",
+        default=None,
+        help="restrict the sweeps to these instruction sets (default: the "
+        "device's full Table II catalogue)",
+    )
+    check.add_argument(
+        "--qubits",
+        type=_positive_int,
+        default=2,
+        help="probe-circuit width for the sweeps (default 2)",
+    )
+    check.add_argument(
+        "--scales",
+        nargs="+",
+        type=float,
+        default=(1.0, 2.0, 3.0),
+        help="error scales the program prong verifies (default: 1 2 3)",
+    )
+    check.add_argument(
+        "--atol",
+        type=float,
+        default=1e-9,
+        help="absolute tolerance of the CPTP comparisons (default 1e-9)",
+    )
+
     calibration = subparsers.add_parser("calibration", help="drift + recalibration policy comparison")
     calibration.add_argument("--gate-types", type=int, default=4)
     calibration.add_argument("--edges", type=int, default=10)
@@ -717,7 +916,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         configure_disk_cache(args.cache_dir)
     handler = _FIGURE_COMMANDS[args.command]
     print(handler(args))
-    return 0
+    return int(getattr(args, "exit_code", 0))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

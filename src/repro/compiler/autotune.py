@@ -44,7 +44,6 @@ Determinism and caching:
 from __future__ import annotations
 
 import copy
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -57,6 +56,7 @@ from repro.circuits.hashing import (
     instruction_set_fingerprint,
 )
 from repro.compiler.manager import available_pipelines, resolve_pipeline
+from repro.config import list_env
 from repro.compiler.scheduling import asap_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
@@ -97,10 +97,7 @@ def default_candidate_pipelines() -> Tuple[str, ...]:
     pipeline names; unknown names raise at tuning time (same failure mode
     as a typo in ``--pipeline``).
     """
-    raw = os.environ.get(CANDIDATES_ENV_VAR, "").strip()
-    if not raw:
-        return _DEFAULT_CANDIDATES
-    return tuple(name.strip() for name in raw.split(",") if name.strip())
+    return list_env(CANDIDATES_ENV_VAR, _DEFAULT_CANDIDATES)
 
 
 # ---------------------------------------------------------------------------

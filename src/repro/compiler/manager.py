@@ -384,7 +384,23 @@ class PassManager:
         :class:`PassStatistics` record per execution (IR snapshots around
         the pass, so removals/merges/fusions and depth deltas are derived
         uniformly) lands in ``pass_stats``.
+
+        When ``REPRO_VERIFY_PASSES`` is set (re-read per run, so a
+        long-lived daemon can toggle it), the IR invariants of
+        :func:`repro.analysis.circuit_checks.verify_pass_context` are
+        re-checked after **every** pass and a
+        :class:`~repro.analysis.circuit_checks.PassVerificationError`
+        names the first pass that broke one.  The checks are read-only
+        and consume no device RNG: verified compiles are bit-identical
+        to unverified ones (pinned by a CI determinism re-run).
         """
+        from repro.analysis.circuit_checks import (
+            PassVerificationError,
+            verify_pass_context,
+            verify_passes_enabled,
+        )
+
+        verify = verify_passes_enabled()
         for compiler_pass in self.passes:
             record = PassStatistics(
                 pass_name=compiler_pass.name,
@@ -402,6 +418,12 @@ class PassManager:
             context.pass_timings[compiler_pass.name] = (
                 context.pass_timings.get(compiler_pass.name, 0.0) + record.wall_time
             )
+            if verify:
+                findings = verify_pass_context(context)
+                if findings:
+                    raise PassVerificationError(
+                        self.name, compiler_pass.name, findings
+                    )
         return context
 
     def pass_names(self) -> List[str]:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 
 def positive_int_env(
@@ -75,3 +75,67 @@ def positive_int_env(
         )
         return default
     return value
+
+
+def str_env(name: str, default: str = "", *, lower: bool = False) -> str:
+    """Read environment variable ``name`` as a stripped string.
+
+    Returns ``default`` (verbatim, never lower-cased) when the variable is
+    unset or blank.  ``lower=True`` lower-cases a set value -- the policy
+    of every name-valued knob (``REPRO_SIM_KERNEL``,
+    ``REPRO_ARRAY_BACKEND``), whose registries key on lower-case names.
+
+    There is no "invalid" shape for a free-form string, so unlike
+    :func:`positive_int_env` this helper never warns; *semantic*
+    validation (unknown kernel/backend names, and any warn-once
+    bookkeeping a long-lived daemon needs) stays at the call site, which
+    knows the registry and the failure policy.  The env-policy lint
+    (:mod:`repro.analysis.source_lints`) requires every ``os.environ``
+    read outside this module to route through these helpers.
+    """
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    return value.lower() if lower else value
+
+
+def list_env(
+    name: str, default: Sequence[str] = (), *, separator: str = ","
+) -> Tuple[str, ...]:
+    """Read environment variable ``name`` as a separated list of tokens.
+
+    Returns ``tuple(default)`` when the variable is unset or blank.
+    Tokens are stripped and empties dropped, so ``"a, b,"`` parses as
+    ``("a", "b")`` -- and a value of only separators/whitespace counts as
+    blank (the default applies) rather than selecting an empty list.
+    Token *validation* (unknown pipeline names, ...) stays at the call
+    site, same contract as :func:`str_env`.
+    """
+    raw = str_env(name)
+    tokens = tuple(token.strip() for token in raw.split(separator) if token.strip())
+    return tokens if tokens else tuple(default)
+
+
+def flag_env(name: str, default: bool = False, *, stacklevel: int = 3) -> bool:
+    """Parse environment variable ``name`` as a boolean switch.
+
+    Accepts ``1/true/yes/on`` and ``0/false/no/off`` (case-insensitive);
+    unset/blank returns ``default``.  Anything else emits a
+    :class:`RuntimeWarning` naming the variable (the
+    :func:`positive_int_env` policy) and returns ``default`` -- a typo'd
+    ``REPRO_VERIFY_PASSES=ture`` must not silently disable verification.
+    """
+    raw = str_env(name, lower=True)
+    if not raw:
+        return default
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off"):
+        return False
+    warnings.warn(
+        f"ignoring invalid {name}={raw!r} (need a boolean: 1/0, true/false, "
+        f"yes/no, on/off); using the default of {default}",
+        RuntimeWarning,
+        stacklevel=stacklevel,
+    )
+    return default

@@ -36,12 +36,13 @@ service's ``/v1/stats``.
 
 from __future__ import annotations
 
-import os
 import threading
 import warnings
 from typing import Dict, Optional, Sequence
 
 import numpy as np
+
+from repro.config import str_env
 
 ARRAY_BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
 """Environment variable selecting the array-operations backend."""
@@ -257,7 +258,7 @@ def active_array_backend() -> ArrayBackend:
     per process; :func:`validate_array_backend_env` offers the strict
     (raising) check for option-construction time.
     """
-    raw = os.environ.get(ARRAY_BACKEND_ENV_VAR, "").strip().lower()
+    raw = str_env(ARRAY_BACKEND_ENV_VAR, lower=True)
     if not raw or raw == DEFAULT_ARRAY_BACKEND:
         with _REGISTRY_LOCK:
             return _REGISTRY[DEFAULT_ARRAY_BACKEND]
@@ -286,7 +287,7 @@ def validate_array_backend_env() -> Optional[str]:
     ``cupy`` on a CPU-only host is a valid request that degrades at
     resolve time, not a spec error.
     """
-    raw = os.environ.get(ARRAY_BACKEND_ENV_VAR, "").strip().lower()
+    raw = str_env(ARRAY_BACKEND_ENV_VAR, lower=True)
     if not raw:
         return None
     if raw not in available_array_backends():

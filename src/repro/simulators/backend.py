@@ -55,13 +55,13 @@ and benchmarks can *prove* a warm study skipped simulation entirely.
 from __future__ import annotations
 
 import abc
-import os
 import threading
 import warnings
 from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 
 import numpy as np
 
+from repro.config import str_env
 from repro.simulators.density_matrix import (
     MAX_DENSITY_MATRIX_QUBITS,
     DensityMatrixResult,
@@ -110,7 +110,7 @@ def active_simulation_kernel() -> str:
     function runs on every simulate call, and a long-lived ``repro
     serve`` daemon must not repeat the same warning per request.
     """
-    raw = os.environ.get(SIM_KERNEL_ENV_VAR, "").strip().lower()
+    raw = str_env(SIM_KERNEL_ENV_VAR, lower=True)
     if not raw:
         return SIM_KERNELS[0]
     if raw not in SIM_KERNELS:

@@ -1,0 +1,233 @@
+"""Channel checkers: broken channels are *detected*, real lowerings pass.
+
+The detection half matters most -- a checker that only ever sees valid
+channels proves nothing.  Hand-built non-trace-preserving Kraus sets,
+a non-completely-positive superoperator (the transpose map: TP, yet its
+Choi matrix has a -1 eigenvalue), and a non-unitary gate smuggled into a
+lowered program must each produce findings, with tolerance boundaries
+exercised on both sides.  The sweep half then asserts the production
+contract: every built-in device x Table II instruction set x error
+scale lowers to CPTP Kraus programs and CPTP fused superoperators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.channel_checks import (
+    check_kraus_operators,
+    check_noise_program,
+    check_superop_program,
+    check_superoperator_cptp,
+    check_unitary,
+    verify_device_set_cptp,
+)
+from repro.applications.ghz import ghz_circuit
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import google_catalogue, rigetti_catalogue
+from repro.core.pipeline import compile_circuit
+from repro.devices.aspen8 import aspen8_device
+from repro.devices.sycamore import sycamore_device
+from repro.simulators.noise_program import noise_program_for
+from repro.simulators.superop import superop_program_for
+
+
+@pytest.fixture(scope="module")
+def decomposer():
+    return NuOpDecomposer()
+
+
+class TestKrausDetection:
+    def test_valid_channel_is_clean(self):
+        p = 0.1
+        operators = [
+            np.sqrt(1 - p) * np.eye(2),
+            np.sqrt(p) * np.array([[0.0, 1.0], [1.0, 0.0]]),
+        ]
+        assert check_kraus_operators(operators) == []
+
+    def test_non_trace_preserving_detected(self):
+        # sum K^†K = (1 + 1e-6) I: off by 1e-6 exactly.
+        operators = [np.sqrt(1 + 1e-6) * np.eye(2)]
+        findings = check_kraus_operators(operators, atol=1e-8)
+        assert findings and "not trace preserving" in findings[0].message
+
+    def test_tolerance_boundary(self):
+        # The same 1e-6 deviation passes a looser tolerance: the atol
+        # knob genuinely moves the bar rather than being cosmetic.
+        operators = [np.sqrt(1 + 1e-6) * np.eye(2)]
+        assert check_kraus_operators(operators, atol=1e-4) == []
+        assert check_kraus_operators(operators, atol=1e-8) != []
+
+    def test_empty_channel_detected(self):
+        findings = check_kraus_operators([])
+        assert findings and "no Kraus operators" in findings[0].message
+
+    def test_mismatched_shapes_detected(self):
+        findings = check_kraus_operators([np.eye(2), np.eye(4)])
+        assert findings and "shape" in findings[0].message
+
+    def test_where_label_propagates(self):
+        findings = check_kraus_operators(
+            [np.sqrt(2.0) * np.eye(2)], where="sycamore/S1"
+        )
+        assert findings[0].where == "sycamore/S1"
+
+
+class TestSuperoperatorDetection:
+    def test_unitary_conjugation_is_clean(self):
+        hadamard = np.array([[1.0, 1.0], [1.0, -1.0]]) / np.sqrt(2.0)
+        superop = np.kron(hadamard, hadamard.conj())
+        assert check_superoperator_cptp(superop) == []
+
+    def test_transpose_map_not_completely_positive(self):
+        """The transpose map is TP but not CP (Choi eigenvalue -1)."""
+        transpose = np.zeros((4, 4))
+        for a in range(2):
+            for b in range(2):
+                # vec(rho^T)[a, b] = vec(rho)[b, a] under row-major vec.
+                transpose[2 * a + b, 2 * b + a] = 1.0
+        findings = check_superoperator_cptp(transpose)
+        assert len(findings) == 1
+        assert "not completely positive" in findings[0].message
+
+    def test_trace_scaling_not_trace_preserving(self):
+        superop = 1.5 * np.eye(4)
+        findings = check_superoperator_cptp(superop)
+        assert [f for f in findings if "not trace preserving" in f.message]
+
+
+class TestUnitaryDetection:
+    def test_valid(self):
+        assert check_unitary(np.eye(2)) == []
+
+    def test_non_unitary_detected(self):
+        findings = check_unitary(np.array([[1.0, 0.0], [0.0, 0.5]]))
+        assert findings and "not unitary" in findings[0].message
+
+    def test_non_square_detected(self):
+        findings = check_unitary(np.ones((2, 3)))
+        assert findings and "non-square" in findings[0].message
+
+
+class TestProgramDetection:
+    def _lowered_program(self, decomposer):
+        device = sycamore_device()
+        s1 = google_catalogue()["S1"]
+        compiled = compile_circuit(
+            ghz_circuit(2), device, s1, decomposer=decomposer
+        )
+        return noise_program_for(compiled, device, error_scale=1.0)
+
+    def test_real_lowering_is_clean(self, decomposer):
+        program = self._lowered_program(decomposer)
+        assert check_noise_program(program) == []
+        assert check_superop_program(superop_program_for(program)) == []
+
+    def test_non_unitary_gate_detected(self, decomposer):
+        program = self._lowered_program(decomposer)
+        target = program.moments[0].operations[0]
+        broken_op = dataclasses.replace(
+            target, matrix=np.asarray(target.matrix) * 1.001
+        )
+        broken_moment = dataclasses.replace(
+            program.moments[0],
+            operations=(broken_op, *program.moments[0].operations[1:]),
+        )
+        broken = dataclasses.replace(
+            program, moments=(broken_moment, *program.moments[1:])
+        )
+        findings = check_noise_program(broken, where="probe")
+        assert [f for f in findings if "not unitary" in f.message]
+        assert all(f.where.startswith("probe: ") for f in findings)
+
+    def test_non_tp_channel_detected(self, decomposer):
+        program = self._lowered_program(decomposer)
+        moment = next(
+            m for m in program.moments
+            for op in m.operations if op.channels
+        )
+        op = next(o for o in moment.operations if o.channels)
+        channel, qubits = op.channels[0]
+        # KrausChannel.__post_init__ enforces TP, so corrupt a copy
+        # behind the frozen dataclass's back -- exactly the kind of
+        # artefact corruption the checker exists to catch.
+        bad_channel = dataclasses.replace(channel)
+        object.__setattr__(
+            bad_channel,
+            "operators",
+            tuple(op_k * 1.01 for op_k in channel.operators),
+        )
+        broken_op = dataclasses.replace(op, channels=((bad_channel, qubits),))
+        broken_moment = dataclasses.replace(
+            moment,
+            operations=tuple(
+                broken_op if o is op else o for o in moment.operations
+            ),
+        )
+        broken = dataclasses.replace(
+            program,
+            moments=tuple(
+                broken_moment if m is moment else m for m in program.moments
+            ),
+        )
+        findings = check_noise_program(broken)
+        assert [f for f in findings if "not trace preserving" in f.message]
+
+    def test_negative_duration_detected(self, decomposer):
+        program = self._lowered_program(decomposer)
+        broken_moment = dataclasses.replace(program.moments[0], duration=-1.0)
+        broken = dataclasses.replace(
+            program, moments=(broken_moment, *program.moments[1:])
+        )
+        findings = check_noise_program(broken)
+        assert [f for f in findings if "negative duration" in f.message]
+
+    def test_wrong_group_shape_detected(self, decomposer):
+        program = self._lowered_program(decomposer)
+        superop = superop_program_for(program)
+        group = superop.groups[0]
+        # Lie about the support: a k-qubit group must carry a 4^k map.
+        wrong = (
+            group.qubits[:1]
+            if len(group.qubits) > 1
+            else (group.qubits[0], group.qubits[0])
+        )
+        broken_group = dataclasses.replace(group, qubits=wrong)
+        broken = dataclasses.replace(
+            superop, groups=(broken_group, *superop.groups[1:])
+        )
+        findings = check_superop_program(broken)
+        assert [f for f in findings if "does not match" in f.message]
+
+
+def _sweep_cases():
+    cases = []
+    for device_name, catalogue in (
+        ("sycamore", google_catalogue()),
+        ("aspen-8", rigetti_catalogue()),
+    ):
+        for set_name in catalogue:
+            cases.append((device_name, set_name))
+    return cases
+
+
+class TestDeviceSetSweep:
+    """Every built-in device x Table II set x error scale lowers CPTP."""
+
+    @pytest.mark.parametrize("device_name,set_name", _sweep_cases())
+    def test_sweep(self, device_name, set_name, decomposer):
+        if device_name == "sycamore":
+            device, catalogue = sycamore_device(), google_catalogue()
+        else:
+            device, catalogue = aspen8_device(), rigetti_catalogue()
+        findings = verify_device_set_cptp(
+            device,
+            catalogue[set_name],
+            error_scales=(1.0, 2.0, 3.0),
+            decomposer=decomposer,
+        )
+        assert findings == []

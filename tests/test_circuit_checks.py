@@ -1,0 +1,246 @@
+"""IR invariant checkers and the ``REPRO_VERIFY_PASSES`` pass hook.
+
+Two halves.  The positive half: real compiles of every registered
+pipeline pass :func:`verify_compiled_circuit` clean, and enabling the
+per-pass hook changes nothing about the compiled artefact (bit-identical
+circuits, placements, calibration RNG state).  The negative half: a
+deliberately broken compiled circuit, and a deliberately broken compiler
+pass, are each *caught* -- the hook naming the offending pass is the
+whole point of checking at pass boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.circuit_checks import (
+    PassVerificationError,
+    SCHEDULE_TIME_ATOL,
+    VERIFY_PASSES_ENV_VAR,
+    check_connectivity,
+    check_gate_types_registered,
+    check_instruction_set_membership,
+    check_mapping_consistency,
+    check_moment_disjointness,
+    check_qubit_bounds,
+    check_schedule,
+    verify_compiled_circuit,
+    verify_passes_enabled,
+)
+from repro.applications.ghz import ghz_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.hashing import circuit_fingerprint
+from repro.compiler.manager import (
+    CompilerPass,
+    PassContext,
+    available_pipelines,
+)
+from repro.compiler.scheduling import Schedule, ScheduledOperation
+from repro.core.decomposer import NuOpDecomposer
+from repro.core.instruction_sets import google_catalogue
+from repro.core.pipeline import compile_circuit
+from repro.devices.sycamore import sycamore_device
+
+
+@pytest.fixture(scope="module")
+def decomposer():
+    return NuOpDecomposer()
+
+
+@pytest.fixture()
+def device():
+    return sycamore_device()
+
+
+@pytest.fixture()
+def s1():
+    return google_catalogue()["S1"]
+
+
+class TestCompiledCircuitsAreClean:
+    @pytest.mark.parametrize("pipeline", sorted(available_pipelines()))
+    def test_every_pipeline_verifies_clean(self, pipeline, device, s1, decomposer):
+        compiled = compile_circuit(
+            ghz_circuit(3), device, s1, decomposer=decomposer, pipeline=pipeline
+        )
+        assert verify_compiled_circuit(compiled, device, s1) == []
+
+    def test_continuous_set_verifies_clean(self, device, decomposer):
+        fullfsim = google_catalogue()["FullfSim"]
+        compiled = compile_circuit(
+            ghz_circuit(3), device, fullfsim, decomposer=decomposer
+        )
+        assert verify_compiled_circuit(compiled, device, fullfsim) == []
+
+
+class TestBrokenArtefactsAreCaught:
+    def test_uncoupled_two_qubit_gate(self, device, s1, decomposer):
+        compiled = compile_circuit(ghz_circuit(3), device, s1, decomposer=decomposer)
+        # Rewire the placement so some routed CZ lands on uncoupled qubits:
+        # slot 0 keeps its physical qubit, slot 1 jumps to the far corner.
+        nodes = sorted(device.topology.graph.nodes)
+        far = [q for q in nodes if not device.topology.are_connected(
+            compiled.physical_qubits[0], q) and q != compiled.physical_qubits[0]]
+        broken = list(compiled.physical_qubits)
+        broken[1] = far[-1]
+        findings = check_connectivity(compiled.circuit, device, broken)
+        assert findings
+        assert all(f.check == "connectivity" for f in findings)
+        assert "not coupled" in findings[0].message
+
+    def test_unregistered_gate_type(self, device, s1, decomposer):
+        compiled = compile_circuit(ghz_circuit(2), device, s1, decomposer=decomposer)
+        findings = check_gate_types_registered(
+            compiled.circuit, device, [*compiled.emitted_gate_types, "xy(0.123456)"]
+        )
+        assert [f for f in findings if "xy(0.123456)" in f.message]
+
+    def test_instruction_set_membership_violation(self, s1):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.swap(0, 1)  # SWAP is outside the single-type S1 set
+        findings = check_instruction_set_membership(circuit, s1)
+        assert findings and findings[0].check == "instruction-set"
+
+    def test_overlapping_moment(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        moments = [list(circuit)]  # force both CNOTs into one "moment"
+        findings = check_moment_disjointness(moments)
+        assert findings and findings[0].check == "moment-disjoint"
+
+    def test_qubit_bounds_violation(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        # Bypass append-time validation: smuggle an out-of-register op in
+        # through the private list, exactly what a buggy pass could do.
+        wide = QuantumCircuit(3)
+        wide.cx(1, 2)
+        circuit._operations.extend(wide.operations)
+        findings = check_qubit_bounds(circuit)
+        assert findings and findings[0].check == "qubit-bounds"
+
+    def test_duplicate_placement(self, device, s1, decomposer):
+        compiled = compile_circuit(ghz_circuit(3), device, s1, decomposer=decomposer)
+        broken = list(compiled.physical_qubits)
+        broken[1] = broken[0]
+        damaged = dataclasses.replace(compiled, physical_qubits=tuple(broken))
+        findings = check_mapping_consistency(damaged, device)
+        assert [f for f in findings if "duplicate" in f.message]
+
+    def test_off_device_placement(self, device, s1, decomposer):
+        compiled = compile_circuit(ghz_circuit(2), device, s1, decomposer=decomposer)
+        broken = list(compiled.physical_qubits)
+        broken[0] = max(device.topology.graph.nodes) + 100
+        damaged = dataclasses.replace(compiled, physical_qubits=tuple(broken))
+        findings = check_mapping_consistency(damaged, device)
+        assert [f for f in findings if "not" in f.message and "functional" in f.message]
+
+    def test_overlapping_schedule(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.h(0)
+        ops = list(circuit)
+        schedule = Schedule(
+            operations=[
+                ScheduledOperation(ops[0], start=0.0, duration=25.0),
+                ScheduledOperation(ops[1], start=10.0, duration=25.0),  # overlaps
+            ],
+            total_duration=35.0,
+        )
+        findings = check_schedule(schedule, num_qubits=1)
+        assert [f for f in findings if "overlap" in f.message]
+
+    def test_schedule_tolerates_float_slack(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.h(0)
+        ops = list(circuit)
+        schedule = Schedule(
+            operations=[
+                ScheduledOperation(ops[0], start=0.0, duration=25.0),
+                ScheduledOperation(
+                    ops[1], start=25.0 - SCHEDULE_TIME_ATOL / 2, duration=25.0
+                ),
+            ],
+            total_duration=50.0,
+        )
+        assert check_schedule(schedule, num_qubits=1) == []
+
+
+class _SabotageRoutingPass(CompilerPass):
+    """Moves a routed two-qubit gate onto two uncoupled physical qubits."""
+
+    name = "sabotage"
+
+    def run(self, context: PassContext) -> None:
+        placement = list(context.physical_qubits)
+        nodes = sorted(context.device.topology.graph.nodes)
+        far = [
+            q
+            for q in nodes
+            if q not in placement
+            and not context.device.topology.are_connected(placement[0], q)
+        ]
+        placement[1] = far[-1]
+        context.physical_qubits = tuple(placement)
+
+
+class TestPassVerificationHook:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(VERIFY_PASSES_ENV_VAR, raising=False)
+        assert verify_passes_enabled() is False
+
+    def test_flag_parsing(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_PASSES_ENV_VAR, "on")
+        assert verify_passes_enabled() is True
+        monkeypatch.setenv(VERIFY_PASSES_ENV_VAR, "0")
+        assert verify_passes_enabled() is False
+
+    def test_broken_pass_is_named(self, monkeypatch, device, s1, decomposer):
+        """The hook attributes the violation to the pass that caused it."""
+        monkeypatch.setenv(VERIFY_PASSES_ENV_VAR, "1")
+        device.ensure_gate_types(s1.type_keys(), scale=1.0)
+        config = available_pipelines()["default"]
+        manager = config.build()
+        manager.passes.append(_SabotageRoutingPass())  # after the full pipeline
+        context = PassContext(
+            circuit=ghz_circuit(3),
+            device=device,
+            instruction_set=s1,
+            decomposer=decomposer,
+        )
+        with pytest.raises(PassVerificationError) as excinfo:
+            manager.run(context)
+        error = excinfo.value
+        assert error.pass_name == "sabotage"
+        assert error.findings and error.findings[0].check == "connectivity"
+        assert "sabotage" in str(error)
+
+    def test_healthy_pipeline_passes_under_hook(self, monkeypatch, device, s1, decomposer):
+        monkeypatch.setenv(VERIFY_PASSES_ENV_VAR, "1")
+        compiled = compile_circuit(ghz_circuit(3), device, s1, decomposer=decomposer)
+        assert verify_compiled_circuit(compiled, device, s1) == []
+
+    def test_hook_does_not_perturb_compilation(self, monkeypatch, s1, decomposer):
+        """Verified and unverified compiles are bit-identical (RNG-free checks)."""
+        monkeypatch.delenv(VERIFY_PASSES_ENV_VAR, raising=False)
+        plain = compile_circuit(
+            ghz_circuit(4), sycamore_device(), s1, decomposer=decomposer,
+            pipeline="scheduled",
+        )
+        monkeypatch.setenv(VERIFY_PASSES_ENV_VAR, "1")
+        verified = compile_circuit(
+            ghz_circuit(4), sycamore_device(), s1, decomposer=decomposer,
+            pipeline="scheduled",
+        )
+        assert circuit_fingerprint(plain.circuit) == circuit_fingerprint(verified.circuit)
+        assert plain.physical_qubits == verified.physical_qubits
+        assert plain.emitted_gate_types == verified.emitted_gate_types
+        assert plain.schedule_duration == verified.schedule_duration
+        for a, b in zip(plain.circuit, verified.circuit):
+            assert np.array_equal(a.gate.matrix, b.gate.matrix)

@@ -135,3 +135,55 @@ class TestPipelineFlags:
             assert pass_name in output
         # ...and the autotuner's verdict closes the report.
         assert "auto picks:" in output
+
+
+class TestCheckCommand:
+    def test_defaults_select_all_prongs(self):
+        args = build_parser().parse_args(["check"])
+        assert args.source is False and args.circuits is False
+        assert args.scales == (1.0, 2.0, 3.0)
+        assert args.qubits == 2
+
+    def test_source_prong_clean(self, capsys):
+        assert main(["check", "--source"]) == 0
+        output = capsys.readouterr().out
+        assert "[source] clean" in output
+        assert "all prongs clean" in output
+
+    def test_source_prong_json(self, capsys):
+        import json
+
+        assert main(["check", "--source", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["findings"] == 0
+        assert report["prongs"] == {"source": []}
+
+    def test_dirty_tree_sets_exit_code(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            'import os\nVALUE = os.environ.get("X")\n', encoding="utf-8"
+        )
+        assert main(["check", "--source", "--root", str(tmp_path)]) == 1
+        output = capsys.readouterr().out
+        assert "env-policy" in output
+        assert "1 finding(s)" in output
+
+    def test_restricted_circuit_sweep(self, capsys):
+        code = main([
+            "check", "--circuits", "--device", "sycamore", "--sets", "S1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "[circuits] clean" in output
+
+    def test_restricted_program_sweep(self, capsys):
+        code = main([
+            "check", "--programs", "--device", "aspen-8", "--sets", "S2",
+            "--scales", "1.0", "--qubits", "2",
+        ])
+        assert code == 0
+        assert "[programs] clean" in capsys.readouterr().out
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--circuits", "--device", "sycamore", "--sets", "NoSuchSet"])

@@ -1,0 +1,398 @@
+"""The custom AST lints: purity, env-policy and lock-discipline.
+
+Two tiers.  The production tier runs :func:`run_source_lints` over the
+real ``repro`` package and demands zero findings -- that is the same
+gate ``repro check --source`` enforces in CI, so this test failing means
+the tree itself regressed.  The synthetic tier feeds hand-written
+modules through each lint and asserts violations are *detected*: a
+dataclass field missing from its fingerprint, a direct ``os.environ``
+read, an unlocked cache mutation.  Synthetic trees pass ``allowlist={}``
+so the production allowlist cannot mask a detection regression.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.source_lints import (
+    FINGERPRINT_ALLOWLIST,
+    default_source_root,
+    iter_source_files,
+    run_source_lints,
+)
+
+
+def _lint_snippet(tmp_path, source, allowlist=None):
+    (tmp_path / "snippet.py").write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_source_lints(
+        tmp_path, allowlist={} if allowlist is None else allowlist
+    )
+
+
+class TestProductionTree:
+    def test_repro_package_is_clean(self):
+        assert run_source_lints() == []
+
+    def test_default_root_is_the_package(self):
+        root = default_source_root()
+        assert root.name == "repro"
+        assert (root / "config.py").exists()
+
+    def test_iter_source_files_is_sorted(self):
+        files = iter_source_files(default_source_root())
+        assert files == sorted(files)
+        assert any(path.name == "config.py" for path in files)
+
+
+class TestFingerprintPurity:
+    def test_missing_field_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Options:
+                shots: int
+                seed: int
+
+                def fingerprint(self):
+                    return str(self.shots)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].check == "fingerprint-purity"
+        assert "Options.seed" in findings[0].message
+        assert findings[0].where.startswith("snippet.py:")
+
+    def test_all_fields_referenced_is_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Options:
+                shots: int
+                seed: int
+
+                def fingerprint(self):
+                    return f"{self.shots}-{self.seed}"
+            """,
+        )
+        assert findings == []
+
+    def test_asdict_covers_every_field(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import asdict, dataclass
+
+            @dataclass
+            class Spec:
+                alpha: int
+                beta: int
+                gamma: int
+
+                def fingerprint(self):
+                    return str(sorted(asdict(self).items()))
+            """,
+        )
+        assert findings == []
+
+    def test_transitive_helper_coverage(self, tmp_path):
+        """fingerprint -> to_json_dict indirection still counts as hashed."""
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Spec:
+                alpha: int
+                beta: int
+
+                def to_json_dict(self):
+                    return {"alpha": self.alpha, "beta": self.beta}
+
+                def fingerprint(self):
+                    return str(self.to_json_dict())
+            """,
+        )
+        assert findings == []
+
+    def test_classvar_is_not_a_field(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+            @dataclass
+            class Spec:
+                SCHEMA: ClassVar[int] = 3
+                alpha: int
+
+                def fingerprint(self):
+                    return str(self.alpha)
+            """,
+        )
+        assert findings == []
+
+    def test_allowlist_suppresses(self, tmp_path):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Options:
+                shots: int
+                seed: int
+
+                def fingerprint(self):
+                    return str(self.shots)
+        """
+        assert _lint_snippet(
+            tmp_path, source, allowlist={"Options.seed": "derived, never hashed"}
+        ) == []
+
+    def test_stale_allowlist_entry_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Options:
+                shots: int
+
+                def fingerprint(self):
+                    return str(self.shots)
+            """,
+            allowlist={"Options.gone": "field was removed"},
+        )
+        assert len(findings) == 1
+        assert findings[0].check == "fingerprint-allowlist"
+        assert "stale" in findings[0].message
+
+    def test_unscanned_class_allowlist_is_tolerated(self, tmp_path):
+        """Entries for classes outside the tree are not flagged as stale."""
+        findings = _lint_snippet(
+            tmp_path,
+            "x = 1\n",
+            allowlist={"Elsewhere.field": "lives in another tree"},
+        )
+        assert findings == []
+
+    @pytest.mark.parametrize(
+        "key,justification",
+        [("NoDotKey", "reason"), ("Options.seed", "   ")],
+    )
+    def test_malformed_allowlist_entry_detected(self, tmp_path, key, justification):
+        findings = _lint_snippet(
+            tmp_path, "x = 1\n", allowlist={key: justification}
+        )
+        assert len(findings) == 1
+        assert "malformed" in findings[0].message
+
+    def test_plain_class_without_fingerprint_ignored(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Record:
+                value: int
+            """,
+        )
+        assert findings == []
+
+    def test_production_allowlist_entries_are_justified(self):
+        for key, justification in FINGERPRINT_ALLOWLIST.items():
+            class_name, _, field_name = key.partition(".")
+            assert class_name and field_name, key
+            assert justification.strip(), key
+
+
+class TestEnvPolicy:
+    def test_direct_environ_read_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            import os
+
+            def knob():
+                return os.environ.get("REPRO_KNOB", "")
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].check == "env-policy"
+        assert "os.environ" in findings[0].message
+
+    def test_getenv_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            import os
+
+            VALUE = os.getenv("REPRO_KNOB")
+            """,
+        )
+        assert [f for f in findings if "os.getenv" in f.message]
+
+    def test_from_import_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from os import environ
+
+            VALUE = environ.get("REPRO_KNOB")
+            """,
+        )
+        assert [f for f in findings if "importing environ" in f.message]
+
+    def test_config_py_is_exempt(self, tmp_path):
+        (tmp_path / "config.py").write_text(
+            'import os\nVALUE = os.environ.get("REPRO_KNOB")\n', encoding="utf-8"
+        )
+        assert run_source_lints(tmp_path, allowlist={}) == []
+
+    def test_helper_usage_is_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from repro.config import str_env
+
+            VALUE = str_env("REPRO_KNOB")
+            """,
+        )
+        assert findings == []
+
+
+class TestLockDiscipline:
+    def test_unlocked_mutation_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            import threading
+            from collections import OrderedDict
+
+            _SIM_CACHE = OrderedDict()
+            _SIM_CACHE_LOCK = threading.Lock()
+
+            def put(key, value):
+                _SIM_CACHE[key] = value
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].check == "lock-discipline"
+        assert "outside 'with _SIM_CACHE_LOCK:'" in findings[0].message
+
+    def test_locked_mutation_is_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            import threading
+            from collections import OrderedDict
+
+            _SIM_CACHE = OrderedDict()
+            _SIM_CACHE_LOCK = threading.Lock()
+
+            def put(key, value):
+                with _SIM_CACHE_LOCK:
+                    _SIM_CACHE[key] = value
+                    _SIM_CACHE.move_to_end(key)
+                    while len(_SIM_CACHE) > 4:
+                        _SIM_CACHE.popitem(last=False)
+            """,
+        )
+        assert findings == []
+
+    def test_missing_paired_lock_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            from collections import OrderedDict
+
+            _SIM_CACHE = OrderedDict()
+            """,
+        )
+        assert len(findings) == 1
+        assert "no paired _SIM_CACHE_LOCK" in findings[0].message
+
+    def test_mutating_method_outside_lock_detected(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            import threading
+            from collections import OrderedDict
+
+            _SIM_CACHE = OrderedDict()
+            _SIM_CACHE_LOCK = threading.Lock()
+
+            def evict():
+                _SIM_CACHE.popitem(last=False)
+            """,
+        )
+        assert [f for f in findings if ".popitem() call" in f.message]
+
+    def test_wrong_lock_does_not_count(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            import threading
+            from collections import OrderedDict
+
+            _SIM_CACHE = OrderedDict()
+            _SIM_CACHE_LOCK = threading.Lock()
+            _OTHER_LOCK = threading.Lock()
+
+            def put(key, value):
+                with _OTHER_LOCK:
+                    _SIM_CACHE[key] = value
+            """,
+        )
+        assert [f for f in findings if "outside 'with _SIM_CACHE_LOCK:'" in f.message]
+
+    def test_reads_are_not_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            import threading
+            from collections import OrderedDict
+
+            _SIM_CACHE = OrderedDict()
+            _SIM_CACHE_LOCK = threading.Lock()
+
+            def get(key):
+                return _SIM_CACHE.get(key)
+            """,
+        )
+        assert findings == []
+
+    def test_cache_objects_are_exempt(self, tmp_path):
+        """Cache *instances* own their lock; only bare dicts are linted."""
+        findings = _lint_snippet(
+            tmp_path,
+            """
+            class CompilationCache:
+                def put(self, key, value):
+                    pass
+
+            _GLOBAL_COMPILATION_CACHE = CompilationCache()
+
+            def put(key, value):
+                _GLOBAL_COMPILATION_CACHE.update(key, value)
+            """,
+        )
+        assert findings == []
+
+
+class TestParseFailure:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        findings = run_source_lints(tmp_path, allowlist={})
+        assert len(findings) == 1
+        assert findings[0].check == "parse"
