@@ -15,7 +15,9 @@ re-used across qubit pairs and across circuits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,6 +25,7 @@ from scipy.optimize import minimize
 
 from repro.circuits.circuit import Operation, QuantumCircuit
 from repro.circuits.gate import Gate, fsim_gate, u3_gate, xy_gate
+from repro.config import positive_int_env
 from repro.core.templates import (
     TemplateSpec,
     continuous_family_template,
@@ -32,6 +35,71 @@ from repro.gates.unitary import hilbert_schmidt_fidelity, nearest_kronecker_prod
 
 EXACT_FIDELITY_THRESHOLD = 1.0 - 1e-6
 """Decomposition fidelity treated as numerically exact (paper uses 1e-6..1e-8 infidelity)."""
+
+PROFILE_CACHE_SIZE_ENV_VAR = "REPRO_DECOMP_CACHE_SIZE"
+"""Entry cap of the process-wide fidelity-profile LRU (default 4096).
+
+The profile cache used to be an unbounded per-decomposer dict; a long
+``repro serve`` worker decomposing a stream of distinct targets would
+grow it without limit.  Invalid values warn and fall back to the default
+(:func:`repro.config.positive_int_env`, the policy every cache-bound
+variable shares).  Read once at import, like
+``REPRO_COMPILE_CACHE_SIZE``."""
+
+_DEFAULT_PROFILE_CACHE_SIZE = 4096
+
+_PROFILE_CACHE_MAX_ENTRIES = positive_int_env(
+    PROFILE_CACHE_SIZE_ENV_VAR,
+    _DEFAULT_PROFILE_CACHE_SIZE,
+    invalid_note="profile cache keeps the default size",
+)
+
+# Process-wide fidelity-profile LRU.  Keys fold in the decomposer's
+# optimisation knobs (see NuOpDecomposer._profile_cache_key), so
+# differently-configured decomposer instances never alias; identically
+# configured ones share work, which is what a serve worker wants.  Every
+# mutation happens under the paired lock (the lock-discipline source lint
+# enforces the pairing).
+_PROFILE_CACHE: "OrderedDict[Tuple, List[LayerSolution]]" = OrderedDict()
+_PROFILE_CACHE_LOCK = threading.Lock()
+_PROFILE_CACHE_COUNTERS = {"hits": 0, "misses": 0}
+
+
+def _profile_cache_get(key: Tuple) -> Optional[List["LayerSolution"]]:
+    """LRU lookup: a hit refreshes recency and returns the cached list itself."""
+    with _PROFILE_CACHE_LOCK:
+        profile = _PROFILE_CACHE.get(key)
+        if profile is None:
+            _PROFILE_CACHE_COUNTERS["misses"] += 1
+            return None
+        _PROFILE_CACHE.move_to_end(key)
+        _PROFILE_CACHE_COUNTERS["hits"] += 1
+        return profile
+
+
+def _profile_cache_put(key: Tuple, profile: List["LayerSolution"]) -> None:
+    with _PROFILE_CACHE_LOCK:
+        _PROFILE_CACHE[key] = profile
+        _PROFILE_CACHE.move_to_end(key)
+        while len(_PROFILE_CACHE) > _PROFILE_CACHE_MAX_ENTRIES:
+            _PROFILE_CACHE.popitem(last=False)
+
+
+def profile_cache_stats() -> Dict[str, int]:
+    """Counters + occupancy of the process-wide profile LRU (for the CLI)."""
+    with _PROFILE_CACHE_LOCK:
+        return {
+            "hits": _PROFILE_CACHE_COUNTERS["hits"],
+            "misses": _PROFILE_CACHE_COUNTERS["misses"],
+            "entries": len(_PROFILE_CACHE),
+            "max_entries": _PROFILE_CACHE_MAX_ENTRIES,
+        }
+
+
+def clear_profile_cache() -> None:
+    """Drop every cached fidelity profile (counters keep accumulating)."""
+    with _PROFILE_CACHE_LOCK:
+        _PROFILE_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -130,6 +198,14 @@ class NuOpDecomposer:
     seed:
         Seed of the restart generator (results are deterministic for a
         fixed seed).
+    tabulation:
+        Weyl-chamber tabulation knob.  ``None`` (default) consults the
+        ``REPRO_DECOMP_TABULATION`` environment flag; ``False`` forces the
+        classic per-target optimisation; ``True`` enables tabulation with
+        the default grid; a
+        :class:`repro.compiler.tabulation.TabulationConfig` enables it
+        with explicit settings.  When inactive, every query follows the
+        pre-tabulation code path bit for bit.
     """
 
     max_layers: int = 4
@@ -138,7 +214,7 @@ class NuOpDecomposer:
     maxiter: int = 250
     exact_threshold: float = EXACT_FIDELITY_THRESHOLD
     seed: int = 7
-    _profile_cache: Dict[Tuple, List[LayerSolution]] = field(default_factory=dict, repr=False)
+    tabulation: object = None
 
     # -- low-level optimisation -------------------------------------------------
 
@@ -200,7 +276,51 @@ class NuOpDecomposer:
         return 1.0 - best_value, best_params
 
     def _target_cache_key(self, target: np.ndarray) -> bytes:
-        return np.round(np.asarray(target, dtype=complex), 10).tobytes()
+        """Exact-bytes cache key for a target, canonicalised in global phase.
+
+        The old key rounded entries to 10 decimals, so two *distinct*
+        targets straddling a rounding boundary could collide and silently
+        share one profile.  Hashing the exact bytes removes the aliasing;
+        rotating the global phase first (largest-magnitude entry made
+        real-positive) keeps the useful half of the old behaviour, because
+        the objective ``|Tr(U^dagger target)| / 4`` is phase-invariant.
+        """
+        matrix = np.ascontiguousarray(np.asarray(target, dtype=complex))
+        flat = matrix.reshape(-1)
+        pivot = flat[int(np.argmax(np.abs(flat)))]
+        magnitude = abs(pivot)
+        if magnitude > 0.0:
+            matrix = matrix * (pivot.conjugate() / magnitude)
+        return matrix.tobytes()
+
+    def _profile_cache_key(
+        self, target: np.ndarray, gate_key: str, limit: int
+    ) -> Tuple:
+        """Key into the process-wide profile LRU.
+
+        Folds in every optimisation knob (the cache is shared between
+        decomposer instances) and the resolved tabulation state (a
+        tabulated profile is polished from grid starts, so it must never
+        alias an exhaustively optimised one).
+        """
+        config = self.resolved_tabulation()
+        return (
+            self._target_cache_key(target),
+            gate_key,
+            limit,
+            self.restarts,
+            self.confirmation_restarts,
+            self.maxiter,
+            self.exact_threshold,
+            self.seed,
+            None if config is None else config.fingerprint(),
+        )
+
+    def resolved_tabulation(self):
+        """The active tabulation config, or ``None`` for the classic path."""
+        from repro.compiler.tabulation import resolve_tabulation
+
+        return resolve_tabulation(self.tabulation)
 
     def _make_template(self, num_layers: int, gate: Optional[Gate], family: Optional[str]) -> TemplateSpec:
         if family is None:
@@ -222,19 +342,40 @@ class NuOpDecomposer:
 
         Either ``gate`` (a fixed hardware gate) or ``family`` (``"xy"`` /
         ``"fsim"``) must be provided.  Layer growth stops early once the
-        exact threshold is reached; the profile is cached.
+        exact threshold is reached; the profile is cached in the
+        process-wide LRU.  With tabulation active the per-layer solutions
+        are polished from the nearest Weyl-chamber grid entry instead of
+        being optimised from scratch.
         """
         if (gate is None) == (family is None):
             raise ValueError("provide exactly one of 'gate' or 'family'")
         limit = self.max_layers if max_layers is None else int(max_layers)
-        cache_key = (
-            self._target_cache_key(target),
-            gate.type_key if gate is not None else f"family:{family}",
-            limit,
+        cache_key = self._profile_cache_key(
+            target, gate.type_key if gate is not None else f"family:{family}", limit
         )
-        if cache_key in self._profile_cache:
-            return self._profile_cache[cache_key]
+        cached = _profile_cache_get(cache_key)
+        if cached is not None:
+            return cached
 
+        profile: Optional[List[LayerSolution]] = None
+        config = self.resolved_tabulation()
+        if config is not None:
+            from repro.compiler.tabulation import tabulated_profile
+
+            profile = tabulated_profile(self, target, gate, family, limit, config)
+        if profile is None:
+            profile = self._optimised_profile(target, gate, family, limit)
+        _profile_cache_put(cache_key, profile)
+        return profile
+
+    def _optimised_profile(
+        self,
+        target: np.ndarray,
+        gate: Optional[Gate],
+        family: Optional[str],
+        limit: int,
+    ) -> List[LayerSolution]:
+        """The classic per-layer BFGS profile (the untabulated code path)."""
         rng = np.random.default_rng(self.seed)
         profile: List[LayerSolution] = []
         for num_layers in range(limit + 1):
@@ -243,7 +384,6 @@ class NuOpDecomposer:
             profile.append(LayerSolution(num_layers, fidelity, params))
             if fidelity >= self.exact_threshold:
                 break
-        self._profile_cache[cache_key] = profile
         return profile
 
     # -- decomposition construction ------------------------------------------------
@@ -293,6 +433,15 @@ class NuOpDecomposer:
         close it got).
         """
         threshold = self.exact_threshold if fidelity_threshold is None else fidelity_threshold
+        config = self.resolved_tabulation()
+        if config is not None:
+            from repro.compiler.tabulation import tabulated_decompose_exact
+
+            result = tabulated_decompose_exact(
+                self, target, gate, family, threshold, max_layers, label, config
+            )
+            if result is not None:
+                return result
         profile = self.fidelity_profile(target, gate=gate, family=family, max_layers=max_layers)
         chosen = None
         for solution in profile:
@@ -319,7 +468,29 @@ class NuOpDecomposer:
         two-qubit gate on the edge where the decomposition will run;
         ``single_qubit_fidelity`` optionally accounts for the interleaved
         U3 layers (two gates per boundary).
+
+        With tabulation active the layer count is selected from the
+        tabulated fidelity estimates and only the winner's single-qubit
+        angles are polished, which is what makes warm lookups an order of
+        magnitude cheaper than the full profile.
         """
+        config = self.resolved_tabulation()
+        if config is not None:
+            from repro.compiler.tabulation import tabulated_decompose_approximate
+
+            result = tabulated_decompose_approximate(
+                self,
+                target,
+                gate,
+                family,
+                gate_fidelity,
+                single_qubit_fidelity,
+                max_layers,
+                label,
+                config,
+            )
+            if result is not None:
+                return result
         profile = self.fidelity_profile(target, gate=gate, family=family, max_layers=max_layers)
         best_solution = None
         best_overall = -np.inf
@@ -362,8 +533,8 @@ class NuOpDecomposer:
         )
 
     def clear_cache(self) -> None:
-        """Drop every cached fidelity profile."""
-        self._profile_cache.clear()
+        """Drop every cached fidelity profile (the process-wide LRU)."""
+        clear_profile_cache()
 
 
 def decompose_local_unitary(target: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:

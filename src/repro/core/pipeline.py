@@ -224,7 +224,7 @@ def compile_circuit(
     if _is_auto_pipeline(pipeline):
         from repro.compiler.autotune import autotune_pipeline
 
-        pipeline = autotune_pipeline(
+        verdict = autotune_pipeline(
             circuit,
             device,
             instruction_set,
@@ -235,7 +235,9 @@ def compile_circuit(
             layout=layout,
             error_scale=error_scale,
             max_layers=max_layers,
-        ).pipeline
+        )
+        pipeline = verdict.pipeline
+        approximate, max_layers = verdict.compile_options(approximate, max_layers)
     config = resolve_pipeline(pipeline)
     options = {
         "approximate": approximate,
@@ -359,7 +361,17 @@ def compile_circuit_reference(
 
 
 def _decomposer_fingerprint(decomposer: NuOpDecomposer) -> str:
-    """Digest of the decomposer configuration (its cache never changes results)."""
+    """Digest of the decomposer configuration (its cache never changes results).
+
+    The Weyl-chamber tabulation state is folded in only when active, as a
+    trailing component: a decomposer with tabulation off hashes exactly
+    as it did before tabulation existed, so pre-existing disk-cache
+    entries stay valid.  (Tabulated results are polished from grid starts
+    rather than optimised from scratch, so the two modes must never share
+    compilation-cache entries.)
+    """
+    tabulation = decomposer.resolved_tabulation()
+    extra = () if tabulation is None else tabulation.fingerprint()
     return hash_scalars(
         "decomposer",
         decomposer.max_layers,
@@ -368,6 +380,7 @@ def _decomposer_fingerprint(decomposer: NuOpDecomposer) -> str:
         decomposer.maxiter,
         decomposer.exact_threshold,
         decomposer.seed,
+        *extra,
     )
 
 
@@ -580,7 +593,7 @@ def compile_circuit_cached(
     if _is_auto_pipeline(pipeline):
         from repro.compiler.autotune import autotune_pipeline
 
-        pipeline = autotune_pipeline(
+        verdict = autotune_pipeline(
             circuit,
             device,
             instruction_set,
@@ -593,7 +606,9 @@ def compile_circuit_cached(
             max_layers=max_layers,
             cache=cache,
             disk_cache=disk_cache,
-        ).pipeline
+        )
+        pipeline = verdict.pipeline
+        approximate, max_layers = verdict.compile_options(approximate, max_layers)
     pipeline_config = resolve_pipeline(pipeline)
     if layout is not None:
         return compile_circuit(

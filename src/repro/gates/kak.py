@@ -20,7 +20,7 @@ machinery it rests on:
 from __future__ import annotations
 
 import itertools
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -96,6 +96,34 @@ def local_invariants(matrix: np.ndarray) -> Tuple[complex, complex, complex]:
     return e1, e2, e3
 
 
+def canonical_invariants(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-form local invariants of ``canonical_gate(x, y, z)``.
+
+    In the magic basis the canonical gate ``exp(i (x XX + y YY + z ZZ))``
+    is diagonal with eigenphases ``(x - y + z, -x + y + z, x + y - z,
+    -x - y - z)``, so ``gamma`` has eigenvalues ``exp(2i t_k)`` and the
+    characteristic-polynomial coefficients follow from Newton's
+    identities without building a single matrix.  Accepts scalars or
+    broadcastable arrays (the tabulation grid evaluates thousands of
+    chamber points in one call); agrees with
+    :func:`local_invariants` applied to the assembled gate to ~1e-15.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    z = np.asarray(z, dtype=float)
+    phases = np.stack(
+        [x - y + z, -x + y + z, x + y - z, -x - y - z], axis=-1
+    )
+    lam = np.exp(2j * phases)
+    e1 = lam.sum(axis=-1)
+    e2 = (e1**2 - (lam**2).sum(axis=-1)) / 2.0
+    # The eigenvalues multiply to one, so e3 = sum of reciprocals = conj(e1).
+    e3 = np.conj(e1)
+    return e1, e2, e3
+
+
 def invariant_distance(a: np.ndarray, b: np.ndarray) -> float:
     """Distance between the local-invariant vectors of two unitaries.
 
@@ -115,6 +143,32 @@ def is_locally_equivalent(a: np.ndarray, b: np.ndarray, atol: float = 1e-6) -> b
     return invariant_distance(a, b) < atol
 
 
+_COARSE_GRID: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+
+
+def _coarse_chamber_grid() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chamber grid points and their closed-form invariants, built once.
+
+    Returns ``(x, y, z, invariants)`` flat arrays; ``invariants`` has shape
+    ``(points, 3)``.  The grid is immutable and deterministic, so the
+    benign build race between threads is harmless.
+    """
+    global _COARSE_GRID
+    if _COARSE_GRID is None:
+        quarter = np.pi / 4
+        axis = np.linspace(0.0, quarter, 33)
+        grid_x, grid_y, grid_z = np.meshgrid(
+            axis, axis, np.concatenate([-axis[:0:-1], axis]), indexing="ij"
+        )
+        inside = (grid_x >= grid_y - 1e-12) & (grid_y >= np.abs(grid_z) - 1e-12)
+        grid_x, grid_y, grid_z = grid_x[inside], grid_y[inside], grid_z[inside]
+        candidates = np.stack(
+            canonical_invariants(grid_x, grid_y, grid_z), axis=-1
+        )
+        _COARSE_GRID = (grid_x, grid_y, grid_z, candidates)
+    return _COARSE_GRID
+
+
 def weyl_coordinates(
     matrix: np.ndarray, refine: bool = True
 ) -> Tuple[float, float, float]:
@@ -124,50 +178,79 @@ def weyl_coordinates(
     ``exp(i (x XX + y YY + z ZZ))`` for a unique point in the Weyl chamber
     ``pi/4 >= x >= y >= |z|`` (with ``z >= 0`` when ``x = pi/4``).  The
     coordinates are found by matching local invariants against the
-    canonical family: a coarse chamber grid seeds a Powell refinement.
-    The result is convention-independent because it is defined through the
-    library's own :func:`repro.gates.parametric.canonical_gate`.
+    canonical family: the target's invariants are computed once, the
+    canonical side comes from the closed form
+    (:func:`canonical_invariants`), a vectorised chamber grid seeds a
+    bounded least-squares refinement.  The result is
+    convention-independent because it is defined through the library's
+    own :func:`repro.gates.parametric.canonical_gate`.
     """
     matrix = np.asarray(matrix, dtype=complex)
     if not is_unitary(matrix, atol=1e-6):
         raise ValueError("weyl_coordinates requires a unitary matrix")
 
-    def objective(coords: np.ndarray) -> float:
-        x, y, z = coords
-        return invariant_distance(canonical_gate(x, y, z), matrix)
+    target = np.asarray(local_invariants(matrix))
+    flip = np.array([-1.0, 1.0, -1.0])
 
     quarter = np.pi / 4
-    best_coords = np.zeros(3)
-    best_value = objective(best_coords)
-    steps = np.linspace(0.0, quarter, 10)
-    for x in steps:
-        for y in steps:
-            if y > x + 1e-12:
-                continue
-            for z in np.linspace(-y, y, max(3, int(round(y / quarter * 9)) + 1)):
-                value = objective(np.array([x, y, z]))
-                if value < best_value:
-                    best_value = value
-                    best_coords = np.array([x, y, z])
+    grid_x, grid_y, grid_z, candidates = _coarse_chamber_grid()
+    distances = np.minimum(
+        np.linalg.norm(candidates - target, axis=-1),
+        np.linalg.norm(candidates * flip - target, axis=-1),
+    )
+    best_index = int(np.argmin(distances))
+    best_coords = np.array(
+        [grid_x[best_index], grid_y[best_index], grid_z[best_index]]
+    )
+    best_value = float(distances[best_index])
     if refine and best_value > 1e-12:
-        from scipy.optimize import minimize
+        from scipy.optimize import least_squares
 
-        result = minimize(
-            objective,
-            best_coords,
-            method="Powell",
-            bounds=[(0.0, quarter), (0.0, quarter), (-quarter, quarter)],
-            options={"xtol": 1e-10, "ftol": 1e-14, "maxiter": 2000},
-        )
-        if result.fun < best_value:
-            best_coords = result.x
-            best_value = result.fun
-    x, y, z = (float(v) for v in best_coords)
-    # Canonicalise ordering inside the chamber (the optimiser may land on a
-    # symmetric image such as y slightly above x).
-    x, y = max(x, y), min(x, y)
-    if abs(z) > y + 1e-9:
-        z = np.sign(z) * y
+        # The invariants are smooth in the coordinates, so the matching
+        # problem is a tiny nonlinear least-squares system; trust-region
+        # refinement converges quadratically where the old derivative-free
+        # Powell polish stalled.  Both sign branches of the fourth-root
+        # ambiguity are tried (cheapest first) because the coarse scan
+        # only identifies the branch up to its grid resolution.
+        branches = (np.ones(3), flip)
+        if np.linalg.norm(
+            candidates[best_index] * flip - target
+        ) < np.linalg.norm(candidates[best_index] - target):
+            branches = (flip, np.ones(3))
+        for branch in branches:
+            def residual(coords: np.ndarray) -> np.ndarray:
+                delta = np.asarray(canonical_invariants(*coords)) * branch - target
+                return np.concatenate([delta.real, delta.imag])
+
+            result = least_squares(
+                residual,
+                best_coords,
+                bounds=([0.0, 0.0, -quarter], [quarter, quarter, quarter]),
+                xtol=1e-15,
+                ftol=1e-15,
+                gtol=1e-15,
+                max_nfev=200,
+            )
+            value = float(np.linalg.norm(result.fun))
+            if value < best_value:
+                best_coords = result.x
+                best_value = value
+            if best_value < 1e-10:
+                break
+    # Canonicalise into the chamber.  The eigenphase multiset of the
+    # canonical gate is invariant under coordinate permutations and under
+    # flipping the signs of any two coordinates, so the optimiser may land
+    # on any such image inside the search box (e.g. ``(x, -z, -y)``);
+    # sorting by magnitude and repairing signs in pairs maps it back.
+    values = [float(v) for v in best_coords]
+    values.sort(key=abs, reverse=True)
+    x, y, z = values
+    if x < 0 and y < 0:
+        x, y = -x, -y
+    elif x < 0:
+        x, z = -x, -z
+    elif y < 0:
+        y, z = -y, -z
     if abs(x - np.pi / 4) < 1e-9 and z < 0:
         z = -z
     return x, y, z

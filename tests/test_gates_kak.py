@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.gates import standard
 from repro.gates.kak import (
     MAGIC_BASIS,
+    canonical_invariants,
     gamma_matrix,
     invariant_distance,
     is_locally_equivalent,
@@ -105,6 +106,72 @@ class TestWeylCoordinates:
         coords = (0.61, 0.32, 0.11)
         recovered = weyl_coordinates(canonical_gate(*coords))
         assert np.allclose(recovered, coords, atol=1e-3)
+
+
+class TestCanonicalInvariants:
+    def test_closed_form_matches_eigenvalue_invariants(self, rng):
+        for _ in range(5):
+            x, y, z = np.sort(rng.uniform(0.0, QUARTER, size=3))[::-1]
+            if rng.uniform() < 0.5:
+                z = -z
+            closed = np.asarray(canonical_invariants(x, y, z))
+            spectral = np.asarray(local_invariants(canonical_gate(x, y, z)))
+            assert np.allclose(closed, spectral, atol=1e-12)
+
+    def test_broadcasts_over_coordinate_arrays(self):
+        xs = np.array([0.0, QUARTER, 0.3])
+        ys = np.array([0.0, 0.0, 0.2])
+        zs = np.array([0.0, 0.0, -0.1])
+        e1, e2, e3 = canonical_invariants(xs, ys, zs)
+        assert e1.shape == e2.shape == e3.shape == (3,)
+        for i in range(3):
+            scalar = canonical_invariants(xs[i], ys[i], zs[i])
+            assert np.allclose([e1[i], e2[i], e3[i]], scalar)
+
+
+class TestWeylRoundTrip:
+    """Round-trips through ``canonical_gate``: the tabulation grid relies on
+    ``weyl_coordinates(canonical_gate(*c)) == c`` over the whole chamber."""
+
+    @pytest.mark.parametrize(
+        "corner",
+        [
+            (0.0, 0.0, 0.0),  # identity
+            (QUARTER, 0.0, 0.0),  # CZ / CNOT class
+            (QUARTER, QUARTER, 0.0),  # iSWAP class
+            (QUARTER, QUARTER, QUARTER),  # SWAP class
+        ],
+    )
+    def test_chamber_corner_roundtrip(self, corner):
+        recovered = weyl_coordinates(canonical_gate(*corner))
+        assert np.allclose(recovered, corner, atol=1e-4)
+        assert invariant_distance(
+            canonical_gate(*recovered), canonical_gate(*corner)
+        ) == pytest.approx(0.0, abs=1e-6)
+
+    def test_randomized_canonical_reconstruction(self, rng):
+        # Interior sampling: the invariant map is quadratically flat near
+        # the chamber corners and faces, where coordinates are recovered
+        # to ~1e-2 at best regardless of implementation.  Away from the
+        # boundary the round-trip is sharp.
+        for _ in range(6):
+            x = rng.uniform(0.3, 0.7)
+            y = rng.uniform(0.08, x - 0.05)
+            z = rng.uniform(-y + 0.03, y - 0.03)
+            target = canonical_gate(x, y, z)
+            dressed = random_local(rng) @ target @ random_local(rng)
+            recovered = weyl_coordinates(dressed)
+            assert invariant_distance(
+                canonical_gate(*recovered), target
+            ) == pytest.approx(0.0, abs=1e-6)
+            assert np.allclose(recovered, (x, y, z), atol=2e-3)
+
+    def test_reconstruction_matches_global_phase_shift(self, rng):
+        target = random_su4(rng)
+        shifted = np.exp(1.3j) * target
+        assert np.allclose(
+            weyl_coordinates(target), weyl_coordinates(shifted), atol=1e-6
+        )
 
 
 class TestMinimalGateCounts:
