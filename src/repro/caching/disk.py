@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.hashing import hash_scalars
 from repro.config import str_env
+from repro.resilience.faults import maybe_raise_io_fault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
     from repro.core.pipeline import CompiledCircuit
@@ -190,6 +191,10 @@ class DiskCompilationCache:
         ``"decomp"`` for decomposition-tabulation tables).
         """
         try:
+            # Inside the try so an injected IO fault (``REPRO_FAULT_PLAN``,
+            # e.g. truncated reads) exercises the same except branches a
+            # real corrupt/unreadable file would.
+            maybe_raise_io_fault("disk.read")
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
@@ -224,6 +229,9 @@ class DiskCompilationCache:
     ) -> bool:
         """Atomically write one payload file, then enforce the size cap."""
         try:
+            # Inside the try: injected ENOSPC/EACCES faults degrade to a
+            # dropped write exactly as a genuinely full disk would.
+            maybe_raise_io_fault("disk.write")
             path.parent.mkdir(parents=True, exist_ok=True)
             descriptor, temp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=path.name, suffix=".tmp"

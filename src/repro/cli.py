@@ -267,9 +267,11 @@ def _in_process_cache_report() -> str:
     from repro.core.decomposer import profile_cache_stats
     from repro.core.pipeline import global_compilation_cache
     from repro.experiments.engine import ideal_cache_stats, simulation_cache_stats
+    from repro.resilience import fault_stats, retry_stats
     from repro.simulators.array_ops import array_backend_stats
     from repro.simulators.noise_program import noise_program_cache_stats
 
+    faults = fault_stats()
     sections = {
         "compilation (memory)": global_compilation_cache().stats(),
         "ideal distributions": ideal_cache_stats(),
@@ -281,6 +283,19 @@ def _in_process_cache_report() -> str:
     }
     for name, stats in sorted(array_backend_stats().items()):
         sections[f"batched replay ({name})"] = stats
+    # Resilience counters (repro.resilience): retry/recovery totals for
+    # this process, plus what the active fault plan injected (all zeros
+    # and plan "-" in a normal, fault-free process).
+    sections["resilience (retries)"] = retry_stats()
+    sections["resilience (faults)"] = {
+        "plan": faults["plan"] or "-",
+        "injected": sum(
+            count
+            for kinds in faults["injected"].values()
+            for count in kinds.values()
+        ),
+        "consultations": sum(faults["consultations"].values()),
+    }
     rows = [
         {"cache": name, "field": key, "value": value}
         for name, stats in sections.items()
@@ -432,6 +447,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         exec_workers=args.exec_workers,
         shard=shard,
         batch=args.batch,
+        request_deadline=args.request_deadline,
     )
 
 
@@ -949,6 +965,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default), 0 batches up to the REPRO_SIM_BATCH_MAX_BYTES cap, "
         "N>=2 caps groups at N jobs (see docs/simulators.md)",
     )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        help="per-request wall-clock budget in seconds; past it, remaining "
+        "jobs report source:'deadline' and the study closes complete:false "
+        "(default: REPRO_RETRY_REQUEST_DEADLINE_MS, unset = unbounded)",
+    )
 
     submit = subparsers.add_parser(
         "submit",
@@ -956,7 +980,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--host", default=DEFAULT_HOST)
     submit.add_argument("--port", type=int, default=DEFAULT_PORT)
-    submit.add_argument("--timeout", type=float, default=300.0, help="socket timeout in seconds")
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="socket timeout in seconds (default: REPRO_CLIENT_TIMEOUT, 300)",
+    )
     submit.add_argument("--stats", action="store_true", help="print the daemon's /v1/stats snapshot instead of submitting")
     submit.add_argument("--spec-json", default=None, help="full study spec as a JSON object (overrides the flags below)")
     submit.add_argument("--app", default=None, help="application registry name (see `repro apps`)")

@@ -116,6 +116,28 @@ def list_env(
     return tokens if tokens else tuple(default)
 
 
+def duration_env(
+    name: str,
+    default_ms: Optional[int],
+    *,
+    stacklevel: int = 4,
+) -> Optional[float]:
+    """Parse environment variable ``name`` (milliseconds) into seconds.
+
+    All duration knobs (``REPRO_RETRY_BASE_MS``, ``REPRO_RETRY_MAX_MS``,
+    ``REPRO_RETRY_DEADLINE_MS``, ...) are expressed as positive integer
+    millisecond counts in the environment -- the :func:`positive_int_env`
+    policy verbatim, including the warn-and-default handling of invalid
+    values -- but consumed as float seconds by ``time``-based code.  A
+    ``default_ms`` of ``None`` means "no duration" (e.g. no deadline) and
+    is returned as ``None``.
+    """
+    value = positive_int_env(name, default_ms, stacklevel=stacklevel)
+    if value is None:
+        return None
+    return value / 1000.0
+
+
 def flag_env(name: str, default: bool = False, *, stacklevel: int = 3) -> bool:
     """Parse environment variable ``name`` as a boolean switch.
 

@@ -102,6 +102,15 @@ from repro.experiments.runner import (
     finalize_measured_distribution,
     simulate_noise_program,
 )
+from repro.resilience import (
+    DEFAULT_RETRYABLE,
+    InjectedFault,
+    ResilienceCounters,
+    RetryPolicy,
+    call_with_retry,
+    count_executor_fallback,
+    maybe_raise_fault,
+)
 from repro.simulators.backend import SimulatorBackend, resolve_backend
 from repro.simulators.noise_program import (
     NoiseProgram,
@@ -349,13 +358,48 @@ unpicklable payloads as bare ``TypeError`` and fork refusal as
 fallback emits a warning (never silent) and eventually re-raises."""
 
 
-def _warn_executor_fallback(executor_name: str, error: BaseException) -> None:
+def _warn_executor_fallback(
+    executor_name: str,
+    error: BaseException,
+    fallback: str = "a slower executor",
+    counters: Optional[ResilienceCounters] = None,
+) -> None:
+    """One warning per degradation, always naming the cause and the target."""
+    count_executor_fallback()
+    if counters is not None:
+        counters.increment("executor_fallbacks")
     warnings.warn(
         f"experiment-engine {executor_name} failed ({type(error).__name__}: {error}); "
-        "falling back to a slower executor and re-running the affected jobs",
+        f"falling back to {fallback} and re-running the affected jobs",
         RuntimeWarning,
         stacklevel=3,
     )
+
+
+def _build_study_pool(
+    workers: int, counters: Optional[ResilienceCounters] = None
+) -> Tuple[Optional[Executor], str]:
+    """Create the study's worker pool: process -> thread -> inline.
+
+    Each degradation step emits one :func:`_warn_executor_fallback`
+    warning naming the failed executor and its cause -- pool creation is
+    never allowed to fail silently (the pre-resilience code swallowed
+    both exceptions bare).  Returns the pool (or ``None`` for inline)
+    plus the executor kind surfaced in ``StudyResult.executor_kind``.
+    """
+    try:
+        return ProcessPoolExecutor(max_workers=workers), "process"
+    except Exception as error:
+        _warn_executor_fallback(
+            "ProcessPoolExecutor", error, fallback="a thread pool", counters=counters
+        )
+    try:
+        return ThreadPoolExecutor(max_workers=workers), "thread"
+    except Exception as error:
+        _warn_executor_fallback(
+            "ThreadPoolExecutor", error, fallback="inline execution", counters=counters
+        )
+    return None, "inline"
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -385,7 +429,13 @@ def _simulate_job(
     (or never registered at all) would not resolve in a freshly imported
     worker registry.  Pure: seeds its own RNG from ``options`` and never
     mutates shared state.
+
+    The ``worker.task`` fault point is consulted here, before any
+    simulation work, so an injected crash/failure models a worker dying
+    at task pickup -- both the pool path and the inline retry path
+    (:func:`execute_prepared_with_retry`) funnel through this function.
     """
+    maybe_raise_fault("worker.task")
     return simulate_noise_program(
         program,
         options,
@@ -576,6 +626,31 @@ def execute_prepared_simulation(prepared: PreparedJob) -> np.ndarray:
     return _simulate_job(*prepared.simulation_arguments())
 
 
+def execute_prepared_with_retry(
+    prepared: PreparedJob,
+    policy: Optional[RetryPolicy] = None,
+    counters: Optional[ResilienceCounters] = None,
+) -> np.ndarray:
+    """:func:`execute_prepared_simulation` under a retry policy.
+
+    Because the job is pure given its prepared ``NoiseProgram``, a retry
+    re-executes bit-identically: no device RNG advances, no cache key
+    changes -- the invariant that lets a chaos run render the same report
+    as a fault-free one.  Transient failures (``DEFAULT_RETRYABLE``) are
+    retried with deterministic backoff; deterministic errors propagate
+    on the first attempt.
+    """
+    job = prepared.job
+    return call_with_retry(
+        lambda: execute_prepared_simulation(prepared),
+        policy,
+        describe=(
+            f"job {job.set_name}#{job.circuit_index}@{job.error_scale:g}x"
+        ),
+        counters=counters,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Batched replay grouping (SimulationOptions.batch != 1)
 #
@@ -758,6 +833,7 @@ def run_study(
     pipeline: str = "default",
     cache_dir: Optional[str] = None,
     backend: Optional[Union[str, SimulatorBackend]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> StudyResult:
     """Execute an instruction-set study on the engine.
 
@@ -797,6 +873,15 @@ def run_study(
         instance.  Defaults to ``options.method`` (itself ``"auto"``, the
         historical qubit-threshold dispatch, so existing callers see
         bit-identical results).
+    retry_policy:
+        Bounds for re-executing failed simulate nodes (default:
+        :meth:`RetryPolicy.from_env`, i.e. the ``REPRO_RETRY_*`` knobs).
+        Transient failures -- injected faults, worker crashes, OS errors
+        -- re-execute inline; a broken process pool degrades to threads,
+        then to inline execution, each step warned once with its cause.
+        The study completes with a report bit-identical to a fault-free
+        run (simulate nodes are pure), surfacing what happened in
+        ``StudyResult.executor_kind`` / ``StudyResult.resilience``.
     """
     decomposer = decomposer if decomposer is not None else NuOpDecomposer()
     options = options or SimulationOptions()
@@ -838,20 +923,18 @@ def run_study(
     # instead of fanning individual jobs out to a worker pool -- on this
     # container one stacked contraction beats process parallelism.
     batching = int(options.batch) != 1
+    policy = retry_policy if retry_policy is not None else RetryPolicy.from_env()
+    resilience = ResilienceCounters()
     pool: Optional[Executor] = None
+    executor_kind = "batched" if batching else "inline"
     if not batching and effective_workers > 1 and len(jobs) > 1:
-        try:
-            pool = ProcessPoolExecutor(max_workers=effective_workers)
-        except Exception:
-            try:
-                pool = ThreadPoolExecutor(max_workers=effective_workers)
-            except Exception:
-                pool = None
+        pool, executor_kind = _build_study_pool(effective_workers, resilience)
 
     prepared: Dict[ExperimentJob, PreparedJob] = {}
     measured: Dict[ExperimentJob, np.ndarray] = {}
     cached_jobs = set()
     futures = {}
+    submit_rejected = False
     try:
         for job in jobs:
             unit = prepare_job(
@@ -874,28 +957,130 @@ def run_study(
                 measured[job] = hit[0]
                 cached_jobs.add(job)
                 continue
-            if pool is not None:
-                futures[job] = pool.submit(_simulate_job, *unit.simulation_arguments())
+            if pool is not None and not submit_rejected:
+                try:
+                    futures[job] = pool.submit(
+                        _simulate_job, *unit.simulation_arguments()
+                    )
+                except _EXECUTOR_FAILURES as error:
+                    # The pool died between submits (a worker crashing
+                    # while the prepare loop is still compiling).  Stop
+                    # feeding it: jobs never submitted flow into the
+                    # inline recovery sweep, and futures already in
+                    # flight are collected below -- results resolved
+                    # before the break survive, pending ones re-raise
+                    # there and take the thread/inline fallback.
+                    submit_rejected = True
+                    _warn_executor_fallback(
+                        type(pool).__name__,
+                        error,
+                        fallback="the recovery sweep",
+                        counters=resilience,
+                    )
 
         if batching:
             miss_units = [prepared[job] for job in jobs if job not in measured]
             for group in group_prepared_for_batch(miss_units):
-                for unit, vector in zip(group, execute_prepared_batch(group)):
+                try:
+                    vectors = call_with_retry(
+                        lambda group=group: execute_prepared_batch(group),
+                        policy,
+                        describe=f"batched replay pass ({len(group)} jobs)",
+                        counters=resilience,
+                    )
+                except DEFAULT_RETRYABLE:
+                    # The whole pass kept failing: degrade to per-job
+                    # execution, each job under a fresh retry budget.
+                    # Identical vectors either way (batch equivalence is
+                    # pinned by tests/test_batched_replay.py).
+                    vectors = [
+                        execute_prepared_with_retry(unit, policy, resilience)
+                        for unit in group
+                    ]
+                for unit, vector in zip(group, vectors):
                     measured[unit.job] = vector
 
         if pool is not None and futures:
-            try:
-                for job in jobs:
-                    if job in futures:
-                        measured[job] = futures[job].result()
-            except _EXECUTOR_FAILURES as error:
-                # Pool died (unpicklable payload, broken process): recompute
-                # the missing jobs inline.  Simulation is pure, so results
-                # already retrieved (and cache hits) are unchanged.
-                _warn_executor_fallback(type(pool).__name__, error)
+            broken: Optional[BaseException] = None
+            for job in jobs:
+                if job not in futures:
+                    continue
+                try:
+                    measured[job] = futures[job].result()
+                except InjectedFault as error:
+                    # A transient *task* failure, not a pool failure: leave
+                    # the job unmeasured so the inline sweep below re-runs
+                    # it under the retry policy.  (Real transient task
+                    # errors -- OSError and friends -- are indistinguishable
+                    # from pool failures and take the fallback path.)
+                    resilience.increment("retries")
+                    warnings.warn(
+                        f"resilience: re-running job {job.set_name}"
+                        f"#{job.circuit_index} inline after "
+                        f"{type(error).__name__}: {error}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                except _EXECUTOR_FAILURES as error:
+                    # Pool died (broken process, unpicklable payload):
+                    # stop collecting and recover below.  Simulation is
+                    # pure, so results already retrieved (and cache hits)
+                    # are unchanged.
+                    broken = error
+                    break
+            if broken is not None:
+                # The re-runs below own the remaining jobs now; cancel
+                # whatever is still queued so an abandoned-but-alive pool
+                # (an injected crash reports broken while workers keep
+                # draining the queue) stops competing for cores and the
+                # final shutdown does not wait on work nobody collects.
+                pool.shutdown(wait=False, cancel_futures=True)
+                remaining = [
+                    job for job in jobs if job in futures and job not in measured
+                ]
+                if executor_kind == "process" and len(remaining) > 1:
+                    # Degrade one level: re-run the survivors on threads;
+                    # a second failure falls through to the inline sweep.
+                    _warn_executor_fallback(
+                        type(pool).__name__,
+                        broken,
+                        fallback="a thread pool",
+                        counters=resilience,
+                    )
+                    try:
+                        with ThreadPoolExecutor(
+                            max_workers=effective_workers
+                        ) as retry_pool:
+                            refutures = {
+                                job: retry_pool.submit(
+                                    execute_prepared_with_retry,
+                                    prepared[job],
+                                    policy,
+                                    resilience,
+                                )
+                                for job in remaining
+                            }
+                            for job in remaining:
+                                measured[job] = refutures[job].result()
+                    except _EXECUTOR_FAILURES as error:
+                        _warn_executor_fallback(
+                            "ThreadPoolExecutor",
+                            error,
+                            fallback="inline execution",
+                            counters=resilience,
+                        )
+                else:
+                    _warn_executor_fallback(
+                        type(pool).__name__,
+                        broken,
+                        fallback="inline execution",
+                        counters=resilience,
+                    )
         for job in jobs:
             if job not in measured:
-                measured[job] = execute_prepared_simulation(prepared[job])
+                measured[job] = execute_prepared_with_retry(
+                    prepared[job], policy, resilience
+                )
     finally:
         if pool is not None:
             pool.shutdown()
@@ -908,7 +1093,7 @@ def run_study(
             continue
         measured[job] = store_simulation(prepared[job], measured[job], sim_disk)
 
-    return merge_study_results(
+    study = merge_study_results(
         application,
         metric_name,
         metric,
@@ -917,3 +1102,9 @@ def run_study(
         {job: unit.compiled for job, unit in prepared.items()},
         measured,
     )
+    # Surface what actually executed the study.  Metadata only: rows()
+    # and format_table() deliberately exclude both fields, so reports
+    # stay byte-identical across executor kinds and retry histories.
+    study.executor_kind = executor_kind
+    study.resilience = resilience.snapshot()
+    return study

@@ -284,6 +284,15 @@ class StudyResult:
     application: str
     metric_name: str
     per_set: Dict[str, InstructionSetResult] = field(default_factory=dict)
+    #: How the engine actually executed the study ("process", "thread",
+    #: "inline" or "batched") and what the resilience layer did along the
+    #: way (retries/recoveries/executor_fallbacks, from
+    #: ``repro.resilience``).  Metadata only -- deliberately excluded from
+    #: rows()/format_table() so reports stay byte-identical across
+    #: executor kinds, fallbacks and retry histories (same contract as
+    #: the omitted wall times in format_pass_stats()).
+    executor_kind: Optional[str] = None
+    resilience: Dict[str, int] = field(default_factory=dict)
 
     def best_set(self) -> str:
         """Instruction set with the highest mean metric."""

@@ -1,0 +1,74 @@
+"""Deterministic fault injection and retry/recovery (see docs/resilience.md).
+
+Two halves, inert by default:
+
+* :mod:`repro.resilience.faults` -- named fault points consulted at
+  failure-prone boundaries, driven by a seeded, replayable plan
+  (``REPRO_FAULT_PLAN``).
+* :mod:`repro.resilience.retry` -- :class:`RetryPolicy` /
+  :func:`call_with_retry` with exponential backoff, deterministic
+  jitter, a retry budget and per-call deadlines, plus the process-wide
+  resilience counters.
+
+The contract binding them: a study that survives injected faults must
+render a **bit-identical report** to the fault-free run.  Jobs are pure
+given their prepared ``NoiseProgram``, so retries re-execute without
+touching device RNG order or cache keys; nothing in this package reads
+the wall clock or global ``random`` to make a decision.
+"""
+
+from repro.resilience.faults import (
+    FAULT_PLAN_ENV_VAR,
+    FAULT_POINTS,
+    FaultPlan,
+    InjectedFault,
+    InjectedWorkerCrash,
+    active_fault_plan,
+    configure_fault_plan,
+    consult_fault,
+    fault_stats,
+    maybe_raise_fault,
+    maybe_raise_io_fault,
+    reset_fault_plan_configuration,
+    reset_fault_stats,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRYABLE,
+    RETRY_ATTEMPTS_ENV_VAR,
+    RETRY_BASE_MS_ENV_VAR,
+    RETRY_DEADLINE_MS_ENV_VAR,
+    RETRY_MAX_MS_ENV_VAR,
+    ResilienceCounters,
+    RetryPolicy,
+    call_with_retry,
+    count_executor_fallback,
+    reset_retry_stats,
+    retry_stats,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV_VAR",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedWorkerCrash",
+    "active_fault_plan",
+    "configure_fault_plan",
+    "consult_fault",
+    "fault_stats",
+    "maybe_raise_fault",
+    "maybe_raise_io_fault",
+    "reset_fault_plan_configuration",
+    "reset_fault_stats",
+    "DEFAULT_RETRYABLE",
+    "RETRY_ATTEMPTS_ENV_VAR",
+    "RETRY_BASE_MS_ENV_VAR",
+    "RETRY_DEADLINE_MS_ENV_VAR",
+    "RETRY_MAX_MS_ENV_VAR",
+    "ResilienceCounters",
+    "RetryPolicy",
+    "call_with_retry",
+    "count_executor_fallback",
+    "reset_retry_stats",
+    "retry_stats",
+]

@@ -1,0 +1,247 @@
+"""Retry policy with deterministic backoff, plus resilience counters.
+
+The recovery half of the resilience layer: :class:`RetryPolicy` bounds
+how often and how patiently a schedulable unit re-executes, and
+:func:`call_with_retry` applies it around any callable.  Everything the
+policy does is deterministic given the fault-plan seed:
+
+* **Backoff** is exponential (``base * 2**(attempt-1)``, capped) with
+  **jitter derived from sha256 of (seed, token, attempt)** -- never the
+  wall clock, never the global ``random`` module -- so a replayed chaos
+  run sleeps the same schedule and, crucially, never perturbs any device
+  or simulation RNG stream (the bit-identity contract).
+* **Retry budget** (``max_attempts``) and an optional **per-call
+  deadline** bound the worst case; on exhaustion the *last underlying
+  error* is re-raised, so callers' existing ``except`` clauses keep
+  working -- no new wrapper exception to unwrap.
+* Only **transient** shapes are retried (:data:`DEFAULT_RETRYABLE`):
+  injected faults, executor/worker deaths, OS/connection/timeout errors
+  and truncated reads.  Deterministic errors (``ValueError`` from a
+  qubit cap, spec validation, ...) propagate on the first attempt --
+  retrying them would triple every genuine failure's latency.
+
+Every retry emits a ``RuntimeWarning`` prefixed ``resilience:`` (the CI
+chaos job greps for it to prove recovery actually happened), and module
+counters (:func:`retry_stats`) aggregate attempts / retries /
+recoveries / exhaustions / executor fallbacks for ``/v1/stats`` and
+``repro cache stats``.
+
+Environment knobs (``positive_int_env`` policy, read per
+``RetryPolicy.from_env()`` call): ``REPRO_RETRY_ATTEMPTS`` (3),
+``REPRO_RETRY_BASE_MS`` (25), ``REPRO_RETRY_MAX_MS`` (1000),
+``REPRO_RETRY_DEADLINE_MS`` (unset: no per-call deadline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import warnings
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Type, TypeVar
+
+from repro.config import duration_env, positive_int_env
+from repro.resilience.faults import InjectedFault, active_fault_plan
+
+__all__ = [
+    "RETRY_ATTEMPTS_ENV_VAR",
+    "RETRY_BASE_MS_ENV_VAR",
+    "RETRY_MAX_MS_ENV_VAR",
+    "RETRY_DEADLINE_MS_ENV_VAR",
+    "DEFAULT_RETRYABLE",
+    "RetryPolicy",
+    "ResilienceCounters",
+    "call_with_retry",
+    "count_executor_fallback",
+    "retry_stats",
+    "reset_retry_stats",
+]
+
+RETRY_ATTEMPTS_ENV_VAR = "REPRO_RETRY_ATTEMPTS"
+RETRY_BASE_MS_ENV_VAR = "REPRO_RETRY_BASE_MS"
+RETRY_MAX_MS_ENV_VAR = "REPRO_RETRY_MAX_MS"
+RETRY_DEADLINE_MS_ENV_VAR = "REPRO_RETRY_DEADLINE_MS"
+
+#: Transient failure shapes worth a retry.  ``InjectedWorkerCrash`` is a
+#: ``BrokenExecutor``; ``EOFError`` is a truncated read; deterministic
+#: errors (``ValueError``, ``TypeError``, ...) deliberately propagate.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    InjectedFault,
+    BrokenExecutor,
+    OSError,
+    ConnectionError,
+    TimeoutError,
+    EOFError,
+)
+
+_T = TypeVar("_T")
+
+
+class ResilienceCounters:
+    """A small thread-safe counter bag (per-study / per-request scope)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + amount
+
+    def get(self, key: str) -> int:
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+# Process-wide aggregate (surfaced by /v1/stats and `repro cache stats`).
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL_COUNTS: Dict[str, int] = {
+    "attempts": 0,
+    "retries": 0,
+    "recoveries": 0,
+    "exhausted": 0,
+    "executor_fallbacks": 0,
+}
+
+
+def _count_global(key: str, amount: int = 1) -> None:
+    with _GLOBAL_LOCK:
+        _GLOBAL_COUNTS[key] = _GLOBAL_COUNTS.get(key, 0) + amount
+
+
+def count_executor_fallback() -> None:
+    """Record one executor degradation (process->thread or ->inline)."""
+    _count_global("executor_fallbacks")
+
+
+def retry_stats() -> Dict[str, int]:
+    with _GLOBAL_LOCK:
+        return dict(_GLOBAL_COUNTS)
+
+
+def reset_retry_stats() -> None:
+    with _GLOBAL_LOCK:
+        for key in _GLOBAL_COUNTS:
+            _GLOBAL_COUNTS[key] = 0
+
+
+def _jitter_unit(seed: int, token: str, attempt: int) -> float:
+    """A deterministic draw in [0, 1) from sha256, never the wall clock."""
+    digest = hashlib.sha256(f"{seed}|{token}|{attempt}".encode("utf-8")).hexdigest()
+    return int(digest[:13], 16) / float(16**13)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds for re-executing a schedulable unit.
+
+    ``seed`` feeds the jitter (taken from the fault plan's seed by
+    :meth:`from_env`, so a replayed chaos run backs off identically);
+    ``deadline`` is per *call* -- wall-clock seconds measured with
+    ``time.monotonic`` across the attempts of one
+    :func:`call_with_retry`, after which the last error propagates even
+    if budget remains.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.025
+    max_delay: float = 1.0
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        plan = active_fault_plan()
+        return cls(
+            max_attempts=positive_int_env(RETRY_ATTEMPTS_ENV_VAR, 3),
+            base_delay=duration_env(RETRY_BASE_MS_ENV_VAR, 25) or 0.025,
+            max_delay=duration_env(RETRY_MAX_MS_ENV_VAR, 1000) or 1.0,
+            deadline=duration_env(RETRY_DEADLINE_MS_ENV_VAR, None),
+            seed=plan.seed if plan is not None else 0,
+        )
+
+    def backoff_delay(self, attempt: int, token: str = "") -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        raw = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        return raw * (0.5 + 0.5 * _jitter_unit(self.seed, token, attempt))
+
+
+def call_with_retry(
+    fn: Callable[[], _T],
+    policy: Optional[RetryPolicy] = None,
+    *,
+    describe: str = "task",
+    retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE,
+    counters: Optional[ResilienceCounters] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> _T:
+    """Run ``fn`` under ``policy``, re-raising the last error on exhaustion.
+
+    ``counters`` (when given) accrues the same retry/recovery keys as
+    the process-wide aggregate, scoped to one study or serve request.
+    ``sleep`` is injectable so tests assert the deterministic backoff
+    schedule without actually waiting.
+    """
+    if policy is None:
+        policy = RetryPolicy.from_env()
+    attempts = max(1, policy.max_attempts)
+    started = time.monotonic() if policy.deadline is not None else 0.0
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, attempts + 1):
+        _count_global("attempts")
+        if counters is not None:
+            counters.increment("attempts")
+        try:
+            result = fn()
+        except retryable as error:
+            last_error = error
+            if attempt >= attempts:
+                break
+            if (
+                policy.deadline is not None
+                and time.monotonic() - started >= policy.deadline
+            ):
+                _count_global("exhausted")
+                if counters is not None:
+                    counters.increment("exhausted")
+                warnings.warn(
+                    f"resilience: deadline of {policy.deadline:.3f}s exceeded "
+                    f"for {describe} after attempt {attempt}; raising "
+                    f"{type(error).__name__}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                raise
+            _count_global("retries")
+            if counters is not None:
+                counters.increment("retries")
+            warnings.warn(
+                f"resilience: retrying {describe} (attempt {attempt + 1} of "
+                f"{attempts}) after {type(error).__name__}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            sleep(policy.backoff_delay(attempt, token=describe))
+        else:
+            if attempt > 1:
+                _count_global("recoveries")
+                if counters is not None:
+                    counters.increment("recoveries")
+            return result
+    _count_global("exhausted")
+    if counters is not None:
+        counters.increment("exhausted")
+    warnings.warn(
+        f"resilience: retry budget of {attempts} exhausted for {describe}; "
+        f"raising {type(last_error).__name__}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    assert last_error is not None
+    raise last_error

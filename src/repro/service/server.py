@@ -38,16 +38,39 @@ Execution model per request (:meth:`StudyService.run_study_spec`):
 The HTTP layer is stdlib-only (``http.server``): POST ``/v1/studies``
 streams the NDJSON response; GET ``/v1/stats`` and ``/v1/health`` return
 JSON snapshots.
+
+Resilience (see ``docs/resilience.md``): backend invocations retry under
+the ``REPRO_RETRY_*`` policy; SIGTERM/SIGINT trigger a **graceful
+drain** -- new submissions get 503, requests already streaming flush
+their in-flight futures and close with a final ``complete:false`` study
+record for whatever could not finish -- and ``/v1/health`` reports
+``ok``/``degraded``/``draining`` instead of an unconditional ``ok``.
+Per-request deadlines (``--request-deadline`` /
+``REPRO_RETRY_REQUEST_DEADLINE_MS``) bound how long one submission may
+hold a handler thread.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
+import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Iterator, Optional
 
+from repro.config import duration_env
+from repro.resilience import (
+    InjectedFault,
+    ResilienceCounters,
+    RetryPolicy,
+    call_with_retry,
+    consult_fault,
+    fault_stats,
+    retry_stats,
+)
 from repro.service.dedup import InFlightTable
 from repro.service.protocol import (
     DEFAULT_HOST,
@@ -57,6 +80,12 @@ from repro.service.protocol import (
     encode_record,
     resolve_metric,
 )
+
+REQUEST_DEADLINE_ENV_VAR = "REPRO_RETRY_REQUEST_DEADLINE_MS"
+
+
+class ServiceDraining(RuntimeError):
+    """The daemon is draining and no longer accepts new studies (HTTP 503)."""
 
 
 class StudyService:
@@ -75,10 +104,26 @@ class StudyService:
         exec_workers: int = 1,
         shard: Optional[ShardSpec] = None,
         batch: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        request_deadline: Optional[float] = None,
     ) -> None:
         from repro.caching.disk import disk_cache_for, get_global_disk_cache
 
         self.shard = shard
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy.from_env()
+        )
+        """Bounds for re-executing failed backend invocations
+        (``REPRO_RETRY_*`` by default); see :mod:`repro.resilience`."""
+        self.request_deadline = (
+            request_deadline
+            if request_deadline is not None
+            else duration_env(REQUEST_DEADLINE_ENV_VAR, None)
+        )
+        """Per-request wall-clock budget in seconds (``None`` = unbounded).
+        A request past its deadline stops waiting: remaining jobs are
+        reported with ``source:"deadline"`` and the study closes with
+        ``complete:false`` -- the stream always terminates."""
         self.batch = int(batch)
         """Batched-replay knob (``repro serve --batch``): ``1`` keeps the
         per-job scheduling path, ``0``/``N>=2`` makes each request queue
@@ -108,7 +153,85 @@ class StudyService:
             "jobs_backend": 0,
             "jobs_inflight": 0,
             "jobs_deferred": 0,
+            "jobs_drained": 0,
+            "jobs_deadline": 0,
+            "requests_rejected": 0,
             "batched_passes": 0,
+        }
+        # Graceful-drain state: once _draining is set, new submissions are
+        # rejected (503) while requests already streaming finish flushing
+        # their in-flight futures; _active tracks streaming requests so
+        # drain() knows when the last one closed its NDJSON stream.
+        self._draining = threading.Event()
+        self._active = 0
+        self._active_cond = threading.Condition()
+        self._resilience = ResilienceCounters()
+
+    # -- graceful drain ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop accepting new studies; in-flight streams keep flushing."""
+        self._draining.set()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Begin draining and wait for active streams to finish.
+
+        Returns ``True`` when every in-flight request closed its stream
+        within ``timeout`` seconds (``None`` = wait indefinitely).
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._active_cond:
+            while self._active > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._active_cond.wait(remaining)
+        return True
+
+    def _begin_request(self) -> None:
+        with self._active_cond:
+            self._active += 1
+
+    def _end_request(self) -> None:
+        with self._active_cond:
+            self._active = max(0, self._active - 1)
+            self._active_cond.notify_all()
+
+    def health(self) -> Dict[str, object]:
+        """Liveness snapshot: ``ok``, ``degraded`` or ``draining``.
+
+        ``degraded`` means the process kept working but not at full
+        fidelity: retry budgets were exhausted, an executor fell back, or
+        in-flight keys are in failure cooldown.  Degraded is still
+        serving -- the status is a signal to operators, not a refusal.
+        """
+        retries = retry_stats()
+        cooling = (
+            self._compiles.stats()["failed_keys"]
+            + self._simulations.stats()["failed_keys"]
+        )
+        status = "ok"
+        if retries["exhausted"] or retries["executor_fallbacks"] or cooling:
+            status = "degraded"
+        if self.draining:
+            status = "draining"
+        with self._active_cond:
+            active = self._active
+        return {
+            "status": status,
+            "draining": self.draining,
+            "active_requests": active,
+            "retries": retries["retries"],
+            "exhausted": retries["exhausted"],
+            "executor_fallbacks": retries["executor_fallbacks"],
+            "failed_keys_cooling": cooling,
         }
 
     # -- study construction -------------------------------------------------
@@ -249,11 +372,31 @@ class StudyService:
         Builds (and therefore validates) the study *eagerly* -- unknown
         registry names raise here, before the HTTP layer commits to a
         200 -- then returns the streaming generator.  In-process callers
-        (tests, benchmarks) iterate the result directly.
+        (tests, benchmarks) iterate the result directly.  Raises
+        :class:`ServiceDraining` (HTTP 503) once a drain has begun.
         """
+        if self.draining:
+            with self._lock:
+                self._counters["requests_rejected"] += 1
+            raise ServiceDraining(
+                "service is draining; not accepting new studies"
+            )
         return self._stream_study(spec, self.build_study(spec))
 
     def _stream_study(
+        self, spec: StudySpec, parts: Dict[str, object]
+    ) -> Iterator[Dict[str, object]]:
+        # Generator body: runs lazily, so active-request tracking starts
+        # at the first record pull and ends (via finally) when the stream
+        # is exhausted or closed -- exactly the window drain() must wait
+        # out.
+        self._begin_request()
+        try:
+            yield from self._stream_study_inner(spec, parts)
+        finally:
+            self._end_request()
+
+    def _stream_study_inner(
         self, spec: StudySpec, parts: Dict[str, object]
     ) -> Iterator[Dict[str, object]]:
         from repro.experiments.engine import (
@@ -293,11 +436,32 @@ class StudyService:
         # each group runs as one vectorised backend pass.
         pending_batch = []
         request_batch = {"passes": 0}
+        request_resilience = ResilienceCounters()
+        deadline_at = (
+            time.monotonic() + self.request_deadline
+            if self.request_deadline is not None
+            else None
+        )
+
+        def halt_reason() -> Optional[str]:
+            """Why this request must stop scheduling new work, if at all."""
+            if self.draining:
+                return "drained"
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                return "deadline"
+            return None
 
         # Prepare serially in canonical order (device RNG), resolving each
         # job against the tiers as soon as it is prepared so in-flight
-        # submissions overlap the remaining compiles.
+        # submissions overlap the remaining compiles.  A drain or an
+        # expired deadline stops *scheduling*: jobs not yet prepared are
+        # reported unscored (source "drained"/"deadline") while futures
+        # already in flight still flush below.
         for job in jobs:
+            halted = halt_reason()
+            if halted is not None:
+                sources[job] = halted
+                continue
             unit = prepare_job(
                 job,
                 parts["circuits"][job.circuit_index],
@@ -345,7 +509,17 @@ class StudyService:
                 if hit is not None:
                     return hit[0]
                 invoked["backend"] = True
-                vector = execute_prepared_simulation(unit)
+                # Retry under the service policy: the job is pure given
+                # its prepared program, so a retried vector is
+                # bit-identical to a first-try one.
+                vector = call_with_retry(
+                    lambda: execute_prepared_simulation(unit),
+                    self.retry_policy,
+                    describe=(
+                        f"serve job {unit.job.set_name}#{unit.job.circuit_index}"
+                    ),
+                    counters=request_resilience,
+                )
                 # Store *before* the future resolves: the in-flight key
                 # retires on completion, and by then the tiers must
                 # already serve the result (no gap for a third arrival
@@ -380,8 +554,14 @@ class StudyService:
                             remaining.append((unit, job_future, invoked))
                     if not remaining:
                         return
-                    vectors = execute_prepared_batch(
-                        [unit for unit, _, _ in remaining]
+                    remaining_units = [unit for unit, _, _ in remaining]
+                    vectors = call_with_retry(
+                        lambda: execute_prepared_batch(remaining_units),
+                        self.retry_policy,
+                        describe=(
+                            f"serve batched pass ({len(remaining_units)} jobs)"
+                        ),
+                        counters=request_resilience,
                     )
                     if len(remaining) > 1:
                         with self._lock:
@@ -407,11 +587,25 @@ class StudyService:
             ):
                 self._executor.submit(run_group, group)
 
-        # Collect and stream per-job records in canonical order.
+        # Collect and stream per-job records in canonical order.  Futures
+        # already scheduled flush even during a drain (the graceful-drain
+        # contract); only the per-request deadline abandons a wait, and
+        # then the job is reported as "deadline" with no value while its
+        # task still completes (and caches its result) in the executor.
         deferred = 0
+        halted_jobs = 0
         for index, job in enumerate(jobs):
             if job in futures:
-                measured[job] = futures[job].result()
+                try:
+                    if deadline_at is not None:
+                        remaining = deadline_at - time.monotonic()
+                        measured[job] = futures[job].result(
+                            timeout=max(remaining, 0.001)
+                        )
+                    else:
+                        measured[job] = futures[job].result()
+                except TimeoutError:
+                    sources[job] = "deadline"
             if isinstance(sources[job], tuple):
                 _, invoked_flag = sources[job]
                 # A rare owner whose task was answered by the tiers (see
@@ -429,6 +623,8 @@ class StudyService:
             }
             if source == "deferred":
                 deferred += 1
+            elif source in ("drained", "deadline"):
+                halted_jobs += 1
             else:
                 record["value"] = float(
                     parts["metric"](measured[job], ideal_by_index[job.circuit_index])
@@ -438,7 +634,7 @@ class StudyService:
                 self._counters[f"jobs_{source}"] += 1
             yield record
 
-        complete = deferred == 0
+        complete = deferred == 0 and halted_jobs == 0
         study_record: Dict[str, object] = {
             "type": "study",
             "fingerprint": spec.fingerprint(),
@@ -446,6 +642,7 @@ class StudyService:
             "metric": parts["metric_name"],
             "complete": complete,
             "deferred": deferred,
+            "drained": halted_jobs,
         }
         if complete:
             study = merge_study_results(
@@ -461,6 +658,8 @@ class StudyService:
             study_record["table"] = study.format_table()
         with self._lock:
             self._counters["studies"] += 1
+        for key, amount in request_resilience.snapshot().items():
+            self._resilience.increment(key, amount)
         yield study_record
         yield {
             "type": "stats",
@@ -469,6 +668,8 @@ class StudyService:
             "from_memory": sum(1 for s in sources.values() if s == "memory"),
             "from_disk": sum(1 for s in sources.values() if s == "disk"),
             "deferred": deferred,
+            "drained": halted_jobs,
+            "retries": request_resilience.get("retries"),
             "batched_passes": request_batch["passes"],
         }
 
@@ -484,10 +685,19 @@ class StudyService:
 
         with self._lock:
             counters = dict(self._counters)
+        with self._active_cond:
+            active = self._active
         return {
             "service": counters,
             "shard": str(self.shard) if self.shard is not None else None,
             "batch": self.batch,
+            "resilience": {
+                "draining": self.draining,
+                "active_requests": active,
+                "requests": self._resilience.snapshot(),
+                "retry": retry_stats(),
+                "faults": fault_stats(),
+            },
             "array_backends": array_backend_stats(),
             "inflight_compiles": self._compiles.stats(),
             "inflight_simulations": self._simulations.stats(),
@@ -532,7 +742,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         if self.path == "/v1/health":
-            self._send_json(200, {"status": "ok"})
+            health = self.service.health()
+            # 503 while draining so load balancers and probes stop routing
+            # here; "degraded" still serves (200) -- it is an operator
+            # signal, not a refusal.
+            status = 503 if health["status"] == "draining" else 200
+            self._send_json(status, health)
         elif self.path == "/v1/stats":
             self._send_json(200, self.service.stats())
         else:
@@ -542,10 +757,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self.path != "/v1/studies":
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
+        # The ``serve.handler`` fault point: "reject" fails the request
+        # up front (503, the draining shape); any other kind fails
+        # in-band after the stream starts (the error-record shape).
+        handler_fault = consult_fault("serve.handler")
+        if handler_fault == "reject":
+            self._send_json(
+                503, {"error": "injected fault: handler rejecting request"}
+            )
+            return
         try:
             length = int(self.headers.get("Content-Length", "0"))
             spec = StudySpec.from_json_dict(json.loads(self.rfile.read(length)))
             stream = self.service.run_study_spec(spec)  # validates eagerly
+        except ServiceDraining as error:
+            self._send_json(503, {"error": str(error)})
+            return
         except (ValueError, TypeError) as error:
             self._send_json(400, {"error": str(error)})
             return
@@ -553,6 +780,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/x-ndjson")
         self.end_headers()
         try:
+            if handler_fault is not None:
+                raise InjectedFault("serve.handler", handler_fault)
             for record in stream:
                 self.wfile.write(encode_record(record))
                 self.wfile.flush()
@@ -584,29 +813,75 @@ def serve(
     exec_workers: int = 1,
     shard: Optional[ShardSpec] = None,
     batch: int = 1,
+    request_deadline: Optional[float] = None,
+    drain_timeout: float = 30.0,
 ) -> str:
     """Run the daemon until interrupted; returns a farewell line.
 
     Prints the listening address (flushed) once the socket is bound, so
     wrappers -- the CI smoke test, shell scripts -- can wait for that
     line before submitting.
+
+    SIGTERM/SIGINT trigger a **graceful drain**: the service stops
+    accepting new studies (503), requests already streaming flush their
+    in-flight futures and close their NDJSON streams (with
+    ``complete:false`` for whatever could not be scheduled), and the
+    process exits 0 -- within ``drain_timeout`` seconds, after which the
+    shutdown proceeds anyway.  Signal handlers are only installed when
+    running on the main thread (tests drive :func:`serve` from worker
+    threads, where ``KeyboardInterrupt`` remains the stop path).
     """
     service = StudyService(
-        cache_dir=cache_dir, exec_workers=exec_workers, shard=shard, batch=batch
+        cache_dir=cache_dir,
+        exec_workers=exec_workers,
+        shard=shard,
+        batch=batch,
+        request_deadline=request_deadline,
     )
     server = make_http_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
+
+    def request_shutdown(signum, frame):  # pragma: no cover - signal path
+        service.begin_drain()
+        # serve_forever() must be stopped from another thread: shutdown()
+        # blocks until the serve loop acknowledges, and the serve loop is
+        # the very thread this handler interrupted.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    # Handlers go in *before* the listening line: wrappers treat that
+    # line as "ready", and a SIGTERM arriving in the gap would otherwise
+    # hit the default handler and kill the process without draining.
+    installed = []
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            installed.append((signum, signal.signal(signum, request_shutdown)))
+    except ValueError:
+        installed = []  # not the main thread: no signal-based drain
     shard_note = f" shard={shard}" if shard is not None else ""
     batch_note = f" batch={batch}" if int(batch) != 1 else ""
     print(
         f"repro serve listening on http://{bound_host}:{bound_port}{shard_note}{batch_note}",
         flush=True,
     )
+    drained = True
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        service.begin_drain()
+        drained = service.drain(timeout=drain_timeout)
+        if not drained:
+            warnings.warn(
+                f"resilience: drain timed out after {drain_timeout:g}s with "
+                "requests still streaming; shutting down anyway",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         server.server_close()
         service.close()
+        for signum, previous in installed:
+            signal.signal(signum, previous)
+    if drained:
+        return "repro serve: drained and shut down"
     return "repro serve: shut down"

@@ -62,6 +62,7 @@ from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 import numpy as np
 
 from repro.config import str_env
+from repro.resilience.faults import maybe_raise_fault
 from repro.simulators.density_matrix import (
     MAX_DENSITY_MATRIX_QUBITS,
     DensityMatrixResult,
@@ -199,6 +200,12 @@ _INVOCATIONS_LOCK = threading.Lock()
 
 
 def _count_invocation(name: str) -> None:
+    # The ``backend.run`` fault point sits here -- the one funnel every
+    # concrete backend (and the batched path) passes through -- and is
+    # consulted *before* counting, so a faulted invocation never
+    # increments the counter: after the retry layer recovers, the
+    # invocation counts match the fault-free run exactly.
+    maybe_raise_fault("backend.run")
     with _INVOCATIONS_LOCK:
         _INVOCATIONS[name] = _INVOCATIONS.get(name, 0) + 1
 
